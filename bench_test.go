@@ -1,0 +1,218 @@
+// Package hyperear's benchmark harness: one benchmark per reproduced
+// figure (run the tables with `go test -bench Fig -benchtime 1x`) plus
+// ablation and micro benchmarks. Each figure benchmark executes the same
+// experiment.RunFigNN the CLI uses, at a reduced trial count, and reports
+// the headline error statistics as custom metrics (mean-cm, p90-cm of the
+// figure's most adverse condition) so regressions in reproduction quality
+// are visible in benchmark output, not just speed.
+package hyperear
+
+import (
+	"strings"
+	"testing"
+
+	"hyperear/internal/experiment"
+	"hyperear/internal/imu"
+	"hyperear/internal/room"
+)
+
+// benchOpt keeps figure benchmarks bounded; raise trials via the CLI for
+// paper-scale runs.
+func benchOpt() experiment.Options {
+	return experiment.Options{Trials: 3, Seed: 9}
+}
+
+// reportFigure re-renders a figure's headline condition as benchmark
+// metrics.
+func reportFigure(b *testing.B, fig experiment.Figure) {
+	b.Helper()
+	for _, c := range fig.Conditions {
+		if len(c.Errors) == 0 {
+			continue
+		}
+		s := c.Summary()
+		label := strings.NewReplacer(" ", "_", "\t", "_").Replace(c.Label)
+		b.ReportMetric(s.Mean*100, "mean-cm/"+label)
+	}
+	if testing.Verbose() {
+		b.Log("\n" + fig.String())
+	}
+}
+
+func BenchmarkFig03NaiveAmbiguity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunFig3(benchOpt()))
+	}
+}
+
+func BenchmarkFig04HyperbolaDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiment.RunFig4(benchOpt())
+		if len(fig.Conditions) != 2 {
+			b.Fatal("fig4 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig07DirectionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiment.RunFig7(benchOpt())
+		if len(fig.Conditions) < 2 {
+			b.Fatalf("fig7 incomplete: %v", fig.Notes)
+		}
+	}
+}
+
+func BenchmarkFig08Segmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiment.RunFig8(benchOpt())
+		if len(fig.Conditions) != 1 {
+			b.Fatal("fig8 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig09DriftCorrection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiment.RunFig9(benchOpt())
+		if len(fig.Conditions) != 2 {
+			b.Fatal("fig9 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig14SlideLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunFig14(benchOpt()))
+	}
+}
+
+func BenchmarkFig15DistanceS4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunFig15(benchOpt()))
+	}
+}
+
+func BenchmarkFig16DistanceNote3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunFig16(benchOpt()))
+	}
+}
+
+func BenchmarkFig17ThreeDS4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunFig17(benchOpt()))
+	}
+}
+
+func BenchmarkFig18ThreeDNote3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunFig18(benchOpt()))
+	}
+}
+
+func BenchmarkFig19NoiseRegimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunFig19(benchOpt()))
+	}
+}
+
+func BenchmarkAblationSFO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunAblationSFO(benchOpt()))
+	}
+}
+
+func BenchmarkAblationDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunAblationDrift(benchOpt()))
+	}
+}
+
+func BenchmarkAblationDirection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunAblationDirection(benchOpt()))
+	}
+}
+
+func BenchmarkAblationAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunAblationAggregation(benchOpt()))
+	}
+}
+
+func BenchmarkDirectionComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := experiment.RunDirectionComparison(benchOpt())
+		if len(fig.Conditions) != 2 {
+			b.Fatal("comparison incomplete")
+		}
+	}
+}
+
+func BenchmarkFull3DComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunFull3DComparison(benchOpt()))
+	}
+}
+
+// BenchmarkPipelineLocate2D measures the end-to-end pipeline cost on one
+// pre-rendered 5-slide session (the per-localization latency a phone
+// implementation would care about).
+func BenchmarkPipelineLocate2D(b *testing.B) {
+	sc := Scenario{
+		Env:            MeetingRoom(),
+		Phone:          GalaxyS4(),
+		Source:         DefaultBeacon(),
+		SpeakerPos:     Vec3{X: 9, Y: 6, Z: 1.2},
+		SpeakerSkewPPM: 20,
+		PhoneStart:     Vec3{X: 4, Y: 6, Z: 1.2},
+		Protocol:       DefaultProtocol(),
+		IMU:            imu.DefaultConfig(),
+		Noise:          room.WhiteNoise{},
+		SNRdB:          15,
+		Seed:           12,
+	}
+	session, err := Simulate(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loc, err := NewLocalizer(sc.Phone, sc.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := loc.Locate2D(session); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateSession measures the simulator's rendering cost for a
+// standard session (audio synthesis dominates).
+func BenchmarkSimulateSession(b *testing.B) {
+	sc := Scenario{
+		Env:        MeetingRoom(),
+		Phone:      GalaxyS4(),
+		Source:     DefaultBeacon(),
+		SpeakerPos: Vec3{X: 9, Y: 6, Z: 1.2},
+		PhoneStart: Vec3{X: 4, Y: 6, Z: 1.2},
+		Protocol:   DefaultProtocol(),
+		IMU:        imu.DefaultConfig(),
+		Seed:       12,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportFigure(b, experiment.RunBaselineComparison(benchOpt()))
+	}
+}

@@ -1,0 +1,62 @@
+// Command chirpgen writes the HyperEar beacon waveform to a 16-bit mono
+// PCM WAV file, so the chirp can be inspected in an audio editor or even
+// played through a real speaker.
+//
+// Usage:
+//
+//	chirpgen [-out beacon.wav] [-seconds 2] [-fs 44100]
+//	         [-low 2000] [-high 6400] [-duration 0.04] [-period 0.2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/sessionio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chirpgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chirpgen", flag.ContinueOnError)
+	out := fs.String("out", "beacon.wav", "output WAV path")
+	seconds := fs.Float64("seconds", 2, "length of audio to write")
+	rate := fs.Float64("fs", 44100, "sample rate in Hz")
+	low := fs.Float64("low", 2000, "chirp start frequency (Hz)")
+	high := fs.Float64("high", 6400, "chirp apex frequency (Hz)")
+	duration := fs.Float64("duration", 0.04, "chirp duration (s)")
+	period := fs.Float64("period", 0.2, "beacon period (s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := chirp.Params{Low: *low, High: *high, Duration: *duration, Period: *period, Amplitude: 0.8}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	n := int(*seconds * *rate)
+	samples := make([]float64, n)
+	for i := range samples {
+		samples[i] = p.Eval(float64(i) / *rate)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sessionio.WriteWAV(f, int(*rate), samples); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples (%.1f s, %d beacons) to %s\n",
+		n, *seconds, int(*seconds / *period), *out)
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command hyperearsim regenerates the paper's figures on the simulated
+// substrate and prints text tables and CDF plots.
+//
+// Usage:
+//
+//	hyperearsim [-trials N] [-seed S] [-fig fig15,fig19] [-cdf] [-list]
+//
+// With no -fig it runs every figure plus the ablation suite (this takes a
+// few minutes at the default 10 trials per condition).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hyperear/internal/experiment"
+)
+
+var runners = map[string]func(experiment.Options) experiment.Figure{
+	"fig3":          experiment.RunFig3,
+	"fig4":          experiment.RunFig4,
+	"fig7":          experiment.RunFig7,
+	"fig8":          experiment.RunFig8,
+	"fig9":          experiment.RunFig9,
+	"fig14":         experiment.RunFig14,
+	"fig15":         experiment.RunFig15,
+	"fig16":         experiment.RunFig16,
+	"fig17":         experiment.RunFig17,
+	"fig18":         experiment.RunFig18,
+	"fig19":         experiment.RunFig19,
+	"abl-sfo":       experiment.RunAblationSFO,
+	"abl-drift":     experiment.RunAblationDrift,
+	"abl-direction": experiment.RunAblationDirection,
+	"abl-agg":       experiment.RunAblationAggregation,
+	"cmp-direction": experiment.RunDirectionComparison,
+	"cmp-full3d":    experiment.RunFull3DComparison,
+	"cmp-baseline":  experiment.RunBaselineComparison,
+}
+
+var order = []string{
+	"fig3", "fig4", "fig7", "fig8", "fig9",
+	"fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+	"abl-sfo", "abl-drift", "abl-direction", "abl-agg", "cmp-direction", "cmp-full3d", "cmp-baseline",
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperearsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hyperearsim", flag.ContinueOnError)
+	trials := fs.Int("trials", 10, "sessions per condition")
+	seed := fs.Int64("seed", 1, "random seed")
+	figList := fs.String("fig", "", "comma-separated figure ids (default: all)")
+	cdf := fs.Bool("cdf", false, "also print text CDF plots")
+	list := fs.Bool("list", false, "list available figures and exit")
+	par := fs.Int("parallel", 0, "max concurrent sessions (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range order {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	opt := experiment.Options{Trials: *trials, Seed: *seed, Parallelism: *par}
+
+	ids := order
+	if *figList != "" {
+		ids = strings.Split(*figList, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, ok := runners[id]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (use -list)", id)
+		}
+		fig := runner(opt)
+		fmt.Print(fig.String())
+		if *cdf {
+			fmt.Print(fig.CDFReport(1.0))
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "fig99"}); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunnersCoverOrder(t *testing.T) {
+	for _, id := range order {
+		if _, ok := runners[id]; !ok {
+			t.Errorf("order lists %q but runners lacks it", id)
+		}
+	}
+	if len(order) != len(runners) {
+		t.Errorf("order has %d entries, runners %d", len(order), len(runners))
+	}
+}
+
+func TestSingleCheapFigure(t *testing.T) {
+	// fig4 is analytic and fast — exercise the full CLI path.
+	if err := run([]string{"-fig", "fig4", "-trials", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFFlagOnCheapFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a Monte-Carlo figure")
+	}
+	if err := run([]string{"-fig", "fig3", "-trials", "1", "-cdf"}); err != nil {
+		t.Fatal(err)
+	}
+}

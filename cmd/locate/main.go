@@ -1,0 +1,126 @@
+// Command locate runs a single simulated HyperEar localization and prints
+// the result — the "hello world" of the library.
+//
+// Usage:
+//
+//	locate [-dist D] [-phone s4|note3] [-mode ruler|hand] [-noise regime]
+//	       [-3d] [-seed S]
+//
+// Example:
+//
+//	locate -dist 7 -phone s4 -mode hand -noise mall-busy -3d
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperear"
+	"hyperear/internal/imu"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "locate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("locate", flag.ContinueOnError)
+	dist := fs.Float64("dist", 5, "speaker distance in meters")
+	phoneName := fs.String("phone", "s4", "phone model: s4 or note3")
+	mode := fs.String("mode", "ruler", "movement mode: ruler or hand")
+	noise := fs.String("noise", "room-quiet", "noise regime: room-quiet, room-chatting, mall-offpeak, mall-busy, none")
+	threeD := fs.Bool("3d", false, "run the two-stature 3D protocol")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var phone hyperear.Phone
+	switch *phoneName {
+	case "s4":
+		phone = hyperear.GalaxyS4()
+	case "note3":
+		phone = hyperear.GalaxyNote3()
+	default:
+		return fmt.Errorf("unknown phone %q", *phoneName)
+	}
+
+	protocol := hyperear.DefaultProtocol()
+	if *mode == "hand" {
+		protocol.Mode = hyperear.ModeHand
+	} else if *mode != "ruler" {
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if *threeD {
+		protocol.Slides = 10
+		protocol.StatureChange = 0.45
+	}
+
+	sc := hyperear.Scenario{
+		Env:            hyperear.MeetingRoom(),
+		Phone:          phone,
+		Source:         hyperear.DefaultBeacon(),
+		SpeakerPos:     hyperear.Vec3{X: 2 + *dist, Y: 6, Z: 1.2},
+		SpeakerSkewPPM: 20,
+		PhoneStart:     hyperear.Vec3{X: 2, Y: 6, Z: 1.2},
+		Protocol:       protocol,
+		IMU:            imu.DefaultConfig(),
+		Seed:           *seed,
+	}
+	if *threeD {
+		sc.SpeakerPos.Z = 0.5
+	}
+	regimes := map[string]hyperear.NoiseRegime{
+		"room-quiet":    hyperear.NoiseQuietRoom,
+		"room-chatting": hyperear.NoiseChatting,
+		"mall-offpeak":  hyperear.NoiseMallOffPeak,
+		"mall-busy":     hyperear.NoiseMallBusy,
+	}
+	if *noise != "none" {
+		r, ok := regimes[*noise]
+		if !ok {
+			return fmt.Errorf("unknown noise regime %q", *noise)
+		}
+		sc.Noise = r.Source()
+		sc.SNRdB = r.SNRdB()
+		if r == hyperear.NoiseMallOffPeak || r == hyperear.NoiseMallBusy {
+			sc.Env = hyperear.MallCorridor()
+		}
+	}
+
+	fmt.Printf("simulating: %s, %s mode, %s noise, speaker %.1f m away...\n",
+		phone.Name, *mode, *noise, *dist)
+	session, err := hyperear.Simulate(sc)
+	if err != nil {
+		return err
+	}
+	loc, err := hyperear.NewLocalizer(phone, sc.Source)
+	if err != nil {
+		return err
+	}
+	if *threeD {
+		fix, err := loc.Locate3D(session)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("3D fix: projected distance %.3f m (L1 %.3f, L2 %.3f, H %.3f, %d slides)\n",
+			fix.Distance, fix.L1, fix.L2, fix.H, fix.Slides)
+		fmt.Printf("estimated position: %v\n", fix.World)
+		fmt.Printf("true position:      %v\n", sc.SpeakerPos.XY())
+		fmt.Printf("error: %.1f cm\n", hyperear.Error2D(fix.World, session)*100)
+		return nil
+	}
+	fix, err := loc.Locate2D(session)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2D fix: distance %.3f m (%d slides)\n", fix.Distance, fix.Slides)
+	fmt.Printf("estimated position: %v\n", fix.World)
+	fmt.Printf("true position:      %v\n", sc.SpeakerPos.XY())
+	fmt.Printf("error: %.1f cm\n", hyperear.Error2D(fix.World, session)*100)
+	return nil
+}

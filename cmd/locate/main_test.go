@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestLocateValidation(t *testing.T) {
+	if err := run([]string{"-phone", "pixel"}); err == nil {
+		t.Error("unknown phone should error")
+	}
+	if err := run([]string{"-mode", "fly"}); err == nil {
+		t.Error("unknown mode should error")
+	}
+	if err := run([]string{"-noise", "thunder"}); err == nil {
+		t.Error("unknown noise should error")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestLocate2DSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders a full session")
+	}
+	if err := run([]string{"-dist", "3", "-seed", "2", "-noise", "none"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocate3DSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders a full session")
+	}
+	if err := run([]string{"-dist", "3", "-seed", "2", "-3d"}); err != nil {
+		t.Fatal(err)
+	}
+}

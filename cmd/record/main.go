@@ -1,0 +1,111 @@
+// Command record simulates a HyperEar session and saves it to disk as a
+// session bundle (audio.wav + imu.csv + meta.json) that cmd/replay — or
+// any external tool — can consume. The same layout can be assembled from
+// real phone captures.
+//
+// Usage:
+//
+//	record -out ./session1 [-dist 5] [-phone s4|note3] [-mode ruler|hand]
+//	       [-slides 5] [-3d] [-snr 15] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hyperear"
+	"hyperear/internal/imu"
+	"hyperear/internal/room"
+	"hyperear/internal/sessionio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "record:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	out := fs.String("out", "", "output session directory (required)")
+	dist := fs.Float64("dist", 5, "speaker distance in meters")
+	phoneName := fs.String("phone", "s4", "phone model: s4 or note3")
+	mode := fs.String("mode", "ruler", "movement mode: ruler or hand")
+	slides := fs.Int("slides", 5, "number of slides")
+	threeD := fs.Bool("3d", false, "two-stature 3D protocol")
+	snr := fs.Float64("snr", 15, "recorded SNR in dB")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	var phone hyperear.Phone
+	switch *phoneName {
+	case "s4":
+		phone = hyperear.GalaxyS4()
+	case "note3":
+		phone = hyperear.GalaxyNote3()
+	default:
+		return fmt.Errorf("unknown phone %q", *phoneName)
+	}
+	protocol := hyperear.DefaultProtocol()
+	protocol.Slides = *slides
+	switch *mode {
+	case "hand":
+		protocol.Mode = hyperear.ModeHand
+	case "ruler":
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if *threeD {
+		protocol.StatureChange = 0.45
+	}
+
+	beacon := hyperear.DefaultBeacon()
+	sc := hyperear.Scenario{
+		Env:            hyperear.MeetingRoom(),
+		Phone:          phone,
+		Source:         beacon,
+		SpeakerPos:     hyperear.Vec3{X: 2 + *dist, Y: 6, Z: 1.2},
+		PhoneStart:     hyperear.Vec3{X: 2, Y: 6, Z: 1.3},
+		SpeakerSkewPPM: 22,
+		Protocol:       protocol,
+		IMU:            imu.DefaultConfig(),
+		Noise:          room.WhiteNoise{},
+		SNRdB:          *snr,
+		Seed:           *seed,
+	}
+	if *threeD {
+		sc.SpeakerPos.Z = 0.5
+	}
+	session, err := hyperear.Simulate(sc)
+	if err != nil {
+		return err
+	}
+	bundle := &sessionio.Bundle{
+		Recording: session.Recording,
+		IMU:       session.IMU,
+		Meta: sessionio.Meta{
+			PhoneName:     phone.Name,
+			MicSeparation: phone.MicSeparation,
+			SampleRate:    phone.SampleRate,
+			ChirpLowHz:    beacon.Low,
+			ChirpHighHz:   beacon.High,
+			ChirpDurS:     beacon.Duration,
+			ChirpPeriodS:  beacon.Period,
+			TrueDistanceM: *dist,
+			Notes:         fmt.Sprintf("simulated: %s, %s mode, seed %d", phone.Name, *mode, *seed),
+		},
+	}
+	if err := sessionio.Save(*out, bundle); err != nil {
+		return err
+	}
+	fmt.Printf("saved session to %s (%.1f s audio, %d IMU samples)\n",
+		*out, float64(len(session.Recording.Mic1))/session.Recording.Fs, session.IMU.Len())
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hyperear/internal/sessionio"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders a full session")
+	}
+	dir := filepath.Join(t.TempDir(), "sess")
+	if err := run([]string{"-out", dir, "-dist", "3", "-slides", "2", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sessionio.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Meta.PhoneName != "galaxy-s4" || b.Meta.TrueDistanceM != 3 {
+		t.Errorf("meta = %+v", b.Meta)
+	}
+	if len(b.Recording.Mic1) == 0 || b.IMU.Len() == 0 {
+		t.Error("empty payload")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -out should error")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-phone", "iphone"}); err == nil {
+		t.Error("unknown phone should error")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-mode", "teleport"}); err == nil {
+		t.Error("unknown mode should error")
+	}
+}

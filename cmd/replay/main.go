@@ -1,0 +1,93 @@
+// Command replay loads a session bundle from disk (audio.wav + imu.csv +
+// meta.json — simulated by cmd/record, or assembled from a real phone
+// capture) and runs the HyperEar pipeline on it.
+//
+// Usage:
+//
+//	replay -in ./session1 [-3d]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/core"
+	"hyperear/internal/sessionio"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	in := fs.String("in", "", "session directory (required)")
+	threeD := fs.Bool("3d", false, "run the two-stature 3D pipeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	bundle, err := sessionio.Load(*in)
+	if err != nil {
+		return err
+	}
+	m := bundle.Meta
+	source := chirp.Params{
+		Low:       m.ChirpLowHz,
+		High:      m.ChirpHighHz,
+		Duration:  m.ChirpDurS,
+		Period:    m.ChirpPeriodS,
+		Amplitude: 1,
+	}
+	if err := source.Validate(); err != nil {
+		return fmt.Errorf("meta.json beacon parameters: %w", err)
+	}
+	if m.MicSeparation <= 0 {
+		return fmt.Errorf("meta.json missing micSeparationM")
+	}
+	loc, err := core.NewLocalizer(core.DefaultConfig(source, bundle.Recording.Fs, m.MicSeparation))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("session: %s, %.1f s audio at %.0f Hz, %d IMU samples\n",
+		m.PhoneName, float64(len(bundle.Recording.Mic1))/bundle.Recording.Fs,
+		bundle.Recording.Fs, bundle.IMU.Len())
+
+	if *threeD {
+		res, err := loc.Locate3D(bundle.Recording, bundle.IMU)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("3D fix: projected distance %.3f m (L1 %.3f, L2 %.3f, H %.3f)\n",
+			res.ProjectedDist, res.L1, res.L2, res.H)
+		report(m, res.ProjectedDist)
+		return nil
+	}
+	res, err := loc.Locate2D(bundle.Recording, bundle.IMU)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2D fix: distance %.3f m from %d slides (SFO %.1f ppm, %d beacons)\n",
+		res.L, len(res.Fixes), res.ASP.SFOPPM, len(res.ASP.Beacons))
+	for i, f := range res.Fixes {
+		fmt.Printf("  slide %d: L=%.3f m, D'=%.3f m, n=%d\n", i+1, f.L, f.DPrime, f.N)
+	}
+	report(m, res.L)
+	return nil
+}
+
+func report(m sessionio.Meta, got float64) {
+	if m.TrueDistanceM > 0 {
+		fmt.Printf("ground truth %.3f m -> error %.1f cm\n",
+			m.TrueDistanceM, math.Abs(got-m.TrueDistanceM)*100)
+	}
+}

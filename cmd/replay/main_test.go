@@ -1,0 +1,88 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/room"
+	"hyperear/internal/sessionio"
+	"hyperear/internal/sim"
+)
+
+func TestReplayValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -in should error")
+	}
+	if err := run([]string{"-in", filepath.Join(t.TempDir(), "nope")}); err == nil {
+		t.Error("missing bundle should error")
+	}
+}
+
+func TestReplayLocalizesStoredSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders a full session")
+	}
+	// Build a bundle directly (faster than shelling through cmd/record).
+	sc := sim.Scenario{
+		Env:            room.MeetingRoom(),
+		Phone:          mic.GalaxyS4(),
+		Source:         chirp.Default(),
+		SpeakerPos:     geom.Vec3{X: 7, Y: 6, Z: 1.2},
+		PhoneStart:     geom.Vec3{X: 3, Y: 6, Z: 1.2},
+		SpeakerSkewPPM: 18,
+		Protocol:       sim.DefaultProtocol(),
+		IMU:            imu.DefaultConfig(),
+		Noise:          room.WhiteNoise{},
+		SNRdB:          15,
+		Seed:           6,
+	}
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "sess")
+	err = sessionio.Save(dir, &sessionio.Bundle{
+		Recording: s.Recording,
+		IMU:       s.IMU,
+		Meta: sessionio.Meta{
+			PhoneName:     sc.Phone.Name,
+			MicSeparation: sc.Phone.MicSeparation,
+			SampleRate:    sc.Phone.SampleRate,
+			ChirpLowHz:    sc.Source.Low,
+			ChirpHighHz:   sc.Source.High,
+			ChirpDurS:     sc.Source.Duration,
+			ChirpPeriodS:  sc.Source.Period,
+			TrueDistanceM: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", dir}); err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+}
+
+func TestReplayRejectsBrokenMeta(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	err := sessionio.Save(dir, &sessionio.Bundle{
+		Recording: &mic.Recording{Fs: 44100, Mic1: []float64{0, 0}, Mic2: []float64{0, 0}},
+		IMU: &imu.Trace{
+			Fs:      100,
+			Accel:   []geom.Vec3{{}},
+			Gyro:    []geom.Vec3{{}},
+			Gravity: []geom.Vec3{{}},
+		},
+		Meta: sessionio.Meta{SampleRate: 44100}, // no beacon parameters
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", dir}); err == nil {
+		t.Error("missing beacon parameters should error")
+	}
+}

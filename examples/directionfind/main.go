@@ -1,0 +1,112 @@
+// Directionfind: the SDF stage in isolation — the user rolls the phone
+// one full turn and the program narrates the measured TDoA as it sweeps
+// the Figure 7 curve, announcing the two in-direction positions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hyperear"
+	"hyperear/internal/core"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/room"
+	"hyperear/internal/sim"
+)
+
+func main() {
+	phone := hyperear.GalaxyS4()
+	beacon := hyperear.DefaultBeacon()
+	user := hyperear.Vec3{X: 6, Y: 6, Z: 1.2}
+	speaker := hyperear.Vec3{X: 10, Y: 9, Z: 1.2}
+	trueBearing := hyperear.BroadsideYaw(user, speaker)
+
+	sweep, err := sim.RotationSweep(user, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := mic.Render(mic.RenderConfig{
+		Env:       hyperear.MeetingRoom(),
+		Source:    beacon,
+		SourcePos: speaker,
+		Phone:     phone,
+		Traj:      sweep,
+		Noise:     room.WhiteNoise{},
+		SNRdB:     15,
+		Seed:      3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	imuCfg := imu.DefaultConfig()
+	imuCfg.Seed = 4
+	trace, err := imu.Sample(sweep, imuCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	asp, err := core.NewASP(beacon, phone.SampleRate, core.DefaultASPConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := asp.Process(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	yaws := imu.IntegrateYaw(trace, 0)
+	yawAt := func(t float64) float64 {
+		i := int(t * trace.Fs)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(yaws) {
+			i = len(yaws) - 1
+		}
+		return yaws[i]
+	}
+
+	fmt.Printf("rolling the phone: %d beacons heard during the sweep\n", len(res.Beacons))
+	fmt.Println("  yaw (°)   TDoA (ms)   hint")
+	maxT := phone.MicSeparation / hyperear.MeetingRoom().SpeedOfSound() * 1000
+	for i, b := range res.Beacons {
+		if i%3 != 0 {
+			continue
+		}
+		yaw := yawAt(b.T1) * 180 / math.Pi
+		tdoa := b.TDoA() * 1000
+		bar := hintBar(tdoa, maxT)
+		fmt.Printf("  %7.1f   %+8.4f   %s\n", yaw, tdoa, bar)
+	}
+
+	sdf := core.FindDirection(res.Beacons, yawAt, +1)
+	if len(sdf.Fixes) == 0 {
+		log.Fatal("no in-direction position found")
+	}
+	fmt.Println("\nin-direction positions (TDoA zero crossings):")
+	for _, f := range sdf.Fixes {
+		side := "+x (right of phone)"
+		if !f.PositiveX {
+			side = "-x (left of phone)"
+		}
+		fmt.Printf("  t=%.2f s  yaw %.1f°  speaker on %s  => bearing %.1f°\n",
+			f.Time, f.Yaw*180/math.Pi, side, f.BearingWorld*180/math.Pi)
+	}
+	fmt.Printf("true bearing: %.1f°\n", trueBearing*180/math.Pi)
+}
+
+// hintBar renders the rolling instruction a real app would display:
+// "keep rolling" vs "stop here".
+func hintBar(tdoaMS, maxMS float64) string {
+	frac := math.Abs(tdoaMS) / maxMS
+	switch {
+	case frac < 0.05:
+		return "<<< STOP: in direction >>>"
+	case frac < 0.3:
+		return "almost there"
+	default:
+		return "keep rolling"
+	}
+}

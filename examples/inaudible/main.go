@@ -1,0 +1,63 @@
+// Inaudible: the paper's future-work beacon (§IX) end to end — an
+// 18-21.5 kHz near-ultrasonic chirp nobody in the room can hear, captured
+// at 48 kHz through a microphone with realistic high-frequency roll-off,
+// localized with a response-calibrated matched filter. Run side by side
+// with the audible beacon on the same geometry to see the cost of going
+// silent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperear"
+	"hyperear/internal/imu"
+	"hyperear/internal/room"
+)
+
+func main() {
+	speaker := hyperear.Vec3{X: 9, Y: 6, Z: 1.2}
+	user := hyperear.Vec3{X: 4, Y: 6, Z: 1.2}
+
+	type setup struct {
+		name   string
+		phone  hyperear.Phone
+		beacon hyperear.Beacon
+	}
+	setups := []setup{
+		{"audible 2-6.4 kHz @44.1 kHz", hyperear.GalaxyS4(), hyperear.DefaultBeacon()},
+		{"inaudible 18-21.5 kHz @48 kHz", hyperear.GalaxyS4().HiResVariant(), hyperear.InaudibleBeacon()},
+	}
+	for _, su := range setups {
+		scenario := hyperear.Scenario{
+			Env:            hyperear.MeetingRoom(),
+			Phone:          su.phone,
+			Source:         su.beacon,
+			SpeakerPos:     speaker,
+			PhoneStart:     user,
+			SpeakerSkewPPM: 20,
+			Protocol:       hyperear.DefaultProtocol(),
+			IMU:            imu.DefaultConfig(),
+			Noise:          room.WhiteNoise{},
+			SNRdB:          15,
+			Seed:           17,
+		}
+		session, err := hyperear.Simulate(scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loc, err := hyperear.NewLocalizer(su.phone, su.beacon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fix, err := loc.Locate2D(session)
+		if err != nil {
+			log.Fatalf("%s: %v", su.name, err)
+		}
+		fmt.Printf("%-32s distance %.2f m, error %5.1f cm (%d slides)\n",
+			su.name, fix.Distance, hyperear.Error2D(fix.World, session)*100, fix.Slides)
+	}
+	fmt.Println("\nthe inaudible beacon pays for silence with ~8 dB of microphone")
+	fmt.Println("roll-off and a narrower fractional bandwidth — still decimeter-class,")
+	fmt.Println("exactly the trade the paper's future-work section anticipated.")
+}

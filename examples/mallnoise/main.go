@@ -1,0 +1,78 @@
+// Mallnoise: robustness sweep across the paper's four background-noise
+// regimes (Figure 19's setting) — the same 7 m free-hand localization run
+// in a quiet room, a chatting room, a mall with music, and a busy mall.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hyperear"
+	"hyperear/internal/imu"
+	"hyperear/internal/stats"
+)
+
+func main() {
+	regimes := []hyperear.NoiseRegime{
+		hyperear.NoiseQuietRoom,
+		hyperear.NoiseChatting,
+		hyperear.NoiseMallOffPeak,
+		hyperear.NoiseMallBusy,
+	}
+	const trials = 5
+
+	fmt.Println("3D localization at 7 m, Galaxy S4 in hand, 5 trials per regime")
+	for _, regime := range regimes {
+		env := hyperear.MeetingRoom()
+		if regime == hyperear.NoiseMallOffPeak || regime == hyperear.NoiseMallBusy {
+			env = hyperear.MallCorridor()
+		}
+		var errs []float64
+		failed := 0
+		for trial := 0; trial < trials; trial++ {
+			scenario := hyperear.Scenario{
+				Env:            env,
+				Phone:          hyperear.GalaxyS4(),
+				Source:         hyperear.DefaultBeacon(),
+				SpeakerPos:     hyperear.Vec3{X: 12, Y: 8, Z: 1.2},
+				PhoneStart:     hyperear.Vec3{X: 5, Y: 8, Z: 1.3},
+				SpeakerSkewPPM: 25,
+				Protocol: hyperear.Protocol{
+					SlideDist:     0.55,
+					SlideDur:      1.0,
+					HoldDur:       0.45,
+					Slides:        10,
+					Mode:          hyperear.ModeHand,
+					StatureChange: 0.4,
+				},
+				IMU:   imu.DefaultConfig(),
+				Noise: regime.Source(),
+				SNRdB: regime.SNRdB(),
+				Seed:  int64(100*int(regime) + trial),
+			}
+			session, err := hyperear.Simulate(scenario)
+			if err != nil {
+				log.Fatal(err)
+			}
+			loc, err := hyperear.NewLocalizer(scenario.Phone, scenario.Source)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fix, err := loc.Locate3D(session)
+			if err != nil {
+				failed++
+				continue
+			}
+			errs = append(errs, hyperear.Error2D(fix.World, session))
+		}
+		s := stats.Summarize(errs)
+		fmt.Printf("%-14s (SNR %4.0f dB): %s", regime, regime.SNRdB(), s)
+		if failed > 0 {
+			fmt.Printf("  failed=%d", failed)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nexpect: voice barely hurts (filtered out), mall music costs a little,")
+	fmt.Println("busy-hour broadband noise costs the most — the paper's worst case is")
+	fmt.Println("a 37.2 cm mean at 3 dB SNR.")
+}

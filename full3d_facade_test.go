@@ -1,0 +1,73 @@
+package hyperear
+
+import (
+	"math"
+	"testing"
+
+	"hyperear/internal/imu"
+	"hyperear/internal/room"
+)
+
+// TestFacadeLocateFull3D runs the full-3D extension through the public
+// API on a standard two-stature session: the single stature change plus
+// the horizontal slides give enough geometric diversity to recover the
+// speaker's height as well as its floor position.
+func TestFacadeLocateFull3D(t *testing.T) {
+	sc := Scenario{
+		Env:            MeetingRoom(),
+		Phone:          GalaxyS4(),
+		Source:         DefaultBeacon(),
+		SpeakerPos:     Vec3{X: 9, Y: 6, Z: 0.5},
+		SpeakerSkewPPM: 20,
+		PhoneStart:     Vec3{X: 5, Y: 6, Z: 1.3},
+		Protocol: Protocol{
+			SlideDist:     0.55,
+			SlideDur:      1.0,
+			HoldDur:       0.5,
+			CalibHold:     3,
+			Slides:        6,
+			Mode:          ModeRuler,
+			StatureChange: -0.5,
+		},
+		IMU:   imu.DefaultConfig(),
+		Noise: room.WhiteNoise{},
+		SNRdB: 18,
+		Seed:  71,
+	}
+	s, err := Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(sc.Phone, sc.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := loc.LocateFull3D(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Floor-map accuracy.
+	if e := fix.World.XY().Dist(sc.SpeakerPos.XY()); e > 0.6 {
+		t.Errorf("full-3D planar error = %.2f m (fix %+v)", e, fix)
+	}
+	// Height: the novel output. Speaker at 0.5 m, phone starts at 1.3 m.
+	if math.Abs(fix.World.Z-0.5) > 0.5 {
+		t.Errorf("height estimate = %.2f m, want ≈0.5 m", fix.World.Z)
+	}
+	if fix.Observations < 10 {
+		t.Errorf("observations = %d", fix.Observations)
+	}
+	if fix.RMSResidual > 0.05 {
+		t.Errorf("rms residual = %.3f m, suspiciously large", fix.RMSResidual)
+	}
+}
+
+func TestFacadeLocateFull3DNilSession(t *testing.T) {
+	loc, err := NewLocalizer(GalaxyS4(), DefaultBeacon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loc.LocateFull3D(nil); err == nil {
+		t.Error("nil session should error")
+	}
+}

@@ -1,0 +1,3 @@
+module hyperear
+
+go 1.22

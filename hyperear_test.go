@@ -1,0 +1,144 @@
+package hyperear
+
+import (
+	"math"
+	"testing"
+
+	"hyperear/internal/imu"
+	"hyperear/internal/room"
+)
+
+func testScenario(seed int64) Scenario {
+	return Scenario{
+		Env:            MeetingRoom(),
+		Phone:          GalaxyS4(),
+		Source:         DefaultBeacon(),
+		SpeakerPos:     Vec3{X: 9, Y: 6, Z: 1.2},
+		SpeakerSkewPPM: 20,
+		PhoneStart:     Vec3{X: 5, Y: 6, Z: 1.2},
+		Protocol:       DefaultProtocol(),
+		IMU:            imu.DefaultConfig(),
+		Noise:          room.WhiteNoise{},
+		SNRdB:          18,
+		Seed:           seed,
+	}
+}
+
+func TestFacadeLocate2D(t *testing.T) {
+	sc := testScenario(7)
+	s, err := Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(sc.Phone, sc.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := loc.Locate2D(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.Slides < 3 {
+		t.Errorf("slides = %d, want ≥3", fix.Slides)
+	}
+	if e := Error2D(fix.World, s); e > 0.4 {
+		t.Errorf("2D error = %.3f m at 4 m, want < 0.4", e)
+	}
+	if math.Abs(fix.Distance-4) > 0.4 {
+		t.Errorf("distance = %v, want ≈4", fix.Distance)
+	}
+}
+
+func TestFacadeLocate3D(t *testing.T) {
+	sc := testScenario(8)
+	sc.SpeakerPos.Z = 0.5
+	sc.Protocol.Slides = 6
+	sc.Protocol.StatureChange = -0.45
+	s, err := Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(sc.Phone, sc.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := loc.Locate3D(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueProj := sc.SpeakerPos.Sub(sc.PhoneStart).XY().Norm()
+	if math.Abs(fix.Distance-trueProj) > 0.6 {
+		t.Errorf("projected distance = %v, want ≈%v (L1=%v L2=%v H=%v)",
+			fix.Distance, trueProj, fix.L1, fix.L2, fix.H)
+	}
+	if fix.Slides < 2 {
+		t.Errorf("slides = %d", fix.Slides)
+	}
+}
+
+func TestFacadeNilSession(t *testing.T) {
+	loc, err := NewLocalizer(GalaxyS4(), DefaultBeacon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loc.Locate2D(nil); err == nil {
+		t.Error("nil session should error")
+	}
+	if _, err := loc.Locate3D(nil); err == nil {
+		t.Error("nil session should error")
+	}
+}
+
+func TestFacadeInvalidConfig(t *testing.T) {
+	if _, err := NewLocalizer(Phone{}, DefaultBeacon()); err == nil {
+		t.Error("zero phone should error")
+	}
+	if _, err := NewLocalizerConfig(Config{}); err == nil {
+		t.Error("zero config should error")
+	}
+}
+
+func TestNoiseRegimeConstants(t *testing.T) {
+	regimes := []NoiseRegime{NoiseQuietRoom, NoiseChatting, NoiseMallOffPeak, NoiseMallBusy}
+	prev := math.Inf(1)
+	for _, r := range regimes {
+		if r.SNRdB() >= prev {
+			t.Errorf("regimes should be ordered by decreasing SNR: %v", regimes)
+		}
+		prev = r.SNRdB()
+	}
+}
+
+func TestCheckLineOfSight(t *testing.T) {
+	sc := testScenario(9)
+	s, err := Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(sc.Phone, sc.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := loc.CheckLineOfSight(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict != LoSLikely {
+		t.Errorf("clean session verdict = %v (%v)", a.Verdict, a.Reasons)
+	}
+	// A silenced recording must not return LoSLikely.
+	for i := range s.Recording.Mic1 {
+		s.Recording.Mic1[i] = 0
+		s.Recording.Mic2[i] = 0
+	}
+	a, err = loc.CheckLineOfSight(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Verdict == LoSLikely {
+		t.Errorf("silent session verdict = %v", a.Verdict)
+	}
+	if _, err := loc.CheckLineOfSight(nil); err == nil {
+		t.Error("nil session should error")
+	}
+}

@@ -1,0 +1,94 @@
+package hyperear
+
+import (
+	"testing"
+
+	"hyperear/internal/imu"
+	"hyperear/internal/room"
+)
+
+// TestInaudibleBeaconEndToEnd runs the paper's future-work configuration
+// through the full pipeline: an 18-21.5 kHz chirp captured at 48 kHz
+// through a microphone with 8 dB of high-frequency roll-off, localized
+// with the response-calibrated matched filter.
+func TestInaudibleBeaconEndToEnd(t *testing.T) {
+	phone := GalaxyS4().HiResVariant()
+	beacon := InaudibleBeacon()
+	sc := Scenario{
+		Env:            MeetingRoom(),
+		Phone:          phone,
+		Source:         beacon,
+		SpeakerPos:     Vec3{X: 9, Y: 6, Z: 1.2},
+		SpeakerSkewPPM: 20,
+		PhoneStart:     Vec3{X: 5, Y: 6, Z: 1.2},
+		Protocol:       DefaultProtocol(),
+		IMU:            imu.DefaultConfig(),
+		Noise:          room.WhiteNoise{},
+		SNRdB:          15,
+		Seed:           31,
+	}
+	s, err := Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(phone, beacon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fix, err := loc.Locate2D(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fix.Slides < 3 {
+		t.Errorf("slides = %d, want ≥3", fix.Slides)
+	}
+	// The near-ultrasonic beacon has less bandwidth and eats an ~8 dB
+	// roll-off, so allow a wider envelope than the audible beacon's.
+	if e := Error2D(fix.World, s); e > 1.0 {
+		t.Errorf("inaudible 2D error at 4 m = %.2f m, want < 1.0 m", e)
+	}
+}
+
+// TestInaudibleVsAudibleAccuracy documents the expected ordering: the
+// audible beacon, with its wider fractional bandwidth and no roll-off
+// penalty, should localize at least as well as the inaudible one on the
+// same geometry and seed.
+func TestInaudibleVsAudibleAccuracy(t *testing.T) {
+	run := func(phone Phone, beacon Beacon) float64 {
+		sc := Scenario{
+			Env:            MeetingRoom(),
+			Phone:          phone,
+			Source:         beacon,
+			SpeakerPos:     Vec3{X: 9, Y: 6, Z: 1.2},
+			SpeakerSkewPPM: 20,
+			PhoneStart:     Vec3{X: 5, Y: 6, Z: 1.2},
+			Protocol:       DefaultProtocol(),
+			IMU:            imu.DefaultConfig(),
+			Noise:          room.WhiteNoise{},
+			SNRdB:          15,
+			Seed:           32,
+		}
+		s, err := Simulate(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loc, err := NewLocalizer(phone, beacon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fix, err := loc.Locate2D(s)
+		if err != nil {
+			t.Fatalf("%s: %v", phone.Name, err)
+		}
+		return Error2D(fix.World, s)
+	}
+	audible := run(GalaxyS4(), DefaultBeacon())
+	inaudible := run(GalaxyS4().HiResVariant(), InaudibleBeacon())
+	t.Logf("audible error %.1f cm, inaudible error %.1f cm", audible*100, inaudible*100)
+	if audible > 0.4 {
+		t.Errorf("audible error %.2f m unexpectedly large", audible)
+	}
+	if inaudible > 1.0 {
+		t.Errorf("inaudible error %.2f m unexpectedly large", inaudible)
+	}
+}

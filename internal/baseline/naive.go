@@ -1,0 +1,150 @@
+// Package baseline implements the "naive" localization scheme HyperEar is
+// compared against in Section II of the paper: the phone measures one
+// quantized TDoA across its own two microphones at position p1, is moved a
+// known distance to p2, measures a second quantized TDoA, and intersects
+// the two hyperbolas. Its error is dominated by TDoA quantization — the
+// 13-15 cm mic baseline yields only ~35 distinguishable hyperbolas at
+// 44.1 kHz, so the ambiguity regions grow to meters a few meters out
+// (the paper quotes errors up to 18.6 cm at 1 m and 266.7 cm at 5 m for a
+// Galaxy S4). HyperEar's sliding scheme exists precisely to beat this.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hyperear/internal/geom"
+)
+
+// QuantizeTDoA rounds an exact time difference to the ADC sampling grid
+// 1/fs — the §II-C resolution limit.
+func QuantizeTDoA(tdoa, fs float64) float64 {
+	return math.Round(tdoa*fs) / fs
+}
+
+// Measurement is one two-mic TDoA observation at a known phone position.
+type Measurement struct {
+	// Mic1 and Mic2 are the microphone world positions (2D).
+	Mic1, Mic2 geom.Vec2
+	// TDoA is the measured (quantized) t1 - t2 in seconds.
+	TDoA float64
+}
+
+// Observe produces the quantized measurement a phone with mics at m1, m2
+// makes of a source at src.
+func Observe(src, m1, m2 geom.Vec2, fs, sos float64) Measurement {
+	tdoa := (src.Dist(m1) - src.Dist(m2)) / sos
+	return Measurement{Mic1: m1, Mic2: m2, TDoA: QuantizeTDoA(tdoa, fs)}
+}
+
+// Localize intersects the two measurement hyperbolas. guess seeds the
+// solver. Because the TDoAs are quantized, the returned point is the exact
+// intersection of the *quantized* hyperbolas — its distance to the true
+// source is the naive scheme's ambiguity error.
+func Localize(a, b Measurement, sos float64, guess geom.Vec2) (geom.Vec2, error) {
+	h1 := geom.Hyperbola{F1: a.Mic1, F2: a.Mic2, Delta: a.TDoA * sos}
+	h2 := geom.Hyperbola{F1: b.Mic1, F2: b.Mic2, Delta: b.TDoA * sos}
+	// Clamp quantized deltas onto the valid branch: rounding can push
+	// |Δd| marginally past the focal distance for near-endfire sources.
+	h1.Delta = clampDelta(h1.Delta, h1.F1.Dist(h1.F2))
+	h2.Delta = clampDelta(h2.Delta, h2.F1.Dist(h2.F2))
+	p, err := geom.IntersectHyperbolas(h1, h2, guess)
+	if err != nil {
+		return geom.Vec2{}, fmt.Errorf("baseline: %w", err)
+	}
+	return p, nil
+}
+
+func clampDelta(delta, focal float64) float64 {
+	if delta > focal {
+		return focal
+	}
+	if delta < -focal {
+		return -focal
+	}
+	return delta
+}
+
+// Config describes the Monte-Carlo setup of the naive scheme.
+type Config struct {
+	// MicSeparation is the phone's D in meters.
+	MicSeparation float64
+	// SampleRate is the ADC rate in Hz.
+	SampleRate float64
+	// SpeedOfSound in m/s.
+	SpeedOfSound float64
+	// MoveDist is the known displacement between the two measurement
+	// positions in meters.
+	MoveDist float64
+}
+
+// DefaultConfig returns the Galaxy S4 naive-scheme setup with a 30 cm
+// phone move.
+func DefaultConfig() Config {
+	return Config{
+		MicSeparation: 0.1366,
+		SampleRate:    44100,
+		SpeedOfSound:  geom.SpeedOfSound,
+		MoveDist:      0.30,
+	}
+}
+
+// Trial runs one naive localization: the phone (mics along the y axis,
+// centered at the origin) observes a source at range r and bearing theta
+// (radians from the x axis), moves MoveDist along +y, observes again, and
+// triangulates. It returns the position error in meters.
+func Trial(cfg Config, r, theta float64) (float64, error) {
+	src := geom.Vec2{X: r * math.Cos(theta), Y: r * math.Sin(theta)}
+	d := cfg.MicSeparation
+	m1a := geom.Vec2{Y: +d / 2}
+	m2a := geom.Vec2{Y: -d / 2}
+	m1b := geom.Vec2{Y: +d/2 + cfg.MoveDist}
+	m2b := geom.Vec2{Y: -d/2 + cfg.MoveDist}
+	obsA := Observe(src, m1a, m2a, cfg.SampleRate, cfg.SpeedOfSound)
+	obsB := Observe(src, m1b, m2b, cfg.SampleRate, cfg.SpeedOfSound)
+	est, err := Localize(obsA, obsB, cfg.SpeedOfSound, geom.Vec2{X: r, Y: 0})
+	if err != nil {
+		return 0, err
+	}
+	// Fold the mirror solution (x < 0) onto the positive half plane the
+	// true source occupies.
+	if est.X < 0 {
+		est.X = -est.X
+	}
+	return est.Dist(src), nil
+}
+
+// Errors is a Monte-Carlo error sample at one range.
+type Errors struct {
+	Range  float64
+	Mean   float64
+	Max    float64
+	Failed int
+	Sample []float64
+}
+
+// Sweep runs trials random-bearing naive localizations at range r.
+// Bearings are drawn within ±60° of broadside, the regime a user would
+// naturally hold the phone in.
+func Sweep(cfg Config, r float64, trials int, rng *rand.Rand) Errors {
+	out := Errors{Range: r}
+	var sum float64
+	for i := 0; i < trials; i++ {
+		theta := geom.Radians(-60 + 120*rng.Float64())
+		e, err := Trial(cfg, r, theta)
+		if err != nil {
+			out.Failed++
+			continue
+		}
+		out.Sample = append(out.Sample, e)
+		sum += e
+		if e > out.Max {
+			out.Max = e
+		}
+	}
+	if len(out.Sample) > 0 {
+		out.Mean = sum / float64(len(out.Sample))
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hyperear/internal/geom"
+)
+
+func TestQuantizeTDoA(t *testing.T) {
+	fs := 44100.0
+	step := 1 / fs
+	if got := QuantizeTDoA(0, fs); got != 0 {
+		t.Errorf("quantize(0) = %v", got)
+	}
+	if got := QuantizeTDoA(step*3.4, fs); math.Abs(got-step*3) > 1e-15 {
+		t.Errorf("quantize(3.4 steps) = %v, want 3 steps", got)
+	}
+	if got := QuantizeTDoA(-step*2.6, fs); math.Abs(got+step*3) > 1e-15 {
+		t.Errorf("quantize(-2.6 steps) = %v, want -3 steps", got)
+	}
+}
+
+func TestObserveQuantizes(t *testing.T) {
+	src := geom.Vec2{X: 3, Y: 0.7}
+	m1 := geom.Vec2{Y: 0.07}
+	m2 := geom.Vec2{Y: -0.07}
+	fs, sos := 44100.0, 343.0
+	obs := Observe(src, m1, m2, fs, sos)
+	exact := (src.Dist(m1) - src.Dist(m2)) / sos
+	if math.Abs(obs.TDoA-exact) > 0.5/fs {
+		t.Errorf("quantized TDoA %v too far from exact %v", obs.TDoA, exact)
+	}
+	// Must lie exactly on the grid.
+	if r := obs.TDoA * fs; math.Abs(r-math.Round(r)) > 1e-9 {
+		t.Errorf("TDoA %v not on grid", obs.TDoA)
+	}
+}
+
+func TestLocalizeWithUnquantizedTDoAIsExact(t *testing.T) {
+	// With infinite sampling rate the naive scheme is exact: sanity-check
+	// the geometry before testing quantization effects.
+	cfg := DefaultConfig()
+	cfg.SampleRate = 1e12
+	src := geom.Vec2{X: 4, Y: 0.5}
+	d := cfg.MicSeparation
+	a := Observe(src, geom.Vec2{Y: d / 2}, geom.Vec2{Y: -d / 2}, cfg.SampleRate, cfg.SpeedOfSound)
+	b := Observe(src, geom.Vec2{Y: d/2 + 0.3}, geom.Vec2{Y: -d/2 + 0.3}, cfg.SampleRate, cfg.SpeedOfSound)
+	est, err := Localize(a, b, cfg.SpeedOfSound, geom.Vec2{X: 3, Y: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.X < 0 {
+		est.X = -est.X
+	}
+	if est.Dist(src) > 1e-3 {
+		t.Errorf("exact naive estimate = %v, want %v", est, src)
+	}
+}
+
+func TestTrialErrorGrowsWithRange(t *testing.T) {
+	// The §II-C observation: naive error explodes with distance. Compare
+	// mean errors at 1 m and 5 m over many bearings.
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(2))
+	e1 := Sweep(cfg, 1, 300, rng)
+	e5 := Sweep(cfg, 5, 300, rng)
+	if e1.Mean <= 0 || e5.Mean <= 0 {
+		t.Fatalf("degenerate sweeps: %v %v", e1.Mean, e5.Mean)
+	}
+	if e5.Mean < 3*e1.Mean {
+		t.Errorf("naive error should grow strongly with range: 1m=%.3f 5m=%.3f", e1.Mean, e5.Mean)
+	}
+	// Order-of-magnitude agreement with the paper's worst cases:
+	// ~0.19 m at 1 m and ~2.7 m at 5 m. The mean at 1 m is centimeters
+	// to decimeters (the max can exceed it near the ±60° bearing edge,
+	// where the geometry degenerates).
+	if e1.Mean < 0.005 || e1.Mean > 0.5 {
+		t.Errorf("1 m mean error = %.3f m, expected cm-dm scale", e1.Mean)
+	}
+	if e5.Max < 0.8 {
+		t.Errorf("5 m max error = %.3f m, expected meter scale", e5.Max)
+	}
+}
+
+func TestSweepReportsFailures(t *testing.T) {
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(3))
+	e := Sweep(cfg, 3, 100, rng)
+	if len(e.Sample)+e.Failed != 100 {
+		t.Errorf("samples %d + failed %d != trials", len(e.Sample), e.Failed)
+	}
+}
+
+func TestClampDelta(t *testing.T) {
+	if got := clampDelta(0.5, 0.3); got != 0.3 {
+		t.Errorf("clamp high = %v", got)
+	}
+	if got := clampDelta(-0.5, 0.3); got != -0.3 {
+		t.Errorf("clamp low = %v", got)
+	}
+	if got := clampDelta(0.1, 0.3); got != 0.1 {
+		t.Errorf("clamp pass = %v", got)
+	}
+}
+
+func BenchmarkNaiveTrial(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Trial(cfg, 3, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

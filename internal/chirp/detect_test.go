@@ -1,0 +1,188 @@
+package chirp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synth renders beacons into a buffer of n samples at fs, with the first
+// beacon arriving at delay seconds, plus white noise of the given RMS.
+func synth(p Params, fs float64, n int, delay, noiseRMS float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		t := float64(i)/fs - delay
+		x[i] = p.Eval(t) + noiseRMS*rng.NormFloat64()
+	}
+	return x
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(Params{}, 44100); err == nil {
+		t.Error("invalid params should error")
+	}
+	p := Default()
+	if _, err := NewDetector(p, 10000); err == nil {
+		t.Error("sub-Nyquist fs should error")
+	}
+	if _, err := NewDetector(p, 44100); err != nil {
+		t.Errorf("valid config: %v", err)
+	}
+}
+
+func TestDetectCleanBeacons(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	delay := 0.0137
+	x := synth(p, fs, int(fs), delay, 0, 1) // 1 s: beacons at delay + k·0.2
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := d.Detect(x)
+	if len(dets) != 5 {
+		t.Fatalf("detected %d beacons, want 5", len(dets))
+	}
+	for k, det := range dets {
+		want := delay + float64(k)*p.Period
+		if math.Abs(det.Time-want) > 0.0002 {
+			t.Errorf("beacon %d at %v s, want %v", k, det.Time, want)
+		}
+	}
+}
+
+func TestDetectSubSampleAccuracy(t *testing.T) {
+	// With no noise the interpolated arrival should be accurate well below
+	// one sample period (22.7 µs).
+	p := Default()
+	fs := 44100.0
+	delay := 0.0100003 // deliberately off-grid
+	x := synth(p, fs, 1<<15, delay, 0, 2)
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := d.Detect(x)
+	if len(dets) == 0 {
+		t.Fatal("no detections")
+	}
+	if got := math.Abs(dets[0].Time - delay); got > 10e-6 {
+		t.Errorf("sub-sample error %v s, want < 10 µs", got)
+	}
+}
+
+func TestDetectUnderNoise(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	delay := 0.02
+	// Strong noise: RMS comparable to chirp amplitude.
+	x := synth(p, fs, int(fs), delay, 0.7, 3)
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := d.Detect(x)
+	if len(dets) != 5 {
+		t.Fatalf("detected %d beacons under noise, want 5", len(dets))
+	}
+	for k, det := range dets {
+		want := delay + float64(k)*p.Period
+		if math.Abs(det.Time-want) > 0.001 {
+			t.Errorf("beacon %d at %v s, want ≈%v", k, det.Time, want)
+		}
+	}
+}
+
+func TestDetectPureNoiseRejects(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, int(fs))
+	for i := range x {
+		x[i] = 0.5 * rng.NormFloat64()
+	}
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dets := d.Detect(x); len(dets) != 0 {
+		t.Errorf("pure noise produced %d detections, want 0", len(dets))
+	}
+}
+
+func TestDetectShortInput(t *testing.T) {
+	p := Default()
+	d, err := NewDetector(p, 44100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dets := d.Detect(make([]float64, 10)); dets != nil {
+		t.Errorf("short input should return nil, got %v", dets)
+	}
+}
+
+func TestDetectMinSeparation(t *testing.T) {
+	// Detections must be spaced by at least MinSeparation even when
+	// correlation sidelobes are strong.
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, int(fs), 0.01, 0.1, 5)
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := d.Detect(x)
+	for i := 1; i < len(dets); i++ {
+		if dt := dets[i].Time - dets[i-1].Time; dt < d.MinSeparation {
+			t.Errorf("detections %d,%d only %v s apart (min %v)", i-1, i, dt, d.MinSeparation)
+		}
+	}
+}
+
+func TestPairBeacons(t *testing.T) {
+	a := []Detection{{Time: 0.100}, {Time: 0.300}, {Time: 0.500}}
+	b := []Detection{{Time: 0.1002}, {Time: 0.2999}, {Time: 0.9}}
+	pairs := PairBeacons(a, b, 0.002)
+	if len(pairs) != 2 {
+		t.Fatalf("paired %d, want 2", len(pairs))
+	}
+	if pairs[0][0].Time != 0.100 || pairs[0][1].Time != 0.1002 {
+		t.Errorf("pair 0 mismatch: %v", pairs[0])
+	}
+	if pairs[1][0].Time != 0.300 || pairs[1][1].Time != 0.2999 {
+		t.Errorf("pair 1 mismatch: %v", pairs[1])
+	}
+}
+
+func TestPairBeaconsEmpty(t *testing.T) {
+	if got := PairBeacons(nil, nil, 0.01); len(got) != 0 {
+		t.Errorf("expected no pairs, got %v", got)
+	}
+}
+
+func TestReferenceReturnsCopy(t *testing.T) {
+	d, err := NewDetector(Default(), 44100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Reference()
+	r[0] = 42
+	if d.Reference()[0] == 42 {
+		t.Error("Reference must return a copy")
+	}
+}
+
+func BenchmarkDetectOneSecond(b *testing.B) {
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, int(fs), 0.02, 0.3, 6)
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Detect(x)
+	}
+}

@@ -1,0 +1,116 @@
+package chirp
+
+import (
+	"math"
+)
+
+// StreamDetector is an incremental version of Detector for live capture:
+// audio arrives in arbitrary-size chunks (as from a phone's audio
+// callback) and detections are emitted with absolute timestamps as soon
+// as enough context exists to time them reliably. Internally it buffers,
+// runs the batch detector over a sliding block, and carries enough tail
+// across block boundaries that a chirp straddling two chunks is never
+// missed or double-reported.
+type StreamDetector struct {
+	det *Detector
+	fs  float64
+	// buf holds unprocessed samples; absOffset is the absolute sample
+	// index of buf[0] since the start of the stream.
+	buf       []float64
+	absOffset int
+	// blockSize is how many samples trigger a detection pass.
+	blockSize int
+	// tailKeep is how many trailing samples are carried to the next pass
+	// (a full template plus margin, so boundary chirps get a clean peak).
+	tailKeep int
+	// lastEmit is the absolute time of the last emitted detection, for
+	// cross-block dedupe.
+	lastEmit float64
+}
+
+// NewStreamDetector wraps a Detector for incremental use.
+func NewStreamDetector(p Params, fs float64) (*StreamDetector, error) {
+	det, err := NewDetector(p, fs)
+	if err != nil {
+		return nil, err
+	}
+	refLen := len(det.ref)
+	return &StreamDetector{
+		det:       det,
+		fs:        fs,
+		blockSize: 8 * refLen,
+		tailKeep:  2 * refLen,
+		lastEmit:  math.Inf(-1),
+	}, nil
+}
+
+// Push appends a chunk of samples and returns any newly confirmed
+// detections, in time order, with absolute stream timestamps.
+func (s *StreamDetector) Push(chunk []float64) []Detection {
+	s.buf = append(s.buf, chunk...)
+	var out []Detection
+	for len(s.buf) >= s.blockSize {
+		out = append(out, s.process(false)...)
+	}
+	return out
+}
+
+// Flush processes whatever remains in the buffer (end of stream) and
+// returns the final detections.
+func (s *StreamDetector) Flush() []Detection {
+	if len(s.buf) < len(s.det.ref) {
+		return nil
+	}
+	return s.process(true)
+}
+
+// process runs the batch detector on the current buffer. Unless final,
+// detections too close to the buffer end are withheld (their correlation
+// peak could still sharpen with more samples) and a tail is carried over.
+func (s *StreamDetector) process(final bool) []Detection {
+	dets := s.det.Detect(s.buf)
+	// Emission horizon: peaks must be at least one template before the
+	// buffer end to be fully formed.
+	horizon := len(s.buf) - len(s.det.ref)
+	if final {
+		horizon = len(s.buf)
+	}
+	var out []Detection
+	lastIdx := 0
+	for _, d := range dets {
+		if d.Index >= horizon {
+			continue
+		}
+		abs := d.Time + float64(s.absOffset)/s.fs
+		if abs-s.lastEmit < s.det.MinSeparation {
+			continue // already emitted in a previous overlapping block
+		}
+		d.Time = abs
+		d.Index += s.absOffset
+		out = append(out, d)
+		s.lastEmit = abs
+		lastIdx = d.Index - s.absOffset
+	}
+	if final {
+		s.buf = nil
+		return out
+	}
+	// Keep the tail: everything after the emission horizon, and at least
+	// tailKeep samples; also never drop samples before an emitted (or
+	// pending) peak's template span.
+	keepFrom := horizon
+	if len(s.buf)-s.tailKeep < keepFrom {
+		keepFrom = len(s.buf) - s.tailKeep
+	}
+	if keepFrom < lastIdx {
+		keepFrom = lastIdx
+	}
+	if keepFrom < 0 {
+		keepFrom = 0
+	}
+	s.absOffset += keepFrom
+	remaining := len(s.buf) - keepFrom
+	copy(s.buf, s.buf[keepFrom:])
+	s.buf = s.buf[:remaining]
+	return out
+}

@@ -1,0 +1,144 @@
+package chirp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewStreamDetectorValidation(t *testing.T) {
+	if _, err := NewStreamDetector(Params{}, 44100); err == nil {
+		t.Error("invalid params should error")
+	}
+	if _, err := NewStreamDetector(Default(), 44100); err != nil {
+		t.Errorf("valid config: %v", err)
+	}
+}
+
+// TestStreamMatchesBatch: feeding a long signal in random chunk sizes
+// must produce the same detections as the batch detector, with matching
+// sub-sample timestamps.
+func TestStreamMatchesBatch(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, 4*int(fs), 0.0173, 0.2, 31) // 4 s, mild noise
+
+	batchDet, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := batchDet.Detect(x)
+	if len(batch) < 15 {
+		t.Fatalf("batch detections = %d, want ≈20", len(batch))
+	}
+
+	stream, err := NewStreamDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	var got []Detection
+	pos := 0
+	for pos < len(x) {
+		n := 256 + rng.Intn(20000)
+		if pos+n > len(x) {
+			n = len(x) - pos
+		}
+		got = append(got, stream.Push(x[pos:pos+n])...)
+		pos += n
+	}
+	got = append(got, stream.Flush()...)
+
+	if len(got) != len(batch) {
+		t.Fatalf("stream found %d detections, batch %d", len(got), len(batch))
+	}
+	for i := range got {
+		if d := math.Abs(got[i].Time - batch[i].Time); d > 2e-6 {
+			t.Errorf("detection %d: stream %.7f vs batch %.7f (Δ %.2f µs)",
+				i, got[i].Time, batch[i].Time, d*1e6)
+		}
+	}
+}
+
+// TestStreamChunkSizeInvariance: 1-sample chunks and one giant chunk give
+// identical results.
+func TestStreamChunkSizeInvariance(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, int(fs), 0.021, 0, 33)
+
+	run := func(chunk int) []Detection {
+		s, err := NewStreamDetector(p, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Detection
+		for pos := 0; pos < len(x); pos += chunk {
+			end := pos + chunk
+			if end > len(x) {
+				end = len(x)
+			}
+			out = append(out, s.Push(x[pos:end])...)
+		}
+		return append(out, s.Flush()...)
+	}
+	small := run(1000)
+	big := run(len(x))
+	if len(small) != len(big) {
+		t.Fatalf("chunked %d vs whole %d detections", len(small), len(big))
+	}
+	for i := range small {
+		if math.Abs(small[i].Time-big[i].Time) > 2e-6 {
+			t.Errorf("detection %d differs: %.7f vs %.7f", i, small[i].Time, big[i].Time)
+		}
+	}
+}
+
+// TestStreamBoundaryStraddle: place a chirp exactly across a block
+// boundary and verify it is reported exactly once.
+func TestStreamBoundaryStraddle(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	s, err := NewStreamDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block size is 8 template lengths; put the chirp right at it.
+	blockStart := float64(s.blockSize-400) / fs
+	n := 2 * s.blockSize
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = p.Eval(float64(i)/fs - blockStart)
+	}
+	var dets []Detection
+	for pos := 0; pos < n; pos += 512 {
+		end := pos + 512
+		if end > n {
+			end = n
+		}
+		dets = append(dets, s.Push(x[pos:end])...)
+	}
+	dets = append(dets, s.Flush()...)
+	// Count detections near blockStart (there may be later beacons too
+	// since Eval repeats every period).
+	count := 0
+	for _, d := range dets {
+		if math.Abs(d.Time-blockStart) < 0.01 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("straddling chirp reported %d times, want 1 (all: %v)", count, dets)
+	}
+}
+
+func TestStreamFlushShortBuffer(t *testing.T) {
+	s, err := NewStreamDetector(Default(), 44100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Push(make([]float64, 100))
+	if got := s.Flush(); got != nil {
+		t.Errorf("flush of sub-template buffer = %v, want nil", got)
+	}
+}

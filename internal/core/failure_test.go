@@ -1,0 +1,223 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/room"
+	"hyperear/internal/sim"
+)
+
+// Failure-injection tests: the pipeline must degrade gracefully — usable
+// error values or explicit errors, never panics or silent garbage — when
+// the sensor data is damaged in realistic ways.
+
+func failureScenario(seed int64) sim.Scenario {
+	return sim.Scenario{
+		Env:            room.MeetingRoom(),
+		Phone:          mic.GalaxyS4(),
+		Source:         chirp.Default(),
+		SpeakerPos:     geom.Vec3{X: 8, Y: 6, Z: 1.2},
+		SpeakerSkewPPM: 25,
+		PhoneStart:     geom.Vec3{X: 4, Y: 6, Z: 1.2},
+		Protocol:       sim.DefaultProtocol(),
+		IMU:            imu.DefaultConfig(),
+		Noise:          room.WhiteNoise{},
+		SNRdB:          15,
+		Seed:           seed,
+	}
+}
+
+func localizerFor(t *testing.T, sc sim.Scenario) *Localizer {
+	t.Helper()
+	loc, err := NewLocalizer(DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loc
+}
+
+// TestFailureClippedADC: hard-clip 30% of full scale; the matched filter
+// must still find beacons and the session must still localize (clipping
+// is a gain-staging accident, not a data loss).
+func TestFailureClippedADC(t *testing.T) {
+	sc := failureScenario(501)
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := func(x []float64) {
+		for i, v := range x {
+			if v > 0.15 {
+				x[i] = 0.15
+			} else if v < -0.15 {
+				x[i] = -0.15
+			}
+		}
+	}
+	clip(s.Recording.Mic1)
+	clip(s.Recording.Mic2)
+	res, err := localizerFor(t, sc).Locate2D(s.Recording, s.IMU)
+	if err != nil {
+		t.Fatalf("clipped session failed outright: %v", err)
+	}
+	if math.Abs(res.L-4) > 1.0 {
+		t.Errorf("clipped-session L = %v, want within 1 m of 4", res.L)
+	}
+}
+
+// TestFailureMutedGap: a one-second dropout (muted microphone) removes a
+// few beacons; slides whose anchors fall in the gap are skipped but the
+// rest of the session still produces a fix.
+func TestFailureMutedGap(t *testing.T) {
+	sc := failureScenario(502)
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := int(s.Recording.Fs)
+	lo, hi := 4*fs, 5*fs
+	for i := lo; i < hi && i < len(s.Recording.Mic1); i++ {
+		s.Recording.Mic1[i] = 0
+		s.Recording.Mic2[i] = 0
+	}
+	res, err := localizerFor(t, sc).Locate2D(s.Recording, s.IMU)
+	if err != nil {
+		// Losing every usable slide is an acceptable explicit outcome.
+		if !errors.Is(err, ErrNoUsableSlides) {
+			t.Fatalf("unexpected error kind: %v", err)
+		}
+		return
+	}
+	if len(res.Fixes) >= 5 {
+		t.Errorf("gap should cost at least one slide, got %d fixes", len(res.Fixes))
+	}
+	if math.Abs(res.L-4) > 1.0 {
+		t.Errorf("gap-session L = %v, want within 1 m of 4", res.L)
+	}
+}
+
+// TestFailureSilentChannel: one microphone dead. No beacon pairs exist, so
+// ASP must return an explicit error.
+func TestFailureSilentChannel(t *testing.T) {
+	sc := failureScenario(503)
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Recording.Mic2 {
+		s.Recording.Mic2[i] = 0
+	}
+	if _, err := localizerFor(t, sc).Locate2D(s.Recording, s.IMU); err == nil {
+		t.Error("dead channel should produce an explicit error")
+	}
+}
+
+// TestFailureFrozenIMU: the accelerometer freezes (all zeros after
+// gravity). No movements segment, so localization reports no usable
+// slides instead of inventing them.
+func TestFailureFrozenIMU(t *testing.T) {
+	sc := failureScenario(504)
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.IMU.Accel {
+		s.IMU.Accel[i] = s.IMU.Gravity[i] // linear accel == 0
+	}
+	_, err = localizerFor(t, sc).Locate2D(s.Recording, s.IMU)
+	if !errors.Is(err, ErrNoUsableSlides) {
+		t.Errorf("frozen IMU should yield ErrNoUsableSlides, got %v", err)
+	}
+}
+
+// TestFailureExtremeSFO: a 2000 ppm speaker clock (broken oscillator) is
+// outside the ASP sanity window; the estimator must fall back to the
+// nominal period rather than propagate a wild fit, and the session still
+// completes (with degraded accuracy).
+func TestFailureExtremeSFO(t *testing.T) {
+	sc := failureScenario(505)
+	sc.SpeakerSkewPPM = 2000
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := localizerFor(t, sc).Locate2D(s.Recording, s.IMU)
+	if err != nil {
+		// Complete failure is acceptable for a broken beacon; explicit.
+		return
+	}
+	if res.ASP.PeriodEff != sc.Source.Period {
+		// The estimator may legitimately capture a 2000 ppm skew if the
+		// fit is stable; either way PeriodEff must stay within 1%.
+		if math.Abs(res.ASP.PeriodEff/sc.Source.Period-1) > 0.01 {
+			t.Errorf("period estimate %v too far from nominal", res.ASP.PeriodEff)
+		}
+	}
+}
+
+// TestFailureNLoS: the direct path is fully blocked (only reflections
+// arrive). The detector still fires on the strongest reflection, but the
+// geometry is wrong; the pipeline must not crash and the result, if any,
+// is understood to be degraded. We assert only on well-formed behavior.
+func TestFailureNLoS(t *testing.T) {
+	sc := failureScenario(506)
+	// Emulate NLoS by rendering with reflections only: crank reflection
+	// order and zero the direct gain via a custom environment where the
+	// "direct" is heavily attenuated (occlusion ≈ -25 dB).
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occlude: subtract a rendered free-field direct-path-only copy at
+	// ~94% amplitude. Simpler proxy: attenuate the whole recording and
+	// add a delayed copy (a strong late reflection).
+	fs := int(s.Recording.Fs)
+	delay := int(0.004 * float64(fs)) // +1.4 m path
+	for _, ch := range [][]float64{s.Recording.Mic1, s.Recording.Mic2} {
+		orig := make([]float64, len(ch))
+		copy(orig, ch)
+		for i := range ch {
+			ch[i] *= 0.06
+			if i >= delay {
+				ch[i] += 0.5 * orig[i-delay]
+			}
+		}
+	}
+	res, err := localizerFor(t, sc).Locate2D(s.Recording, s.IMU)
+	if err != nil {
+		return // explicit failure is fine
+	}
+	if math.IsNaN(res.L) || res.L < 0 {
+		t.Errorf("NLoS produced malformed L = %v", res.L)
+	}
+}
+
+// TestFailureTruncatedIMU: the IMU trace ends early (app lifecycle bug);
+// slides past the truncation are lost but behavior stays well-formed.
+func TestFailureTruncatedIMU(t *testing.T) {
+	sc := failureScenario(507)
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := s.IMU.Len() / 2
+	s.IMU.Accel = s.IMU.Accel[:half]
+	s.IMU.Gyro = s.IMU.Gyro[:half]
+	s.IMU.Gravity = s.IMU.Gravity[:half]
+	res, err := localizerFor(t, sc).Locate2D(s.Recording, s.IMU)
+	if err != nil {
+		if !errors.Is(err, ErrNoUsableSlides) {
+			t.Fatalf("unexpected error kind: %v", err)
+		}
+		return
+	}
+	if len(res.Fixes) >= 5 {
+		t.Errorf("truncated IMU should lose slides, got %d fixes", len(res.Fixes))
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/motion"
+	"hyperear/internal/room"
+	"hyperear/internal/sim"
+)
+
+func TestSolveFull3DExact(t *testing.T) {
+	// Synthetic observations from a known speaker position.
+	spk := geom.Vec3{X: 5, Y: 0.3, Z: -0.6}
+	mk := func(before, after geom.Vec3) SlideObservation {
+		return SlideObservation{
+			Before: before,
+			After:  after,
+			DeltaD: spk.Dist(after) - spk.Dist(before),
+		}
+	}
+	obs := []SlideObservation{
+		mk(geom.Vec3{Y: 0.07}, geom.Vec3{Y: 0.62}),
+		mk(geom.Vec3{Y: -0.07}, geom.Vec3{Y: 0.48}),
+		mk(geom.Vec3{Y: 0.07}, geom.Vec3{Y: 0.07, Z: 0.45}),
+		mk(geom.Vec3{Y: -0.07}, geom.Vec3{Y: -0.07, Z: 0.45}),
+	}
+	got, err := SolveFull3D(obs, geom.Vec3{X: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(spk) > 1e-5 {
+		t.Errorf("solution = %v, want %v (err %.2f mm)", got, spk, got.Dist(spk)*1000)
+	}
+}
+
+func TestSolveFull3DUnderdetermined(t *testing.T) {
+	if _, err := SolveFull3D(nil, geom.Vec3{}); err == nil {
+		t.Error("no observations should error")
+	}
+	obs := []SlideObservation{
+		{Before: geom.Vec3{}, After: geom.Vec3{Y: 0.5}},
+		{Before: geom.Vec3{}, After: geom.Vec3{Y: 0.5}},
+	}
+	if _, err := SolveFull3D(obs, geom.Vec3{X: 3}); err == nil {
+		t.Error("two observations should error")
+	}
+}
+
+func TestSolve3(t *testing.T) {
+	a := [3][3]float64{{2, 0, 0}, {0, 3, 0}, {0, 0, 4}}
+	x, ok := solve3(a, [3]float64{2, 6, 12})
+	if !ok || x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Errorf("solve3 = %v ok=%v", x, ok)
+	}
+	singular := [3][3]float64{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}}
+	if _, ok := solve3(singular, [3]float64{1, 2, 3}); ok {
+		t.Error("singular system should fail")
+	}
+}
+
+// TestLocateFull3DEndToEnd renders a mixed-direction session (horizontal
+// + vertical slides) and recovers the speaker's complete 3D position in
+// the start body frame.
+func TestLocateFull3DEndToEnd(t *testing.T) {
+	phone := mic.GalaxyS4()
+	src := chirp.Default()
+	env := room.MeetingRoom()
+	start := geom.Vec3{X: 4, Y: 6, Z: 1.4}
+	spk := geom.Vec3{X: 9, Y: 6.4, Z: 0.6}
+	yaw := sim.BroadsideYaw(start, spk)
+
+	traj, err := motion.NewBuilder(start, yaw).
+		Hold(3). // SFO calibration
+		Slide(0.55, 1).Hold(0.5).
+		Slide(-0.55, 1).Hold(0.5).
+		Slide(0.55, 1).Hold(0.5).
+		ChangeHeight(-0.5, 1).Hold(0.5).
+		ChangeHeight(0.5, 1).Hold(0.5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := mic.Render(mic.RenderConfig{
+		Env: env, Source: src, SourcePos: spk,
+		SpeakerSkewPPM: 20,
+		Phone:          phone, Traj: traj,
+		Noise: room.WhiteNoise{}, SNRdB: 18, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imuCfg := imu.DefaultConfig()
+	imuCfg.Seed = 42
+	trace, err := imu.Sample(traj, imuCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(DefaultConfig(src, phone.SampleRate, phone.MicSeparation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loc.LocateFull3D(rec, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected body-frame position: rotate the world offset by -yaw.
+	world := spk.Sub(start)
+	wantXY := world.XY().Rotate(-yaw)
+	want := geom.Vec3{X: wantXY.X, Y: wantXY.Y, Z: world.Z}
+	if errDist := res.Pos.Dist(want); errDist > 0.6 {
+		t.Errorf("full-3D estimate %v, want %v (err %.2f m, rms %.3f)",
+			res.Pos, want, errDist, res.RMSResidual)
+	}
+	// The vertical coordinate is the novel output: it must have the
+	// right sign and rough magnitude (speaker 0.8 m below the phone).
+	if res.Pos.Z > -0.3 || res.Pos.Z < -1.4 {
+		t.Errorf("vertical estimate %.2f m, want ≈-0.8 m", res.Pos.Z)
+	}
+	if res.Observations < 8 {
+		t.Errorf("observations = %d, want ≥8", res.Observations)
+	}
+}
+
+// TestLocateFull3DNeedsDiversity: a horizontal-only session must be
+// rejected as underdetermined rather than silently producing a bad z.
+func TestLocateFull3DNeedsDiversity(t *testing.T) {
+	sc := sim.Scenario{
+		Env:        room.MeetingRoom(),
+		Phone:      mic.GalaxyS4(),
+		Source:     chirp.Default(),
+		SpeakerPos: geom.Vec3{X: 8, Y: 6, Z: 1.2},
+		PhoneStart: geom.Vec3{X: 4, Y: 6, Z: 1.2},
+		Protocol:   sim.DefaultProtocol(),
+		IMU:        imu.DefaultConfig(),
+		Seed:       43,
+	}
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loc.LocateFull3D(s.Recording, s.IMU); err == nil {
+		t.Error("horizontal-only session should be underdetermined")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// The paper assumes line-of-sight between speaker and phone (§IX,
+// limitation 2) and defers NLoS handling to future work via user
+// mobility. This file implements the detection half: a cheap assessment
+// of whether the session's acoustic evidence is consistent with a direct
+// path, so an application can tell the user to move rather than report a
+// reflected ghost position.
+
+// LoSVerdict classifies a session's line-of-sight quality.
+type LoSVerdict int
+
+// Verdicts, from best to worst.
+const (
+	LoSLikely LoSVerdict = iota + 1
+	LoSSuspect
+	NLoSLikely
+)
+
+// String implements fmt.Stringer.
+func (v LoSVerdict) String() string {
+	switch v {
+	case LoSLikely:
+		return "los-likely"
+	case LoSSuspect:
+		return "los-suspect"
+	case NLoSLikely:
+		return "nlos-likely"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// LoSAssessment summarizes the evidence.
+type LoSAssessment struct {
+	// Verdict is the overall call.
+	Verdict LoSVerdict
+	// Reasons lists the checks that fired.
+	Reasons []string
+	// MeanSNR is the mean detection SNR across beacons (linear).
+	MeanSNR float64
+	// DetectionRate is detected beacons / expected beacons.
+	DetectionRate float64
+	// GeometryViolations counts beacons whose |TDoA| exceeds the physical
+	// bound D/S (impossible under a shared direct path: the two channels
+	// locked onto different propagation paths).
+	GeometryViolations int
+	// TDoAJitter is the RMS of consecutive-beacon TDoA changes in
+	// seconds. A physical phone moves the inter-mic TDoA smoothly; NLoS
+	// arrivals flicker between reflection paths.
+	TDoAJitter float64
+}
+
+// AssessLoS inspects an ASP result for direct-path consistency. micSep
+// and sos give the physical TDoA bound; sessionDur (seconds) sets the
+// expected beacon count.
+func AssessLoS(res *ASPResult, micSep, sos, sessionDur float64) LoSAssessment {
+	a := LoSAssessment{Verdict: LoSLikely}
+	if res == nil || len(res.Beacons) == 0 {
+		a.Verdict = NLoSLikely
+		a.Reasons = append(a.Reasons, "no beacons detected")
+		return a
+	}
+	bound := micSep/sos + 60e-6 // physical bound + a generous slack
+
+	var snrSum float64
+	var jitterSS float64
+	prevTDoA := math.NaN()
+	for _, b := range res.Beacons {
+		snrSum += b.SNR
+		td := b.TDoA()
+		if math.Abs(td) > bound {
+			a.GeometryViolations++
+		}
+		if !math.IsNaN(prevTDoA) {
+			d := td - prevTDoA
+			jitterSS += d * d
+		}
+		prevTDoA = td
+	}
+	n := len(res.Beacons)
+	a.MeanSNR = snrSum / float64(n)
+	if n > 1 {
+		a.TDoAJitter = math.Sqrt(jitterSS / float64(n-1))
+	}
+	if sessionDur > 0 && res.PeriodEff > 0 {
+		expected := sessionDur / res.PeriodEff
+		a.DetectionRate = float64(n) / expected
+		if a.DetectionRate > 1 {
+			a.DetectionRate = 1
+		}
+	} else {
+		a.DetectionRate = 1
+	}
+
+	score := 0
+	if a.GeometryViolations > n/10 {
+		score += 2
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"%d/%d beacons exceed the physical TDoA bound", a.GeometryViolations, n))
+	}
+	if a.DetectionRate < 0.6 {
+		score += 2
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"only %.0f%% of expected beacons detected", a.DetectionRate*100))
+	} else if a.DetectionRate < 0.85 {
+		score++
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"%.0f%% of expected beacons detected", a.DetectionRate*100))
+	}
+	if a.MeanSNR < 8 {
+		score++
+		a.Reasons = append(a.Reasons, fmt.Sprintf("weak detections (mean SNR %.1f)", a.MeanSNR))
+	}
+	// Jitter bound: a hand-held phone's inter-mic TDoA moves by at most a
+	// few microseconds between beacons (200 ms apart); path flicker is
+	// tens of microseconds.
+	if a.TDoAJitter > 25e-6 {
+		// Heavy flicker is the signature of competing reflection paths
+		// and is decisive on its own.
+		score += 3
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"TDoA flicker %.1f µs between beacons", a.TDoAJitter*1e6))
+	} else if a.TDoAJitter > 12e-6 {
+		score++
+		a.Reasons = append(a.Reasons, fmt.Sprintf(
+			"elevated TDoA jitter %.1f µs", a.TDoAJitter*1e6))
+	}
+
+	switch {
+	case score >= 3:
+		a.Verdict = NLoSLikely
+	case score >= 1:
+		a.Verdict = LoSSuspect
+	}
+	return a
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hyperear/internal/sim"
+)
+
+func TestLoSVerdictString(t *testing.T) {
+	if LoSLikely.String() != "los-likely" || LoSSuspect.String() != "los-suspect" ||
+		NLoSLikely.String() != "nlos-likely" {
+		t.Error("verdict strings wrong")
+	}
+	if LoSVerdict(9).String() != "verdict(9)" {
+		t.Error("unknown verdict string wrong")
+	}
+}
+
+func TestAssessLoSEmpty(t *testing.T) {
+	a := AssessLoS(nil, 0.1366, 343, 10)
+	if a.Verdict != NLoSLikely {
+		t.Errorf("nil result verdict = %v, want nlos", a.Verdict)
+	}
+	a = AssessLoS(&ASPResult{}, 0.1366, 343, 10)
+	if a.Verdict != NLoSLikely {
+		t.Errorf("empty result verdict = %v", a.Verdict)
+	}
+}
+
+func TestAssessLoSSyntheticClean(t *testing.T) {
+	res := &ASPResult{PeriodEff: 0.2}
+	for k := 0; k < 50; k++ {
+		res.Beacons = append(res.Beacons, Beacon{
+			Seq: k, T1: float64(k) * 0.2, T2: float64(k)*0.2 - 0.0001, SNR: 40,
+		})
+	}
+	a := AssessLoS(res, 0.1366, 343, 10)
+	if a.Verdict != LoSLikely {
+		t.Errorf("clean verdict = %v (%v)", a.Verdict, a.Reasons)
+	}
+	if a.GeometryViolations != 0 || a.TDoAJitter > 1e-9 {
+		t.Errorf("clean metrics: %+v", a)
+	}
+}
+
+func TestAssessLoSGeometryViolations(t *testing.T) {
+	res := &ASPResult{PeriodEff: 0.2}
+	for k := 0; k < 50; k++ {
+		// TDoA of 1 ms >> D/S ≈ 0.4 ms: channels locked on different paths.
+		res.Beacons = append(res.Beacons, Beacon{
+			Seq: k, T1: float64(k) * 0.2, T2: float64(k)*0.2 - 0.001, SNR: 40,
+		})
+	}
+	a := AssessLoS(res, 0.1366, 343, 10)
+	if a.GeometryViolations != 50 {
+		t.Errorf("violations = %d, want 50", a.GeometryViolations)
+	}
+	if a.Verdict == LoSLikely {
+		t.Errorf("verdict = %v despite violations", a.Verdict)
+	}
+}
+
+func TestAssessLoSFlicker(t *testing.T) {
+	res := &ASPResult{PeriodEff: 0.2}
+	for k := 0; k < 50; k++ {
+		td := 0.0001
+		if k%2 == 0 {
+			td = 0.0002 // 100 µs flicker between reflection paths
+		}
+		res.Beacons = append(res.Beacons, Beacon{
+			Seq: k, T1: float64(k) * 0.2, T2: float64(k)*0.2 - td, SNR: 40,
+		})
+	}
+	a := AssessLoS(res, 0.1366, 343, 10)
+	if a.TDoAJitter < 50e-6 {
+		t.Errorf("jitter = %v, want ≈100 µs", a.TDoAJitter)
+	}
+	if a.Verdict != NLoSLikely {
+		t.Errorf("flickering verdict = %v (%v)", a.Verdict, a.Reasons)
+	}
+}
+
+func TestAssessLoSMissedBeacons(t *testing.T) {
+	res := &ASPResult{PeriodEff: 0.2}
+	// Only 20 of the ~50 expected beacons in a 10 s session.
+	for k := 0; k < 20; k++ {
+		res.Beacons = append(res.Beacons, Beacon{
+			Seq: k * 2, T1: float64(k) * 0.4, T2: float64(k)*0.4 - 0.0001, SNR: 40,
+		})
+	}
+	a := AssessLoS(res, 0.1366, 343, 10)
+	if a.DetectionRate > 0.5 {
+		t.Errorf("detection rate = %v, want ≈0.4", a.DetectionRate)
+	}
+	if a.Verdict == LoSLikely {
+		t.Errorf("verdict = %v despite missing beacons", a.Verdict)
+	}
+	found := false
+	for _, r := range a.Reasons {
+		if strings.Contains(r, "expected beacons") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reasons missing detection-rate note: %v", a.Reasons)
+	}
+}
+
+// TestAssessLoSEndToEnd: a clean simulated session assesses as LoS; the
+// same session with the direct path crushed and a strong late echo
+// assesses worse.
+func TestAssessLoSEndToEnd(t *testing.T) {
+	sc := failureScenario(601)
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := localizerFor(t, sc)
+	dur := float64(len(s.Recording.Mic1)) / s.Recording.Fs
+
+	clean, err := loc.asp.Process(s.Recording)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanA := AssessLoS(clean, sc.Phone.MicSeparation, 343, dur)
+	if cleanA.Verdict != LoSLikely {
+		t.Errorf("clean session verdict = %v (%v)", cleanA.Verdict, cleanA.Reasons)
+	}
+
+	// Occlude: crush the direct path and add an uncorrelated-delay echo
+	// per channel (different reflection geometries at each mic).
+	fs := int(s.Recording.Fs)
+	d1 := int(0.004 * float64(fs))
+	d2 := int(0.0062 * float64(fs))
+	occlude := func(ch []float64, delay int) {
+		orig := make([]float64, len(ch))
+		copy(orig, ch)
+		for i := range ch {
+			ch[i] *= 0.04
+			if i >= delay {
+				ch[i] += 0.45 * orig[i-delay]
+			}
+		}
+	}
+	occlude(s.Recording.Mic1, d1)
+	occlude(s.Recording.Mic2, d2)
+	nlos, err := loc.asp.Process(s.Recording)
+	if err != nil {
+		// Total detection failure is the strongest NLoS signal of all.
+		return
+	}
+	nlosA := AssessLoS(nlos, sc.Phone.MicSeparation, 343, dur)
+	if nlosA.Verdict == LoSLikely {
+		t.Errorf("occluded session verdict = %v (%+v)", nlosA.Verdict, nlosA)
+	}
+}

@@ -1,0 +1,352 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+)
+
+// ErrNoUsableSlides is returned when every segmented movement was rejected
+// by the PDE quality gates or failed triangulation.
+var ErrNoUsableSlides = errors.New("core: no usable slides in session")
+
+// Config configures a Localizer.
+type Config struct {
+	// Source is the beacon waveform the speaker plays.
+	Source chirp.Params
+	// SampleRate is the recording rate in Hz.
+	SampleRate float64
+	// MicSeparation is the phone's inter-mic distance D in meters.
+	MicSeparation float64
+	// SpeedOfSound in m/s.
+	SpeedOfSound float64
+	// ASP, MSP, PDE, TTL configure the individual stages; zero values are
+	// replaced by defaults.
+	ASP ASPConfig
+	MSP MSPConfig
+	PDE PDEConfig
+	TTL TTLConfig
+	// DisableDriftCorrection integrates raw velocity without the eq. (4)
+	// linear model (ablation).
+	DisableDriftCorrection bool
+	// MaxVerticalOffset bounds the phone-to-speaker height difference the
+	// 3D projection will infer (meters); 0 selects the 1.5 m default. See
+	// ProjectDistanceClamped.
+	MaxVerticalOffset float64
+}
+
+// DefaultConfig returns a configuration for the given phone geometry.
+func DefaultConfig(source chirp.Params, sampleRate, micSeparation float64) Config {
+	ttl := DefaultTTLConfig()
+	ttl.MicSeparation = micSeparation
+	return Config{
+		Source:        source,
+		SampleRate:    sampleRate,
+		MicSeparation: micSeparation,
+		SpeedOfSound:  geom.SpeedOfSound,
+		ASP:           DefaultASPConfig(),
+		MSP:           DefaultMSPConfig(),
+		PDE:           DefaultPDEConfig(),
+		TTL:           ttl,
+	}
+}
+
+// Localizer runs the full HyperEar pipeline on recorded sessions.
+type Localizer struct {
+	cfg Config
+	asp *ASP
+}
+
+// NewLocalizer validates the configuration and prepares the stages.
+func NewLocalizer(cfg Config) (*Localizer, error) {
+	if cfg.MicSeparation <= 0 {
+		return nil, fmt.Errorf("core: mic separation %v <= 0", cfg.MicSeparation)
+	}
+	if cfg.SpeedOfSound == 0 {
+		cfg.SpeedOfSound = geom.SpeedOfSound
+	}
+	if cfg.MSP == (MSPConfig{}) {
+		cfg.MSP = DefaultMSPConfig()
+	}
+	if cfg.PDE == (PDEConfig{}) {
+		cfg.PDE = DefaultPDEConfig()
+	}
+	if cfg.TTL == (TTLConfig{}) {
+		cfg.TTL = DefaultTTLConfig()
+	}
+	cfg.TTL.MicSeparation = cfg.MicSeparation
+	cfg.TTL.SpeedOfSound = cfg.SpeedOfSound
+	if cfg.ASP.FilterTaps == 0 {
+		gain := cfg.ASP.TemplateGain
+		cfg.ASP = DefaultASPConfig()
+		cfg.ASP.TemplateGain = gain
+	}
+	asp, err := NewASP(cfg.Source, cfg.SampleRate, cfg.ASP)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.MSP.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.TTL.Validate(); err != nil {
+		return nil, err
+	}
+	return &Localizer{cfg: cfg, asp: asp}, nil
+}
+
+// Result2D is the output of a 2D localization session.
+type Result2D struct {
+	// Pos is the aggregated speaker estimate in the phone's start body
+	// frame (x = perpendicular/in-direction axis, y = slide axis).
+	Pos geom.Vec2
+	// L is the aggregated perpendicular distance from the slide line.
+	L float64
+	// Fixes are the accepted per-slide fixes.
+	Fixes []SlideFix
+	// Movements are all PDE movement estimates (including rejected ones),
+	// for diagnostics.
+	Movements []SlideEstimate
+	// ASP echoes the acoustic preprocessing result.
+	ASP *ASPResult
+}
+
+// Result3D is the output of a two-stature 3D session.
+type Result3D struct {
+	// ProjectedDist is the estimated horizontal distance to the speaker
+	// (the paper's L*).
+	ProjectedDist float64
+	// ProjectedPos is the estimated speaker position on the floor map in
+	// the start body frame.
+	ProjectedPos geom.Vec2
+	// L1 and L2 are the aggregated slant distances at the two statures.
+	L1, L2 float64
+	// H is the estimated stature change.
+	H float64
+	// Beta is the eq. (7) angle in radians.
+	Beta float64
+	// Lower holds the per-stature slide fixes: Lower[0] before the
+	// stature change, Lower[1] after.
+	Fixes [2][]SlideFix
+	// Movements are all PDE movement estimates.
+	Movements []SlideEstimate
+	// ASP echoes the acoustic preprocessing result.
+	ASP *ASPResult
+}
+
+// Preprocess runs only the acoustic stage on a recording — enough for
+// direction finding and LoS assessment without a full localization.
+func (l *Localizer) Preprocess(rec *mic.Recording) (*ASPResult, error) {
+	return l.asp.Process(rec)
+}
+
+// MicSeparation returns the configured inter-mic distance D.
+func (l *Localizer) MicSeparation() float64 { return l.cfg.MicSeparation }
+
+// SpeedOfSound returns the configured sound speed.
+func (l *Localizer) SpeedOfSound() float64 { return l.cfg.SpeedOfSound }
+
+// analyzeSession runs ASP, MSP, and PDE over one session.
+func (l *Localizer) analyzeSession(rec *mic.Recording, tr *imu.Trace) (*ASPResult, *MSPResult, []SlideEstimate, error) {
+	aspRes, err := l.asp.Process(rec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	msp, err := PreprocessIMU(tr, l.cfg.MSP)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ests := make([]SlideEstimate, 0, len(msp.Segments))
+	for _, seg := range msp.Segments {
+		est := EstimateMovement(msp, seg, l.cfg.PDE)
+		if l.cfg.DisableDriftCorrection {
+			est = l.reestimateWithoutCorrection(msp, seg, est)
+		}
+		ests = append(ests, est)
+	}
+	return aspRes, msp, ests, nil
+}
+
+// reestimateWithoutCorrection replaces the drift-corrected displacement by
+// a raw double integration (the ablation baseline).
+func (l *Localizer) reestimateWithoutCorrection(m *MSPResult, seg Segment, est SlideEstimate) SlideEstimate {
+	s := est.Segment
+	dt := 1 / m.Fs
+	raw := func(a []float64) float64 {
+		var v, d float64
+		for _, x := range a[s.Start:s.End] {
+			v += x * dt
+			d += v * dt
+		}
+		return d
+	}
+	est.DispY = raw(m.AccelY)
+	est.DispZ = raw(m.AccelZ)
+	_ = seg
+	return est
+}
+
+// localizeSlides turns accepted slide movements into fixes, dead-reckoning
+// the phone's rest position along the body y axis across slides and
+// correcting each anchor's rotation-induced TDoA error from the gyro.
+func (l *Localizer) localizeSlides(aspRes *ASPResult, msp *MSPResult, ests []SlideEstimate) ([]SlideFix, []error) {
+	var fixes []SlideFix
+	var errs []error
+	y := 0.0
+	gap := l.cfg.TTL.MaxAnchorGap
+	for _, est := range ests {
+		switch est.Kind {
+		case KindSlide:
+			before, after, err := anchorBeacons(aspRes.Beacons, est.StartTime, est.EndTime, gap, aspRes.PeriodEff)
+			if err != nil {
+				errs = append(errs, err)
+				y += est.DispY
+				continue
+			}
+			yawB := msp.meanYawDev(est.StartTime-gap, est.StartTime)
+			yawA := msp.meanYawDev(est.EndTime, est.EndTime+gap)
+			fix, err := LocalizeSlide(before, after, aspRes.PeriodEff, est.DispY, y, yawB, yawA, l.cfg.TTL)
+			if err != nil {
+				errs = append(errs, err)
+			} else {
+				fixes = append(fixes, fix)
+			}
+			y += est.DispY
+		case KindStature:
+			// Vertical moves do not change the body-y dead reckoning.
+		default:
+			// Rejected movements still move the phone.
+			y += est.DispY
+		}
+	}
+	return fixes, errs
+}
+
+// Locate2D runs the pipeline on a single-stature session and returns the
+// aggregated 2D fix.
+func (l *Localizer) Locate2D(rec *mic.Recording, tr *imu.Trace) (*Result2D, error) {
+	aspRes, msp, ests, err := l.analyzeSession(rec, tr)
+	if err != nil {
+		return nil, err
+	}
+	fixes, _ := l.localizeSlides(aspRes, msp, ests)
+	if len(fixes) == 0 {
+		return nil, ErrNoUsableSlides
+	}
+	ls := make([]float64, len(fixes))
+	xs := make([]float64, len(fixes))
+	ys := make([]float64, len(fixes))
+	for i, f := range fixes {
+		ls[i] = f.L
+		xs[i] = f.Pos.X
+		ys[i] = f.Pos.Y
+	}
+	return &Result2D{
+		Pos:       geom.Vec2{X: aggregate(xs), Y: aggregate(ys)},
+		L:         aggregate(ls),
+		Fixes:     fixes,
+		Movements: ests,
+		ASP:       aspRes,
+	}, nil
+}
+
+// Locate3D runs the pipeline on a two-stature session: slides before the
+// stature change give L1, slides after give L2, and the stature movement
+// itself gives H; eq. (7) projects the speaker onto the floor.
+func (l *Localizer) Locate3D(rec *mic.Recording, tr *imu.Trace) (*Result3D, error) {
+	aspRes, msp, ests, err := l.analyzeSession(rec, tr)
+	if err != nil {
+		return nil, err
+	}
+	// Find the stature change.
+	statureIdx := -1
+	var h float64
+	for i, est := range ests {
+		if est.Kind == KindStature {
+			statureIdx = i
+			h = est.DispZ
+			break
+		}
+	}
+	if statureIdx < 0 {
+		return nil, fmt.Errorf("core: no stature change detected in 3D session")
+	}
+
+	fixes, _ := l.localizeSlides(aspRes, msp, ests)
+	if len(fixes) == 0 {
+		return nil, ErrNoUsableSlides
+	}
+	var parts [2][]SlideFix
+	var l1s, l2s, ys1 []float64
+	// Fixes are produced in time order; split them by counting how many
+	// accepted slides precede the stature movement.
+	nBefore := 0
+	count := 0
+	for i, est := range ests {
+		if est.Kind != KindSlide {
+			continue
+		}
+		if _, _, err := anchorBeacons(aspRes.Beacons, est.StartTime, est.EndTime, l.cfg.TTL.MaxAnchorGap, aspRes.PeriodEff); err != nil {
+			continue
+		}
+		count++
+		if i < statureIdx {
+			nBefore = count
+		}
+	}
+	if nBefore > len(fixes) {
+		nBefore = len(fixes)
+	}
+	parts[0] = fixes[:nBefore]
+	parts[1] = fixes[nBefore:]
+	if len(parts[0]) == 0 || len(parts[1]) == 0 {
+		return nil, fmt.Errorf("core: 3D session needs usable slides on both statures (%d/%d): %w",
+			len(parts[0]), len(parts[1]), ErrNoUsableSlides)
+	}
+	for _, f := range parts[0] {
+		l1s = append(l1s, f.L)
+		ys1 = append(ys1, f.Pos.Y)
+	}
+	for _, f := range parts[1] {
+		l2s = append(l2s, f.L)
+	}
+	l1 := aggregate(l1s)
+	l2 := aggregate(l2s)
+
+	lStar, err := ProjectDistanceClamped(l1, l2, h, l.cfg.MaxVerticalOffset)
+	if err != nil {
+		// Degenerate inputs (zero stature change): fall back to treating
+		// the slant distance as horizontal.
+		lStar = math.Min(l1, l2)
+	}
+	// Projected position: keep the along-axis estimate from stature 1,
+	// scale the perpendicular axis to the projected distance.
+	pos := geom.Vec2{X: lStar, Y: aggregate(ys1)}
+	return &Result3D{
+		ProjectedDist: lStar,
+		ProjectedPos:  pos,
+		L1:            l1,
+		L2:            l2,
+		H:             h,
+		Beta:          betaOf(l1, l2, h),
+		Fixes:         parts,
+		Movements:     ests,
+		ASP:           aspRes,
+	}, nil
+}
+
+func betaOf(l1, l2, h float64) float64 {
+	h = math.Abs(h)
+	if h == 0 || l1 == 0 {
+		return math.NaN()
+	}
+	c := (h*h + l1*l1 - l2*l2) / (2 * h * l1)
+	if c < -1 || c > 1 {
+		return math.NaN()
+	}
+	return math.Acos(c)
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/room"
+	"hyperear/internal/sim"
+)
+
+// runScenario renders a scenario and runs Locate2D, returning the world
+// position error and the session for inspection.
+func locate2DScenario(t *testing.T, sc sim.Scenario) (float64, *Result2D, *sim.Session) {
+	t.Helper()
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loc.Locate2D(s.Recording, s.IMU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Convert the body-frame estimate to world coordinates with the true
+	// start pose (the phone defines its own map origin).
+	est := bodyToWorld(res.Pos, sc.PhoneStart, s.TrueYaw-geom.Radians(sc.Protocol.YawErrDeg))
+	errDist := est.Sub(sc.SpeakerPos.XY()).Norm()
+	return errDist, res, s
+}
+
+// bodyToWorld maps a start-body-frame 2D estimate to world XY. The body
+// frame the localizer reports in has x toward the speaker (believed
+// broadside direction) and y along the slide axis; believedYaw is the yaw
+// the system believes it holds (true yaw minus the unknown residual
+// direction-finding error).
+func bodyToWorld(p geom.Vec2, start geom.Vec3, believedYaw float64) geom.Vec2 {
+	dir := p.Rotate(believedYaw)
+	return start.XY().Add(dir)
+}
+
+func ruler2DScenario(dist float64, seed int64) sim.Scenario {
+	phone := mic.GalaxyS4()
+	return sim.Scenario{
+		Env:            room.MeetingRoom(),
+		Phone:          phone,
+		Source:         chirp.Default(),
+		SpeakerPos:     geom.Vec3{X: 8, Y: 6, Z: 1.2},
+		SpeakerSkewPPM: 25,
+		PhoneStart:     geom.Vec3{X: 8 - dist, Y: 6, Z: 1.2},
+		Protocol: sim.Protocol{
+			SlideDist: 0.55,
+			SlideDur:  1.0,
+			HoldDur:   0.45,
+			Slides:    5,
+			Mode:      sim.ModeRuler,
+		},
+		IMU:   imu.DefaultConfig(),
+		Noise: room.WhiteNoise{},
+		SNRdB: 18,
+		Seed:  seed,
+	}
+}
+
+func TestNewLocalizerValidation(t *testing.T) {
+	cfg := DefaultConfig(chirp.Default(), 44100, 0.1366)
+	if _, err := NewLocalizer(cfg); err != nil {
+		t.Fatalf("valid config: %v", err)
+	}
+	cfg.MicSeparation = 0
+	if _, err := NewLocalizer(cfg); err == nil {
+		t.Error("zero separation should error")
+	}
+	cfg = DefaultConfig(chirp.Params{}, 44100, 0.1366)
+	if _, err := NewLocalizer(cfg); err == nil {
+		t.Error("invalid source should error")
+	}
+}
+
+// TestLocate2DRulerAccuracy is the headline end-to-end check: a 5-slide
+// ruler session at 5 m must localize to within a few tens of centimeters
+// (the paper reports ≈10 cm mean at 5 m on the ruler; we allow a generous
+// envelope for a single seeded trial).
+func TestLocate2DRulerAccuracy(t *testing.T) {
+	errDist, res, _ := locate2DScenario(t, ruler2DScenario(5, 101))
+	if len(res.Fixes) < 3 {
+		t.Fatalf("fixes = %d, want ≥3 of 5 slides", len(res.Fixes))
+	}
+	if errDist > 0.40 {
+		t.Errorf("2D error at 5 m = %.3f m, want < 0.40 m (L=%v)", errDist, res.L)
+	}
+	// The perpendicular distance estimate must be close to 5 m.
+	if math.Abs(res.L-5) > 0.40 {
+		t.Errorf("L = %v, want ≈5", res.L)
+	}
+}
+
+func TestLocate2DNearRange(t *testing.T) {
+	errDist, _, _ := locate2DScenario(t, ruler2DScenario(2, 102))
+	if errDist > 0.15 {
+		t.Errorf("2D error at 2 m = %.3f m, want < 0.15 m", errDist)
+	}
+}
+
+// TestLocate2DSFOCorrectionMatters is the SFO ablation: with a 25 ppm
+// speaker skew, disabling SFO correction should typically worsen the
+// error. Averaged over seeds to be robust.
+func TestLocate2DSFOCorrectionMatters(t *testing.T) {
+	var with, without float64
+	seeds := []int64{11, 12, 13}
+	for _, seed := range seeds {
+		sc := ruler2DScenario(5, seed)
+		sc.SpeakerSkewPPM = 60
+		s, err := sim.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(disable bool) float64 {
+			cfg := DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation)
+			cfg.ASP.DisableSFOCorrection = disable
+			loc, err := NewLocalizer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := loc.Locate2D(s.Recording, s.IMU)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est := bodyToWorld(res.Pos, sc.PhoneStart, s.TrueYaw)
+			return est.Sub(sc.SpeakerPos.XY()).Norm()
+		}
+		with += run(false)
+		without += run(true)
+	}
+	if with >= without {
+		t.Errorf("SFO correction should reduce mean error: with=%.3f without=%.3f",
+			with/float64(len(seeds)), without/float64(len(seeds)))
+	}
+}
+
+func TestLocate2DShortSlidesRejectedByGate(t *testing.T) {
+	sc := ruler2DScenario(5, 103)
+	sc.Protocol.SlideDist = 0.25
+	sc.Protocol.SlideDur = 0.6
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loc.Locate2D(s.Recording, s.IMU); !errors.Is(err, ErrNoUsableSlides) {
+		t.Errorf("25 cm slides should be gated out, got %v", err)
+	}
+	// With the gate disabled the session localizes (less accurately).
+	cfg := DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation)
+	cfg.PDE.MinSlideDist = 0
+	loc, err = NewLocalizer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loc.Locate2D(s.Recording, s.IMU); err != nil {
+		t.Errorf("ungated short slides should localize: %v", err)
+	}
+}
+
+// TestLocate3DTwoStature runs the full 3D protocol: 4 slides at one
+// stature, a 0.5 m stature change, 4 slides at the second stature.
+func TestLocate3DTwoStature(t *testing.T) {
+	phone := mic.GalaxyS4()
+	sc := sim.Scenario{
+		Env:            room.MeetingRoom(),
+		Phone:          phone,
+		Source:         chirp.Default(),
+		SpeakerPos:     geom.Vec3{X: 9, Y: 6, Z: 0.5}, // speaker on a low tripod
+		SpeakerSkewPPM: 25,
+		PhoneStart:     geom.Vec3{X: 4, Y: 6, Z: 1.3},
+		Protocol: sim.Protocol{
+			SlideDist:     0.55,
+			SlideDur:      1.0,
+			HoldDur:       0.45,
+			Slides:        8,
+			Mode:          sim.ModeRuler,
+			StatureChange: -0.5,
+		},
+		IMU:   imu.DefaultConfig(),
+		Noise: room.WhiteNoise{},
+		SNRdB: 18,
+		Seed:  104,
+	}
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(DefaultConfig(sc.Source, phone.SampleRate, phone.MicSeparation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loc.Locate3D(s.Recording, s.IMU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.H+0.5) > 0.06 {
+		t.Errorf("H = %v, want ≈-0.5", res.H)
+	}
+	trueProj := sc.SpeakerPos.Sub(sc.PhoneStart).XY().Norm()
+	if math.Abs(res.ProjectedDist-trueProj) > 0.5 {
+		t.Errorf("projected distance = %v, want ≈%v (L1=%v L2=%v)",
+			res.ProjectedDist, trueProj, res.L1, res.L2)
+	}
+	if len(res.Fixes[0]) == 0 || len(res.Fixes[1]) == 0 {
+		t.Errorf("fixes per stature = %d/%d", len(res.Fixes[0]), len(res.Fixes[1]))
+	}
+}
+
+func TestLocate3DWithoutStatureChangeFails(t *testing.T) {
+	sc := ruler2DScenario(5, 105)
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewLocalizer(DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loc.Locate3D(s.Recording, s.IMU); err == nil {
+		t.Error("3D without a stature change should error")
+	}
+}
+
+// TestLocate2DDriftCorrectionAblation: disabling the eq. (4) correction
+// should typically worsen accuracy with a biased IMU.
+func TestLocate2DDriftCorrectionAblation(t *testing.T) {
+	var with, without float64
+	for _, seed := range []int64{21, 22, 23} {
+		sc := ruler2DScenario(5, seed)
+		sc.IMU.AccelBiasStd = 0.08
+		s, err := sim.Run(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(disable bool) float64 {
+			cfg := DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation)
+			cfg.DisableDriftCorrection = disable
+			cfg.PDE.MinSlideDist = 0 // drift may push estimates below the gate
+			loc, err := NewLocalizer(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := loc.Locate2D(s.Recording, s.IMU)
+			if err != nil {
+				return 3.0 // count a failed session as a large error
+			}
+			est := bodyToWorld(res.Pos, sc.PhoneStart, s.TrueYaw)
+			return est.Sub(sc.SpeakerPos.XY()).Norm()
+		}
+		with += run(false)
+		without += run(true)
+	}
+	if with >= without {
+		t.Errorf("drift correction should reduce mean error: with=%.3f without=%.3f",
+			with/3, without/3)
+	}
+}
+
+func TestLocate2DHandMode(t *testing.T) {
+	sc := ruler2DScenario(5, 106)
+	sc.Protocol.Mode = sim.ModeHand
+	errDist, res, _ := locate2DScenario(t, sc)
+	if len(res.Fixes) == 0 {
+		t.Fatal("no fixes in hand mode")
+	}
+	if errDist > 0.8 {
+		t.Errorf("hand-mode 2D error at 5 m = %.3f m, want < 0.8 m", errDist)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+
+	"hyperear/internal/geom"
+)
+
+// DirectionFix is one in-direction event found during a rotation sweep:
+// a time at which the inter-mic TDoA crossed zero, meaning the speaker sat
+// exactly on the phone's x axis (§IV-B).
+type DirectionFix struct {
+	// Time is the interpolated zero-crossing time in seconds.
+	Time float64
+	// Yaw is the phone yaw at that time (radians, from gyro integration).
+	Yaw float64
+	// BearingWorld is the estimated world bearing of the speaker in
+	// radians: equal to Yaw when the speaker is on the body +x side
+	// (α = 90°), Yaw+π when on the -x side (α = 270°).
+	BearingWorld float64
+	// PositiveX reports which crossing this is: true for the speaker on
+	// the phone's +x axis.
+	PositiveX bool
+}
+
+// SDFResult is the output of direction finding.
+type SDFResult struct {
+	// Fixes are the zero crossings in time order. A full 360° sweep
+	// yields two (α = 90° and α = 270°).
+	Fixes []DirectionFix
+	// TDoAs are the per-beacon inter-mic TDoAs (seconds) the sweep
+	// observed, parallel to Beacons — the data behind Figure 7.
+	TDoAs []float64
+	// Beacons echoes the beacons used.
+	Beacons []Beacon
+}
+
+// FindDirection scans a rotation-sweep session for in-direction positions.
+// yawAt maps a session time to the integrated gyro yaw (radians); yawRate
+// is the sweep's sign (+1 counterclockwise, -1 clockwise), used to
+// disambiguate the two crossings.
+//
+// Derivation of the disambiguation: with Mic1 on body +y, a speaker at
+// body bearing ψ (from the +x axis, counterclockwise) has
+// TDoA ≈ -(D/S)·sin ψ. During a counterclockwise sweep ψ decreases, so at
+// the ψ=0 crossing (speaker on +x) the TDoA is increasing through zero,
+// and at ψ=π it is decreasing.
+func FindDirection(beacons []Beacon, yawAt func(float64) float64, yawRate float64) SDFResult {
+	res := SDFResult{Beacons: beacons, TDoAs: make([]float64, len(beacons))}
+	for i, b := range beacons {
+		res.TDoAs[i] = b.TDoA()
+	}
+	ccw := yawRate >= 0
+	for i := 1; i < len(beacons); i++ {
+		a, b := res.TDoAs[i-1], res.TDoAs[i]
+		if a == 0 && b == 0 {
+			continue
+		}
+		if (a < 0 && b >= 0) || (a > 0 && b <= 0) {
+			// Linear interpolation of the crossing time.
+			frac := a / (a - b)
+			t := beacons[i-1].T1 + frac*(beacons[i].T1-beacons[i-1].T1)
+			rising := b > a
+			positiveX := rising == ccw
+			yaw := yawAt(t)
+			bearing := yaw
+			if !positiveX {
+				bearing = geom.WrapAngle(yaw + math.Pi)
+			}
+			res.Fixes = append(res.Fixes, DirectionFix{
+				Time:         t,
+				Yaw:          yaw,
+				BearingWorld: bearing,
+				PositiveX:    positiveX,
+			})
+		}
+	}
+	return res
+}
+
+// TDoAEnvelope returns the theoretical TDoA-vs-α curve of Figure 7 for a
+// mic separation d and sound speed s: alphaDeg are the rotation angles
+// (degrees, α measured from the body +y axis as in the paper) and tdoas
+// the corresponding far-field TDoAs in seconds. The speaker is assumed far
+// enough that plane-wave geometry applies.
+func TDoAEnvelope(d, s float64, nSamples int) (alphaDeg, tdoas []float64) {
+	if nSamples < 2 {
+		nSamples = 2
+	}
+	alphaDeg = make([]float64, nSamples)
+	tdoas = make([]float64, nSamples)
+	for i := range alphaDeg {
+		alpha := 360 * float64(i) / float64(nSamples-1)
+		alphaDeg[i] = alpha
+		// α is measured from the +y axis; the body bearing from +x is
+		// ψ = 90° - α. TDoA = -(D/S)·sin ψ = -(D/S)·cos α.
+		tdoas[i] = -d / s * math.Cos(geom.Radians(alpha))
+	}
+	return alphaDeg, tdoas
+}

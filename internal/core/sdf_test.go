@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/room"
+	"hyperear/internal/sim"
+)
+
+func TestTDoAEnvelopeShape(t *testing.T) {
+	d, s := 0.1366, 343.0
+	alpha, tdoa := TDoAEnvelope(d, s, 361)
+	if len(alpha) != 361 {
+		t.Fatalf("samples = %d", len(alpha))
+	}
+	// α = 0: speaker on +y (Mic1 side) → negative TDoA of magnitude D/S.
+	if math.Abs(tdoa[0]+d/s) > 1e-12 {
+		t.Errorf("TDoA(0°) = %v, want %v", tdoa[0], -d/s)
+	}
+	// Zeros at 90° and 270°.
+	if math.Abs(tdoa[90]) > 1e-12 || math.Abs(tdoa[270]) > 1e-12 {
+		t.Errorf("TDoA(90°)=%v TDoA(270°)=%v, want 0", tdoa[90], tdoa[270])
+	}
+	// Max at 180°.
+	if math.Abs(tdoa[180]-d/s) > 1e-12 {
+		t.Errorf("TDoA(180°) = %v, want %v", tdoa[180], d/s)
+	}
+	// Envelope bounded by ±D/S everywhere.
+	for i, v := range tdoa {
+		if math.Abs(v) > d/s+1e-12 {
+			t.Fatalf("TDoA[%d] = %v exceeds D/S", i, v)
+		}
+	}
+}
+
+func TestFindDirectionSynthetic(t *testing.T) {
+	// Build beacons along a CCW sweep: yaw(t) = t (rad/s), speaker at
+	// world bearing 0.8 rad. TDoA = -(D/S)·sin(ψ), ψ = bearing - yaw.
+	d, s := 0.1366, 343.0
+	bearing := 0.8
+	var beacons []Beacon
+	for k := 0; k < 32; k++ {
+		tt := float64(k) * 0.2
+		psi := bearing - tt
+		tdoa := -d / s * math.Sin(psi)
+		beacons = append(beacons, Beacon{Seq: k, T1: tt + tdoa, T2: tt})
+	}
+	res := FindDirection(beacons, func(tt float64) float64 { return tt }, +1)
+	if len(res.Fixes) < 1 {
+		t.Fatal("no fixes found")
+	}
+	// The first crossing in a 0→6.2 rad sweep with bearing 0.8 is ψ=0 at
+	// yaw=0.8 (positive-x side).
+	f := res.Fixes[0]
+	if !f.PositiveX {
+		t.Error("first crossing should be the +x (ψ=0) one")
+	}
+	if math.Abs(geom.WrapAngle(f.BearingWorld-bearing)) > 0.05 {
+		t.Errorf("bearing = %v, want %v", f.BearingWorld, bearing)
+	}
+	// The second crossing (ψ=π at yaw≈0.8+π) must map to the same bearing.
+	if len(res.Fixes) >= 2 {
+		f2 := res.Fixes[1]
+		if f2.PositiveX {
+			t.Error("second crossing should be the -x one")
+		}
+		if math.Abs(geom.WrapAngle(f2.BearingWorld-bearing)) > 0.05 {
+			t.Errorf("second bearing = %v, want %v", f2.BearingWorld, bearing)
+		}
+	}
+}
+
+func TestFindDirectionClockwise(t *testing.T) {
+	// Mirror the synthetic sweep: yaw decreases.
+	d, s := 0.1366, 343.0
+	bearing := -0.4
+	var beacons []Beacon
+	for k := 0; k < 32; k++ {
+		tt := float64(k) * 0.2
+		yaw := -tt
+		psi := bearing - yaw
+		tdoa := -d / s * math.Sin(psi)
+		beacons = append(beacons, Beacon{Seq: k, T1: tt + tdoa, T2: tt})
+	}
+	res := FindDirection(beacons, func(tt float64) float64 { return -tt }, -1)
+	if len(res.Fixes) == 0 {
+		t.Fatal("no fixes")
+	}
+	f := res.Fixes[0]
+	if math.Abs(geom.WrapAngle(f.BearingWorld-bearing)) > 0.05 {
+		t.Errorf("bearing = %v, want %v (positiveX=%v)", f.BearingWorld, bearing, f.PositiveX)
+	}
+}
+
+func TestFindDirectionNoCrossing(t *testing.T) {
+	beacons := []Beacon{
+		{Seq: 0, T1: 0.001, T2: 0},
+		{Seq: 1, T1: 0.201, T2: 0.2},
+	}
+	res := FindDirection(beacons, func(float64) float64 { return 0 }, 1)
+	if len(res.Fixes) != 0 {
+		t.Errorf("fixes = %+v, want none", res.Fixes)
+	}
+	if len(res.TDoAs) != 2 {
+		t.Errorf("TDoAs = %d, want 2", len(res.TDoAs))
+	}
+}
+
+// TestFindDirectionEndToEnd runs a full simulated rotation sweep — the
+// Figure 7 experiment — and checks SDF recovers the speaker bearing.
+func TestFindDirectionEndToEnd(t *testing.T) {
+	phone := mic.GalaxyS4()
+	src := chirp.Default()
+	phonePos := geom.Vec3{X: 5, Y: 5, Z: 1.2}
+	spk := geom.Vec3{X: 9, Y: 7, Z: 1.2}
+	trueBearing := sim.BroadsideYaw(phonePos, spk)
+
+	traj, err := sim.RotationSweep(phonePos, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := mic.Render(mic.RenderConfig{
+		Env:       room.MeetingRoom(),
+		Source:    src,
+		SourcePos: spk,
+		Phone:     phone,
+		Traj:      traj,
+		Noise:     room.WhiteNoise{},
+		SNRdB:     15,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imuCfg := imu.DefaultConfig()
+	imuCfg.Seed = 6
+	trace, err := imu.Sample(traj, imuCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asp, err := NewASP(src, phone.SampleRate, DefaultASPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := asp.Process(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yaws := imu.IntegrateYaw(trace, 0)
+	yawAt := func(tt float64) float64 {
+		i := int(tt * trace.Fs)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(yaws) {
+			i = len(yaws) - 1
+		}
+		return yaws[i]
+	}
+	sdf := FindDirection(res.Beacons, yawAt, +1)
+	if len(sdf.Fixes) < 2 {
+		t.Fatalf("fixes = %d, want ≥2 over a full turn", len(sdf.Fixes))
+	}
+	best := math.Inf(1)
+	for _, f := range sdf.Fixes {
+		if d := math.Abs(geom.WrapAngle(f.BearingWorld - trueBearing)); d < best {
+			best = d
+		}
+	}
+	if geom.Degrees(best) > 5 {
+		t.Errorf("best bearing error = %.1f°, want < 5°", geom.Degrees(best))
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"hyperear/internal/geom"
+)
+
+// syntheticSlideBeacons builds the exact anchor beacons for a slide: the
+// speaker sits at body coordinates (x=perp, y=along); the phone rests at
+// body-y startY before the slide and startY+dispY after; mic offsets are
+// ±d/2. Arrival times are emission + distance/S with beacon period T.
+func syntheticSlideBeacons(spk geom.Vec2, startY, dispY, d, s, period float64, n int) (before, after Beacon) {
+	dist := func(micY float64) float64 {
+		return math.Hypot(spk.X, spk.Y-micY)
+	}
+	t0 := 1.0 // arbitrary emission time of the "before" beacon
+	before = Beacon{
+		Seq: 10,
+		T1:  t0 + dist(startY+d/2)/s,
+		T2:  t0 + dist(startY-d/2)/s,
+	}
+	endY := startY + dispY
+	t1 := t0 + float64(n)*period
+	after = Beacon{
+		Seq: 10 + n,
+		T1:  t1 + dist(endY+d/2)/s,
+		T2:  t1 + dist(endY-d/2)/s,
+	}
+	return before, after
+}
+
+func TestTTLConfigValidate(t *testing.T) {
+	if err := DefaultTTLConfig().Validate(); err != nil {
+		t.Errorf("default: %v", err)
+	}
+	cases := []func(*TTLConfig){
+		func(c *TTLConfig) { c.MicSeparation = 0 },
+		func(c *TTLConfig) { c.SpeedOfSound = 100 },
+		func(c *TTLConfig) { c.MaxAnchorGap = 0 },
+		func(c *TTLConfig) { c.InitialRange = 0 },
+	}
+	for i, mut := range cases {
+		c := DefaultTTLConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLocalizeSlideExactGeometry(t *testing.T) {
+	cfg := DefaultTTLConfig()
+	period := 0.2
+	cases := []struct {
+		name   string
+		spk    geom.Vec2
+		startY float64
+		dispY  float64
+	}{
+		{"broadside 3m", geom.Vec2{X: 3, Y: 0}, 0, 0.55},
+		{"broadside 7m", geom.Vec2{X: 7, Y: 0}, 0, 0.55},
+		{"offset along axis", geom.Vec2{X: 5, Y: 0.8}, 0, 0.55},
+		{"backward slide", geom.Vec2{X: 4, Y: -0.3}, 0.55, -0.55},
+		{"short slide", geom.Vec2{X: 2, Y: 0.1}, 0, 0.25},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before, after := syntheticSlideBeacons(
+				tc.spk, tc.startY, tc.dispY, cfg.MicSeparation, cfg.SpeedOfSound, period, 7)
+			fix, err := LocalizeSlide(before, after, period, tc.dispY, tc.startY, 0, 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fix.Pos.Sub(tc.spk).Norm(); got > 1e-4 {
+				t.Errorf("position = %v, want %v (err %.2f mm)", fix.Pos, tc.spk, got*1000)
+			}
+			if math.Abs(fix.L-tc.spk.X) > 1e-4 {
+				t.Errorf("L = %v, want %v", fix.L, tc.spk.X)
+			}
+			if fix.N != 7 {
+				t.Errorf("N = %d, want 7", fix.N)
+			}
+		})
+	}
+}
+
+func TestLocalizeSlideDisplacementErrorPropagates(t *testing.T) {
+	// A 2% error in the estimated slide length should move the estimate
+	// noticeably but not catastrophically at 5 m.
+	cfg := DefaultTTLConfig()
+	spk := geom.Vec2{X: 5, Y: 0}
+	before, after := syntheticSlideBeacons(spk, 0, 0.55, cfg.MicSeparation, cfg.SpeedOfSound, 0.2, 7)
+	fix, err := LocalizeSlide(before, after, 0.2, 0.55*1.02, 0, 0, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errDist := fix.Pos.Sub(spk).Norm()
+	if errDist < 0.005 || errDist > 1.0 {
+		t.Errorf("2%% D' error gave %v m position error; expected centimeters-to-decimeters", errDist)
+	}
+}
+
+func TestLocalizeSlidePeriodErrorPropagates(t *testing.T) {
+	// Using the nominal period when the true period is off by 50 ppm
+	// introduces n·δT·S ≈ 2.4 cm of distance-difference error at n=7 —
+	// exactly the error SFO correction removes.
+	cfg := DefaultTTLConfig()
+	spk := geom.Vec2{X: 5, Y: 0}
+	truePeriod := 0.2 * (1 + 50e-6)
+	before, after := syntheticSlideBeacons(spk, 0, 0.55, cfg.MicSeparation, cfg.SpeedOfSound, truePeriod, 7)
+	good, err := LocalizeSlide(before, after, truePeriod, 0.55, 0, 0, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badFix, err := LocalizeSlide(before, after, 0.2, 0.55, 0, 0, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodErr := good.Pos.Sub(spk).Norm()
+	badErr := badFix.Pos.Sub(spk).Norm()
+	if goodErr > badErr/3 {
+		t.Errorf("SFO-corrected error %v should be ≪ uncorrected %v", goodErr, badErr)
+	}
+}
+
+func TestLocalizeSlideRejectsBadInput(t *testing.T) {
+	cfg := DefaultTTLConfig()
+	b := Beacon{Seq: 5, T1: 1, T2: 1}
+	a := Beacon{Seq: 5, T1: 1.2, T2: 1.2}
+	if _, err := LocalizeSlide(b, a, 0.2, 0.5, 0, 0, 0, cfg); err == nil {
+		t.Error("equal sequence numbers should error")
+	}
+	a.Seq = 4
+	if _, err := LocalizeSlide(b, a, 0.2, 0.5, 0, 0, 0, cfg); err == nil {
+		t.Error("reversed beacons should error")
+	}
+	a.Seq = 6
+	if _, err := LocalizeSlide(b, a, 0, 0.5, 0, 0, 0, cfg); err == nil {
+		t.Error("zero period should error")
+	}
+	// Augmented TDoA implying more path change than the slide length.
+	a = Beacon{Seq: 6, T1: 1.2 + 0.01, T2: 1.2 + 0.01}
+	if _, err := LocalizeSlide(b, a, 0.2, 0.1, 0, 0, 0, cfg); err == nil {
+		t.Error("inconsistent TDoA should error")
+	}
+	bad := cfg
+	bad.MicSeparation = 0
+	if _, err := LocalizeSlide(b, a, 0.2, 0.5, 0, 0, 0, bad); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestAnchorBeacons(t *testing.T) {
+	beacons := []Beacon{
+		{Seq: 0, T1: 0.1}, {Seq: 1, T1: 0.3}, {Seq: 2, T1: 0.5},
+		{Seq: 10, T1: 2.1}, {Seq: 11, T1: 2.3},
+	}
+	before, after, err := anchorBeacons(beacons, 0.6, 2.0, 0.45, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The before window [0.15, 0.6] holds beacons 1 and 2; averaging folds
+	// them onto seq 2 at T1 = mean(0.3+0.2, 0.5) = 0.5. The after window
+	// [2.0, 2.45] holds beacons 10 and 11, folded onto seq 11 at 2.3.
+	if before.Seq != 2 || after.Seq != 11 {
+		t.Errorf("anchors = %d, %d; want 2, 11", before.Seq, after.Seq)
+	}
+	if math.Abs(before.T1-0.5) > 1e-12 {
+		t.Errorf("averaged before.T1 = %v, want 0.5", before.T1)
+	}
+	if math.Abs(after.T1-2.3) > 1e-12 {
+		t.Errorf("averaged after.T1 = %v, want 2.3", after.T1)
+	}
+	// Gap too large.
+	if _, _, err := anchorBeacons(beacons, 1.2, 2.0, 0.45, 0.2); err == nil {
+		t.Error("large before-gap should error")
+	}
+	if !errors.Is(func() error {
+		_, _, err := anchorBeacons(beacons, 1.2, 2.0, 0.45, 0.2)
+		return err
+	}(), ErrNoAnchorBeacon) {
+		t.Error("gap error should wrap ErrNoAnchorBeacon")
+	}
+	// No beacon before/after at all.
+	if _, _, err := anchorBeacons(beacons, 0.05, 2.0, 0.45, 0.2); err == nil {
+		t.Error("missing before-anchor should error")
+	}
+	if _, _, err := anchorBeacons(beacons, 0.6, 5.0, 0.45, 0.2); err == nil {
+		t.Error("missing after-anchor should error")
+	}
+}

@@ -1,0 +1,179 @@
+// Package doppler implements a Doppler-effect direction finder in the
+// spirit of Shake-and-Walk (Huang et al., INFOCOM 2014) and WalkieLokie —
+// the class of single-microphone acoustic direction systems the paper
+// compares against. While HyperEar reads direction from the inter-mic
+// TDoA zero crossing, the Doppler approach moves the phone and measures
+// the motion-induced time-compression of the received beacon: moving
+// toward the speaker at radial speed v scales the received waveform by
+// (1 + v/c). Slides along two known directions give two radial-speed
+// projections of the unit bearing vector, which solve the bearing.
+//
+// The estimator correlates received chirps against a bank of time-scaled
+// templates and interpolates the peak response over the scale axis.
+package doppler
+
+import (
+	"fmt"
+	"math"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/dsp"
+	"hyperear/internal/geom"
+)
+
+// Estimator measures the radial speed encoded in one received chirp.
+type Estimator struct {
+	params    chirp.Params
+	fs        float64
+	sos       float64
+	speeds    []float64
+	templates [][]float64
+	detector  *chirp.Detector
+}
+
+// Config tunes the estimator.
+type Config struct {
+	// MaxSpeed bounds |radial speed| covered by the template bank (m/s).
+	MaxSpeed float64
+	// Steps is the number of template scales per side of zero.
+	Steps int
+	// SpeedOfSound in m/s.
+	SpeedOfSound float64
+}
+
+// DefaultConfig covers hand-slide speeds (±1.6 m/s) with 0.1 m/s steps.
+func DefaultConfig() Config {
+	return Config{MaxSpeed: 1.6, Steps: 16, SpeedOfSound: geom.SpeedOfSound}
+}
+
+// NewEstimator precomputes the scaled template bank.
+func NewEstimator(p chirp.Params, fs float64, cfg Config) (*Estimator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxSpeed <= 0 || cfg.Steps < 2 {
+		return nil, fmt.Errorf("doppler: bad config %+v", cfg)
+	}
+	if cfg.SpeedOfSound == 0 {
+		cfg.SpeedOfSound = geom.SpeedOfSound
+	}
+	det, err := chirp.NewDetector(p, fs)
+	if err != nil {
+		return nil, err
+	}
+	e := &Estimator{params: p, fs: fs, sos: cfg.SpeedOfSound, detector: det}
+	base := p.Reference(fs)
+	for k := -cfg.Steps; k <= cfg.Steps; k++ {
+		v := cfg.MaxSpeed * float64(k) / float64(cfg.Steps)
+		// Approaching at +v compresses the waveform: the template is the
+		// base chirp resampled by factor (1 + v/c).
+		scale := 1 + v/cfg.SpeedOfSound
+		e.speeds = append(e.speeds, v)
+		e.templates = append(e.templates, resample(base, scale))
+	}
+	return e, nil
+}
+
+// resample stretches x in time by 1/scale (scale > 1 shortens it) with
+// Catmull-Rom interpolation.
+func resample(x []float64, scale float64) []float64 {
+	n := int(float64(len(x)) / scale)
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = dsp.SampleAt(x, float64(i)*scale)
+	}
+	return out
+}
+
+// Measurement is one radial-speed estimate.
+type Measurement struct {
+	// Time is the chirp arrival in seconds.
+	Time float64
+	// RadialSpeed is the estimated approach speed toward the speaker in
+	// m/s (positive = closing).
+	RadialSpeed float64
+	// Confidence is the ratio of the best template response to the
+	// zero-speed response (≥1; larger = stronger Doppler evidence).
+	Confidence float64
+}
+
+// Measure estimates the radial speed of each chirp arrival in x. Only
+// chirps between tMin and tMax (seconds) are measured — callers restrict
+// to the mid-slide window where the phone is actually moving.
+func (e *Estimator) Measure(x []float64, tMin, tMax float64) []Measurement {
+	dets := e.detector.Detect(x)
+	var out []Measurement
+	refLen := len(e.templates[len(e.templates)/2])
+	for _, d := range dets {
+		if d.Time < tMin || d.Time > tMax {
+			continue
+		}
+		start := d.Index - refLen/4
+		if start < 0 {
+			start = 0
+		}
+		end := d.Index + refLen + refLen/4
+		if end > len(x) {
+			end = len(x)
+		}
+		window := x[start:end]
+		scores := make([]float64, len(e.templates))
+		for k, tpl := range e.templates {
+			if len(window) < len(tpl) {
+				continue
+			}
+			r := dsp.CrossCorrelate(window, tpl)
+			env := dsp.Envelope(r)
+			best := 0.0
+			for _, v := range env {
+				if v > best {
+					best = v
+				}
+			}
+			scores[k] = best
+		}
+		kBest := 0
+		for k := range scores {
+			if scores[k] > scores[kBest] {
+				kBest = k
+			}
+		}
+		off, _ := dsp.ParabolicInterp(scores, kBest)
+		step := e.speeds[1] - e.speeds[0]
+		v := e.speeds[kBest] + off*step
+		conf := 1.0
+		if mid := scores[len(scores)/2]; mid > 0 {
+			conf = scores[kBest] / mid
+		}
+		out = append(out, Measurement{Time: d.Time, RadialSpeed: v, Confidence: conf})
+	}
+	return out
+}
+
+// BearingFromProjections solves the speaker bearing from radial-speed
+// projections observed while moving along two world directions d1 and d2
+// (unit vectors, typically orthogonal): cos(angle to speaker) = v_r / v.
+// vr1, vr2 are radial speeds and v1, v2 the corresponding phone speeds
+// (positive along d1/d2). The returned bearing is the world angle of the
+// speaker direction.
+func BearingFromProjections(d1, d2 geom.Vec2, vr1, v1, vr2, v2 float64) (float64, error) {
+	if v1 == 0 || v2 == 0 {
+		return 0, fmt.Errorf("doppler: zero phone speed")
+	}
+	c1 := geom.Clamp(vr1/v1, -1, 1)
+	c2 := geom.Clamp(vr2/v2, -1, 1)
+	// Solve u·d1 = c1, u·d2 = c2 for the unit bearing u.
+	det := d1.X*d2.Y - d1.Y*d2.X
+	if math.Abs(det) < 1e-9 {
+		return 0, fmt.Errorf("doppler: slide directions are collinear")
+	}
+	ux := (c1*d2.Y - c2*d1.Y) / det
+	uy := (c2*d1.X - c1*d2.X) / det
+	if ux == 0 && uy == 0 {
+		return 0, fmt.Errorf("doppler: degenerate projections")
+	}
+	return math.Atan2(uy, ux), nil
+}

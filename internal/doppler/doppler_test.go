@@ -1,0 +1,254 @@
+package doppler
+
+import (
+	"math"
+	"testing"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/geom"
+	"hyperear/internal/mic"
+	"hyperear/internal/motion"
+	"hyperear/internal/room"
+)
+
+func TestNewEstimatorValidation(t *testing.T) {
+	if _, err := NewEstimator(chirp.Params{}, 44100, DefaultConfig()); err == nil {
+		t.Error("invalid chirp should error")
+	}
+	bad := DefaultConfig()
+	bad.MaxSpeed = 0
+	if _, err := NewEstimator(chirp.Default(), 44100, bad); err == nil {
+		t.Error("zero max speed should error")
+	}
+	bad = DefaultConfig()
+	bad.Steps = 1
+	if _, err := NewEstimator(chirp.Default(), 44100, bad); err == nil {
+		t.Error("single step should error")
+	}
+	if _, err := NewEstimator(chirp.Default(), 44100, DefaultConfig()); err != nil {
+		t.Errorf("valid config: %v", err)
+	}
+}
+
+func TestResample(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	// scale 2 halves the length; values follow the line.
+	y := resample(x, 2)
+	if len(y) != 4 {
+		t.Fatalf("length %d, want 4", len(y))
+	}
+	for i, v := range y {
+		if math.Abs(v-float64(2*i)) > 1e-9 {
+			t.Errorf("y[%d] = %v, want %v", i, v, 2*i)
+		}
+	}
+	// Tiny inputs clamp to length ≥2.
+	if got := resample([]float64{1, 2}, 10); len(got) != 2 {
+		t.Errorf("clamped length %d", len(got))
+	}
+}
+
+// renderApproach renders a session in which the phone slides directly
+// toward (positive dist) or away from the speaker, and returns the
+// recording plus the slide's mid time and peak speed.
+func renderApproach(t *testing.T, dist float64) (*mic.Recording, float64, float64) {
+	t.Helper()
+	// Speaker along +y; slide along body +y (yaw 0) => radial motion.
+	traj, err := motion.NewBuilder(geom.Vec3{}, 0).
+		Hold(0.5).
+		Slide(dist, 1.0).
+		Hold(0.5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone := mic.GalaxyS4()
+	phone.SFOPPM = 0
+	phone.SelfNoiseRMS = 0
+	rec, err := mic.Render(mic.RenderConfig{
+		Env:       room.FreeField(),
+		Source:    chirp.Default(),
+		SourcePos: geom.Vec3{Y: 5},
+		Phone:     phone,
+		Traj:      traj,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 1.875 * math.Abs(dist) / 1.0
+	return rec, 1.0, peak // slide mid at t = 1.0 s
+}
+
+func TestMeasureApproachingSpeaker(t *testing.T) {
+	rec, mid, peak := renderApproach(t, 0.55) // toward the speaker
+	e, err := NewEstimator(chirp.Default(), rec.Fs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := e.Measure(rec.Mic1, mid-0.25, mid+0.25)
+	if len(ms) == 0 {
+		t.Fatal("no mid-slide measurements")
+	}
+	// At least one measurement should see a strongly positive radial
+	// speed, bounded by the peak slide speed.
+	best := ms[0]
+	for _, m := range ms {
+		if m.RadialSpeed > best.RadialSpeed {
+			best = m
+		}
+	}
+	if best.RadialSpeed < 0.3 {
+		t.Errorf("approach radial speed = %v, want > 0.3 m/s", best.RadialSpeed)
+	}
+	if best.RadialSpeed > peak+0.3 {
+		t.Errorf("radial speed %v exceeds peak slide speed %v", best.RadialSpeed, peak)
+	}
+}
+
+func TestMeasureRecedingSpeaker(t *testing.T) {
+	rec, mid, _ := renderApproach(t, -0.55) // away from the speaker
+	e, err := NewEstimator(chirp.Default(), rec.Fs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := e.Measure(rec.Mic1, mid-0.25, mid+0.25)
+	if len(ms) == 0 {
+		t.Fatal("no mid-slide measurements")
+	}
+	worst := ms[0]
+	for _, m := range ms {
+		if m.RadialSpeed < worst.RadialSpeed {
+			worst = m
+		}
+	}
+	if worst.RadialSpeed > -0.3 {
+		t.Errorf("receding radial speed = %v, want < -0.3 m/s", worst.RadialSpeed)
+	}
+}
+
+func TestMeasureStationaryIsNearZero(t *testing.T) {
+	traj, err := motion.NewBuilder(geom.Vec3{}, 0).Hold(1.0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phone := mic.GalaxyS4()
+	phone.SFOPPM = 0
+	rec, err := mic.Render(mic.RenderConfig{
+		Env:       room.FreeField(),
+		Source:    chirp.Default(),
+		SourcePos: geom.Vec3{Y: 5},
+		Phone:     phone,
+		Traj:      traj,
+		Seed:      8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(chirp.Default(), rec.Fs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := e.Measure(rec.Mic1, 0, 1)
+	if len(ms) == 0 {
+		t.Fatal("no measurements")
+	}
+	for _, m := range ms {
+		if math.Abs(m.RadialSpeed) > 0.25 {
+			t.Errorf("stationary radial speed = %v, want ≈0", m.RadialSpeed)
+		}
+	}
+}
+
+func TestBearingFromProjections(t *testing.T) {
+	d1 := geom.Vec2{X: 1, Y: 0}
+	d2 := geom.Vec2{X: 0, Y: 1}
+	// Speaker at 30°: projections are v·cos30 and v·cos60.
+	v := 1.0
+	bearing, err := BearingFromProjections(d1, d2, v*math.Cos(math.Pi/6), v, v*math.Sin(math.Pi/6), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bearing-math.Pi/6) > 1e-9 {
+		t.Errorf("bearing = %v, want π/6", bearing)
+	}
+	// Behind: negative projections.
+	bearing, err = BearingFromProjections(d1, d2, -v, v, 0, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Abs(bearing)-math.Pi) > 1e-9 {
+		t.Errorf("bearing = %v, want ±π", bearing)
+	}
+}
+
+func TestBearingFromProjectionsErrors(t *testing.T) {
+	d := geom.Vec2{X: 1, Y: 0}
+	if _, err := BearingFromProjections(d, d, 1, 1, 1, 1); err == nil {
+		t.Error("collinear directions should error")
+	}
+	if _, err := BearingFromProjections(d, geom.Vec2{Y: 1}, 1, 0, 1, 1); err == nil {
+		t.Error("zero speed should error")
+	}
+	if _, err := BearingFromProjections(d, geom.Vec2{Y: 1}, 0, 1, 0, 1); err == nil {
+		t.Error("zero projections should error")
+	}
+}
+
+// TestDopplerBearingEndToEnd: slides along world +x then world +y, with
+// the speaker at a known bearing; the two radial-speed measurements must
+// recover the bearing to within ~15°. This is the Shake-and-Walk-style
+// baseline HyperEar's SDF is compared against.
+func TestDopplerBearingEndToEnd(t *testing.T) {
+	phone := mic.GalaxyS4()
+	phone.SFOPPM = 0
+	phone.SelfNoiseRMS = 0
+	speaker := geom.Vec3{X: 4, Y: 3} // bearing atan2(3,4) ≈ 36.9°
+	trueBearing := math.Atan2(3, 4)
+
+	slideAlong := func(yaw float64) (vr float64, vPeak float64) {
+		traj, err := motion.NewBuilder(geom.Vec3{}, yaw).
+			Hold(0.5).Slide(0.55, 1.0).Hold(0.5).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := mic.Render(mic.RenderConfig{
+			Env: room.FreeField(), Source: chirp.Default(), SourcePos: speaker,
+			Phone: phone, Traj: traj, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEstimator(chirp.Default(), rec.Fs, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms := e.Measure(rec.Mic1, 0.8, 1.2)
+		if len(ms) == 0 {
+			t.Fatal("no mid-slide measurements")
+		}
+		// Use the measurement nearest mid-slide and the true speed there.
+		best := ms[0]
+		for _, m := range ms {
+			if math.Abs(m.Time-1.0) < math.Abs(best.Time-1.0) {
+				best = m
+			}
+		}
+		pose := traj.Pose(best.Time)
+		return best.RadialSpeed, pose.Vel.Norm()
+	}
+
+	// Slide along world +x: body +y must point along +x => yaw -π/2.
+	vr1, v1 := slideAlong(-math.Pi / 2)
+	// Slide along world +y: yaw 0.
+	vr2, v2 := slideAlong(0)
+
+	bearing, err := BearingFromProjections(geom.Vec2{X: 1}, geom.Vec2{Y: 1}, vr1, v1, vr2, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(geom.WrapAngle(bearing - trueBearing)); diff > geom.Radians(15) {
+		t.Errorf("Doppler bearing = %.1f°, want %.1f° (err %.1f°)",
+			geom.Degrees(bearing), geom.Degrees(trueBearing), geom.Degrees(diff))
+	}
+}

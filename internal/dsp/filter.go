@@ -1,0 +1,192 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter defined by its tap coefficients.
+type FIR struct {
+	taps []float64
+}
+
+// Taps returns a copy of the filter coefficients.
+func (f *FIR) Taps() []float64 {
+	out := make([]float64, len(f.taps))
+	copy(out, f.taps)
+	return out
+}
+
+// Len returns the number of taps.
+func (f *FIR) Len() int { return len(f.taps) }
+
+// GroupDelay returns the filter's group delay in samples ((N-1)/2 for the
+// linear-phase designs produced by this package).
+func (f *FIR) GroupDelay() float64 { return float64(len(f.taps)-1) / 2 }
+
+// NewLowPass designs a linear-phase low-pass FIR with the windowed-sinc
+// method: cutoff in Hz, fs in Hz, ntaps odd (incremented if even). A
+// Hamming window shapes the sidelobes.
+func NewLowPass(cutoff, fs float64, ntaps int) (*FIR, error) {
+	if cutoff <= 0 || cutoff >= fs/2 {
+		return nil, fmt.Errorf("dsp: low-pass cutoff %v Hz outside (0, fs/2=%v)", cutoff, fs/2)
+	}
+	if ntaps < 3 {
+		return nil, fmt.Errorf("dsp: need at least 3 taps, got %d", ntaps)
+	}
+	if ntaps%2 == 0 {
+		ntaps++
+	}
+	taps := make([]float64, ntaps)
+	fc := cutoff / fs // normalized (cycles/sample)
+	mid := float64(ntaps-1) / 2
+	win := hammingWindow(ntaps)
+	var sum float64
+	for i := range taps {
+		t := float64(i) - mid
+		taps[i] = 2 * fc * sinc(2*fc*t) * win[i]
+		sum += taps[i]
+	}
+	// Normalize DC gain to exactly 1.
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return &FIR{taps: taps}, nil
+}
+
+// NewHighPass designs a linear-phase high-pass FIR by spectral inversion of
+// the corresponding low-pass.
+func NewHighPass(cutoff, fs float64, ntaps int) (*FIR, error) {
+	lp, err := NewLowPass(cutoff, fs, ntaps)
+	if err != nil {
+		return nil, err
+	}
+	taps := lp.taps
+	for i := range taps {
+		taps[i] = -taps[i]
+	}
+	taps[(len(taps)-1)/2] += 1
+	return &FIR{taps: taps}, nil
+}
+
+// NewBandPass designs a linear-phase band-pass FIR passing [lo, hi] Hz,
+// built as the difference of two low-pass designs. This is the filter
+// HyperEar's ASP stage uses to isolate the 2-6.4 kHz chirp band from
+// ambient noise (human voice < 2 kHz is rejected entirely, §VII-E).
+func NewBandPass(lo, hi, fs float64, ntaps int) (*FIR, error) {
+	if lo >= hi {
+		return nil, fmt.Errorf("dsp: band-pass lo %v >= hi %v", lo, hi)
+	}
+	lpHi, err := NewLowPass(hi, fs, ntaps)
+	if err != nil {
+		return nil, fmt.Errorf("dsp: band-pass upper edge: %w", err)
+	}
+	lpLo, err := NewLowPass(lo, fs, ntaps)
+	if err != nil {
+		return nil, fmt.Errorf("dsp: band-pass lower edge: %w", err)
+	}
+	taps := make([]float64, lpHi.Len())
+	for i := range taps {
+		taps[i] = lpHi.taps[i] - lpLo.taps[i]
+	}
+	return &FIR{taps: taps}, nil
+}
+
+// Apply filters x and returns a slice of the same length. The output is
+// time-aligned with the input by compensating the (N-1)/2-sample group
+// delay, so correlation peak positions are preserved. For long inputs the
+// convolution runs via FFT overlap; for short inputs it runs directly.
+func (f *FIR) Apply(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	var full []float64
+	if len(x)*len(f.taps) > 1<<18 {
+		full = fftConvolve(x, f.taps)
+	} else {
+		full = directConvolve(x, f.taps)
+	}
+	delay := (len(f.taps) - 1) / 2
+	out := make([]float64, len(x))
+	copy(out, full[delay:delay+len(x)])
+	return out
+}
+
+// Response returns the filter's magnitude response at frequency freq Hz for
+// sampling rate fs, evaluated exactly from the tap coefficients.
+func (f *FIR) Response(freq, fs float64) float64 {
+	w := 2 * math.Pi * freq / fs
+	var re, im float64
+	for i, t := range f.taps {
+		re += t * math.Cos(w*float64(i))
+		im -= t * math.Sin(w*float64(i))
+	}
+	return math.Hypot(re, im)
+}
+
+func directConvolve(x, h []float64) []float64 {
+	out := make([]float64, len(x)+len(h)-1)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		for j, hj := range h {
+			out[i+j] += xi * hj
+		}
+	}
+	return out
+}
+
+func fftConvolve(x, h []float64) []float64 {
+	n := NextPow2(len(x) + len(h) - 1)
+	fx := make([]complex128, n)
+	fh := make([]complex128, n)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	for i, v := range h {
+		fh[i] = complex(v, 0)
+	}
+	fft(fx, false)
+	fft(fh, false)
+	for i := range fx {
+		fx[i] *= fh[i]
+	}
+	fft(fx, true)
+	scale := 1 / float64(n)
+	out := make([]float64, len(x)+len(h)-1)
+	for i := range out {
+		out[i] = real(fx[i]) * scale
+	}
+	return out
+}
+
+func sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+// MovingAverage applies the simple moving average (SMA) filter the paper
+// uses for inertial noise removal (§V-A-1): y[t] is the unweighted mean of
+// the previous n samples x[t-n+1..t]. The first n-1 outputs average the
+// available prefix. n=4 at 100 Hz gives the paper's ≈15 Hz -3 dB cutoff.
+func MovingAverage(x []float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, len(x))
+	var sum float64
+	for i, v := range x {
+		sum += v
+		if i >= n {
+			sum -= x[i-n]
+			out[i] = sum / float64(n)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func chirplet(n int, fs float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) / fs
+		f := 2000 + 50000*t
+		out[i] = math.Sin(2 * math.Pi * f * t)
+	}
+	return out
+}
+
+func TestGCCPhatFindsDelay(t *testing.T) {
+	fs := 44100.0
+	ref := chirplet(1764, fs)
+	x := make([]float64, 8192)
+	k := 3000
+	copy(x[k:], ref)
+	r := GCCPhat(x, ref)
+	best := 0
+	for i := range r {
+		if r[i] > r[best] {
+			best = i
+		}
+	}
+	if best != k {
+		t.Errorf("PHAT peak at %d, want %d", best, k)
+	}
+}
+
+func TestGCCPhatSharperThanCorrelationUnderEcho(t *testing.T) {
+	// Add a strong echo 30 samples after the direct path: PHAT's
+	// whitening should keep the direct peak dominant and narrow.
+	fs := 44100.0
+	ref := chirplet(1764, fs)
+	x := make([]float64, 8192)
+	k := 3000
+	for i, v := range ref {
+		x[k+i] += v
+		x[k+30+i] += 0.8 * v
+	}
+	phat := GCCPhat(x, ref)
+	bestP := 0
+	for i := range phat {
+		if phat[i] > phat[bestP] {
+			bestP = i
+		}
+	}
+	if bestP != k {
+		t.Errorf("PHAT peak at %d under echo, want %d", bestP, k)
+	}
+	// Peak sharpness: ratio of the peak to its neighbor 5 samples away
+	// should be higher for PHAT than for plain correlation.
+	plain := CrossCorrelate(x, ref)
+	bestC := 0
+	for i := range plain {
+		if plain[i] > plain[bestC] {
+			bestC = i
+		}
+	}
+	phatRatio := phat[bestP] / math.Abs(phat[bestP+5])
+	plainRatio := plain[bestC] / math.Abs(plain[bestC+5])
+	if phatRatio < plainRatio {
+		t.Errorf("PHAT should sharpen the peak: phat %.1f vs plain %.1f", phatRatio, plainRatio)
+	}
+}
+
+func TestGCCPhatEmpty(t *testing.T) {
+	if got := GCCPhat(nil, []float64{1}); got != nil {
+		t.Error("empty x should return nil")
+	}
+	if got := GCCPhat([]float64{1}, nil); got != nil {
+		t.Error("empty ref should return nil")
+	}
+}
+
+func TestGCCPhatPeakIsBounded(t *testing.T) {
+	// After whitening, the correlation values are bounded by 1 (all
+	// spectral magnitudes equal 1, IFFT of a unit-modulus spectrum).
+	rng := rand.New(rand.NewSource(21))
+	x := make([]float64, 2048)
+	ref := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	r := GCCPhat(x, ref)
+	for i, v := range r {
+		if math.Abs(v) > 1+1e-9 {
+			t.Fatalf("PHAT[%d] = %v exceeds 1", i, v)
+		}
+	}
+}

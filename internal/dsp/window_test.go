@@ -1,0 +1,118 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowsEndpointsAndSymmetry(t *testing.T) {
+	for name, fn := range map[string]func(int) []float64{
+		"hann": Hann, "hamming": Hamming, "blackman": Blackman,
+	} {
+		w := fn(64)
+		if len(w) != 64 {
+			t.Errorf("%s: length %d", name, len(w))
+		}
+		for i := 0; i < len(w)/2; i++ {
+			if math.Abs(w[i]-w[len(w)-1-i]) > 1e-12 {
+				t.Errorf("%s: asymmetric at %d", name, i)
+			}
+		}
+		// Mid value must be the window's maximum region.
+		if w[32] < w[0] {
+			t.Errorf("%s: not peaked at center", name)
+		}
+	}
+	if got := Hann(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Hann(1) = %v, want [1]", got)
+	}
+}
+
+func TestHannZeroEndpoints(t *testing.T) {
+	w := Hann(33)
+	if math.Abs(w[0]) > 1e-12 || math.Abs(w[32]) > 1e-12 {
+		t.Errorf("Hann endpoints = %v, %v, want 0", w[0], w[32])
+	}
+	if math.Abs(w[16]-1) > 1e-12 {
+		t.Errorf("Hann center = %v, want 1", w[16])
+	}
+}
+
+func TestRMSAndEnergy(t *testing.T) {
+	x := []float64{3, -4}
+	if got := RMS(x); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMS = %v", got)
+	}
+	if got := Energy(x); got != 25 {
+		t.Errorf("Energy = %v, want 25", got)
+	}
+	if got := RMS(nil); got != 0 {
+		t.Errorf("RMS(nil) = %v, want 0", got)
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	if got := DB(10); math.Abs(got-20) > 1e-12 {
+		t.Errorf("DB(10) = %v, want 20", got)
+	}
+	if got := PowerDB(10); math.Abs(got-10) > 1e-12 {
+		t.Errorf("PowerDB(10) = %v, want 10", got)
+	}
+	if got := FromDB(20); math.Abs(got-10) > 1e-12 {
+		t.Errorf("FromDB(20) = %v, want 10", got)
+	}
+	// Round trip.
+	for _, v := range []float64{0.1, 1, 3.7, 100} {
+		if got := FromDB(DB(v)); math.Abs(got-v) > 1e-9 {
+			t.Errorf("FromDB(DB(%v)) = %v", v, got)
+		}
+	}
+}
+
+func TestSNRdB(t *testing.T) {
+	sig := []float64{10, -10, 10, -10}
+	noise := []float64{1, -1, 1, -1}
+	if got := SNRdB(sig, noise); math.Abs(got-20) > 1e-9 {
+		t.Errorf("SNRdB = %v, want 20", got)
+	}
+	if got := SNRdB(sig, []float64{0, 0}); !math.IsInf(got, 1) {
+		t.Errorf("SNR with silent noise = %v, want +Inf", got)
+	}
+}
+
+func TestGoertzelMatchesSpectrum(t *testing.T) {
+	fs := 8000.0
+	n := 800
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 440 * float64(i) / fs)
+	}
+	at440 := Goertzel(x, 440, fs)
+	at2000 := Goertzel(x, 2000, fs)
+	if at440 < 100*at2000 {
+		t.Errorf("Goertzel should isolate 440 Hz: %v vs %v", at440, at2000)
+	}
+}
+
+func TestMeanDetrend(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if got := Mean(x); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	y := Detrend([]float64{1, 2, 3})
+	if math.Abs(Mean(y)) > 1e-12 {
+		t.Errorf("Detrend mean = %v, want 0", Mean(y))
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{1, -5, 3}); got != 5 {
+		t.Errorf("MaxAbs = %v, want 5", got)
+	}
+	if got := MaxAbs(nil); got != 0 {
+		t.Errorf("MaxAbs(nil) = %v, want 0", got)
+	}
+}

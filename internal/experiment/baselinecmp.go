@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hyperear/internal/baseline"
+	"hyperear/internal/core"
+	"hyperear/internal/mic"
+	"hyperear/internal/room"
+	"hyperear/internal/sim"
+)
+
+// RunBaselineComparison pits the §II naive scheme (single-position
+// quantized TDoA + known 30 cm phone move) against full HyperEar sessions
+// at matched distances — the motivating comparison behind Figures 2 and 3.
+// The naive scheme gets *idealized* conditions (exact displacement
+// knowledge, no noise beyond ADC quantization); HyperEar runs the full
+// noisy simulation. It still loses badly beyond 2 m.
+func RunBaselineComparison(opt Options) Figure {
+	fig := Figure{
+		ID:    "cmp-baseline",
+		Title: "Naive quantized-TDoA scheme vs HyperEar (ruler, matched distances)",
+		Notes: []string{
+			"naive scheme is idealized (exact move, quantization only); HyperEar runs the full noisy pipeline",
+		},
+	}
+	cfg := baseline.DefaultConfig()
+	rng := rand.New(rand.NewSource(opt.Seed + 500))
+	for _, r := range []float64{1, 3, 5, 7} {
+		r := r
+		naive := baseline.Sweep(cfg, r, opt.Trials*20, rng)
+		fig.Conditions = append(fig.Conditions, Condition{
+			Label:  fmt.Sprintf("naive @%gm", r),
+			Errors: naive.Sample,
+			Failed: naive.Failed,
+		})
+
+		errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+int64(r*17),
+			func(_ int, rng *rand.Rand) (float64, error) {
+				spec := trialSpec{
+					env:      room.MeetingRoom(),
+					phone:    mic.GalaxyS4(),
+					distance: r,
+					phoneZ:   1.2, speakerZ: 1.2,
+					noise: room.WhiteNoise{}, snrDB: 15,
+					protocol: sim.Protocol{
+						SlideDist: 0.55,
+						SlideDur:  1.0,
+						HoldDur:   0.45,
+						Slides:    5,
+						Mode:      sim.ModeRuler,
+					},
+					pipeline: func(c *core.Config) {},
+				}
+				return runTrial(spec, rng)
+			})
+		fig.Conditions = append(fig.Conditions, Condition{
+			Label:  fmt.Sprintf("HyperEar @%gm", r),
+			Errors: errs,
+			Failed: failed,
+		})
+	}
+	return fig
+}

@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDirectionComparisonQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	fig := RunDirectionComparison(Options{Trials: 2, Seed: 3})
+	if len(fig.Conditions) != 2 {
+		t.Fatalf("conditions = %d", len(fig.Conditions))
+	}
+	joined := strings.Join(fig.Notes, " ")
+	if !strings.Contains(joined, "SDF:") || !strings.Contains(joined, "Doppler:") {
+		t.Errorf("notes missing summaries: %v", fig.Notes)
+	}
+	if len(fig.Conditions[0].Series)+fig.Conditions[0].Failed != 2 {
+		t.Errorf("SDF trials unaccounted: %+v", fig.Conditions[0])
+	}
+}
+
+func TestRunBaselineComparisonQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	fig := RunBaselineComparison(Options{Trials: 2, Seed: 4})
+	if len(fig.Conditions) != 8 {
+		t.Fatalf("conditions = %d, want 8", len(fig.Conditions))
+	}
+	// At 5 m HyperEar must beat the naive scheme decisively.
+	var naive5, he5 float64
+	for _, c := range fig.Conditions {
+		switch c.Label {
+		case "naive @5m":
+			naive5 = c.Summary().Mean
+		case "HyperEar @5m":
+			he5 = c.Summary().Mean
+		}
+	}
+	if naive5 == 0 || he5 == 0 {
+		t.Fatalf("missing conditions: %+v", fig.Conditions)
+	}
+	if he5 > naive5/3 {
+		t.Errorf("HyperEar @5m = %v should beat naive %v by ≥3x", he5, naive5)
+	}
+}

@@ -1,0 +1,276 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hyperear/internal/baseline"
+	"hyperear/internal/chirp"
+	"hyperear/internal/core"
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/motion"
+	"hyperear/internal/room"
+	"hyperear/internal/sim"
+)
+
+// RunFig3 reproduces the Section II-C / Figure 3 analysis: the naive
+// two-microphone scheme's localization ambiguity grows dramatically with
+// the speaker distance. The paper quotes errors up to 18.6 cm at 1 m and
+// 266.7 cm at 5 m on a Galaxy S4.
+func RunFig3(opt Options) Figure {
+	cfg := baseline.DefaultConfig()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	fig := Figure{
+		ID:    "fig3",
+		Title: "Naive two-mic scheme: error vs speaker distance (Monte Carlo)",
+		Notes: []string{
+			fmt.Sprintf("S4 distinguishable hyperbolas N = %d (paper: 35)",
+				geom.DistinguishableHyperbolas(cfg.MicSeparation, cfg.SampleRate, cfg.SpeedOfSound)),
+			fmt.Sprintf("TDoA resolution %.1f µs, Δd resolution %.2f mm (paper: ~23 µs, 7.78 mm)",
+				geom.TDoAResolution(cfg.SampleRate)*1e6,
+				geom.DeltaDResolution(cfg.SampleRate, cfg.SpeedOfSound)*1000),
+		},
+	}
+	trials := opt.Trials * 30
+	for _, r := range []float64{1, 2, 3, 4, 5} {
+		e := baseline.Sweep(cfg, r, trials, rng)
+		paper := ""
+		switch r {
+		case 1:
+			paper = "error up to 18.6cm at 1m"
+		case 5:
+			paper = "error up to 266.7cm at 5m"
+		}
+		fig.Conditions = append(fig.Conditions, Condition{
+			Label:  fmt.Sprintf("naive @%gm", r),
+			Errors: e.Sample,
+			Failed: e.Failed,
+			Paper:  paper,
+		})
+	}
+	return fig
+}
+
+// RunFig4 reproduces Figure 4: TDoA hyperbola regions are densest
+// broadside (a), and widening the baseline D→D' shrinks them everywhere
+// (b) — the two observations HyperEar's design rests on.
+func RunFig4(Options) Figure {
+	res := geom.DeltaDResolution(44100, geom.SpeedOfSound)
+	fig := Figure{
+		ID:    "fig4",
+		Title: "Hyperbola region width (m) vs bearing at 3 m range",
+	}
+	for _, d := range []float64{0.1366, 0.55} {
+		deg, width := geom.DensityProfile(d, res, 3, 18)
+		cond := Condition{Label: fmt.Sprintf("D = %.0f cm", d*100)}
+		if d > 0.2 {
+			cond.Paper = "wider separation => denser hyperbolas (Fig 4b)"
+		} else {
+			cond.Paper = "dense broadside, sparse endfire (Fig 4a)"
+		}
+		for i := range deg {
+			y := width[i]
+			if math.IsInf(y, 1) {
+				y = -1 // sentinel: region unbounded at this bearing
+			}
+			cond.Series = append(cond.Series, Point{X: deg[i], Y: y})
+		}
+		fig.Conditions = append(fig.Conditions, cond)
+	}
+	fig.Notes = append(fig.Notes,
+		"width -1 marks bearings whose quantization region is unbounded",
+		"sliding the phone 55 cm gives the same densification as a 55 cm mic baseline")
+	return fig
+}
+
+// RunFig7 reproduces Figure 7: the measured TDoA as the phone rolls
+// through 360°, crossing zero at the two in-direction angles. It runs a
+// full simulated rotation sweep through the real ASP+SDF stages and pairs
+// the measurement with the far-field envelope.
+func RunFig7(opt Options) Figure {
+	phone := mic.GalaxyS4()
+	src := chirp.Default()
+	phonePos := geom.Vec3{X: 6, Y: 6, Z: 1.2}
+	spk := geom.Vec3{X: 11, Y: 6, Z: 1.2} // due +x: bearing 0
+
+	fig := Figure{
+		ID:    "fig7",
+		Title: "TDoA vs rotation angle α during a 360° roll (speaker at 5 m)",
+	}
+	traj, err := sim.RotationSweep(phonePos, 8)
+	if err != nil {
+		fig.Notes = append(fig.Notes, "sweep build failed: "+err.Error())
+		return fig
+	}
+	rec, err := mic.Render(mic.RenderConfig{
+		Env: room.MeetingRoom(), Source: src, SourcePos: spk,
+		Phone: phone, Traj: traj,
+		Noise: room.WhiteNoise{}, SNRdB: 15, Seed: opt.Seed,
+	})
+	if err != nil {
+		fig.Notes = append(fig.Notes, "render failed: "+err.Error())
+		return fig
+	}
+	imuCfg := imu.DefaultConfig()
+	imuCfg.Seed = opt.Seed + 1
+	trace, err := imu.Sample(traj, imuCfg)
+	if err != nil {
+		fig.Notes = append(fig.Notes, "imu failed: "+err.Error())
+		return fig
+	}
+	asp, err := core.NewASP(src, phone.SampleRate, core.DefaultASPConfig())
+	if err != nil {
+		fig.Notes = append(fig.Notes, "asp failed: "+err.Error())
+		return fig
+	}
+	res, err := asp.Process(rec)
+	if err != nil {
+		fig.Notes = append(fig.Notes, "asp process failed: "+err.Error())
+		return fig
+	}
+	yaws := imu.IntegrateYaw(trace, 0)
+	yawAt := func(t float64) float64 {
+		i := int(t * trace.Fs)
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(yaws) {
+			i = len(yaws) - 1
+		}
+		return yaws[i]
+	}
+	// Measured: TDoA per beacon against rotation angle α. With the
+	// speaker at world bearing 0 and the phone yaw φ, the paper's α
+	// (angle of the speaker from the body +y axis) is α = 90° - (-φ)
+	// ... concretely ψ = bearing - φ = -φ and α = 90° - ψ·(180/π).
+	meas := Condition{Label: "measured (ASP pipeline)", Paper: "zeros at 90° and 270°"}
+	for _, b := range res.Beacons {
+		psi := geom.WrapAngle(0 - yawAt(b.T1))
+		alpha := 90 - geom.Degrees(psi)
+		if alpha < 0 {
+			alpha += 360
+		}
+		meas.Series = append(meas.Series, Point{X: alpha, Y: b.TDoA() * 1000})
+	}
+	fig.Conditions = append(fig.Conditions, meas)
+
+	env := Condition{Label: "far-field envelope -(D/S)cos α (ms)"}
+	alphaDeg, tdoas := core.TDoAEnvelope(phone.MicSeparation, room.MeetingRoom().SpeedOfSound(), 19)
+	for i := range alphaDeg {
+		env.Series = append(env.Series, Point{X: alphaDeg[i], Y: tdoas[i] * 1000})
+	}
+	fig.Conditions = append(fig.Conditions, env)
+
+	// SDF zero crossings.
+	sdf := core.FindDirection(res.Beacons, yawAt, +1)
+	for _, f := range sdf.Fixes {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"SDF in-direction fix at t=%.2fs yaw=%.1f° bearing=%.1f° (true bearing 0°)",
+			f.Time, geom.Degrees(f.Yaw), geom.Degrees(f.BearingWorld)))
+	}
+	return fig
+}
+
+// RunFig8 reproduces Figure 8: power-based movement segmentation of a
+// back-and-forth slide session.
+func RunFig8(opt Options) Figure {
+	fig := Figure{
+		ID:    "fig8",
+		Title: "Movement segmentation from acceleration power (3 slides)",
+	}
+	traj, err := motion.NewBuilder(geom.Vec3{}, 0).
+		Hold(1).Slide(0.55, 1).Hold(0.6).Slide(-0.55, 1).Hold(0.6).Slide(0.55, 1).Hold(1).
+		Build()
+	if err != nil {
+		fig.Notes = append(fig.Notes, "trajectory failed: "+err.Error())
+		return fig
+	}
+	cfg := imu.DefaultConfig()
+	cfg.Seed = opt.Seed
+	trace, err := imu.Sample(traj, cfg)
+	if err != nil {
+		fig.Notes = append(fig.Notes, "imu failed: "+err.Error())
+		return fig
+	}
+	msp, err := core.PreprocessIMU(trace, core.DefaultMSPConfig())
+	if err != nil {
+		fig.Notes = append(fig.Notes, "msp failed: "+err.Error())
+		return fig
+	}
+	// Downsampled power curve.
+	cond := Condition{Label: "power level (m/s²)², 10 Hz samples"}
+	for i := 0; i < len(msp.Power); i += 10 {
+		cond.Series = append(cond.Series, Point{X: float64(i) / msp.Fs, Y: msp.Power[i]})
+	}
+	fig.Conditions = append(fig.Conditions, cond)
+	fig.Notes = append(fig.Notes, fmt.Sprintf("segments found: %d (true slides: 3)", len(msp.Segments)))
+	for i, s := range msp.Segments {
+		fig.Notes = append(fig.Notes, fmt.Sprintf("segment %d: %.2f-%.2f s",
+			i, float64(s.Start)/msp.Fs, float64(s.End)/msp.Fs))
+	}
+	return fig
+}
+
+// RunFig9 reproduces Figure 9: the integral velocity of a slide drifts
+// linearly under accelerometer bias; anchoring zero velocity at both ends
+// removes the drift (eq. 4).
+func RunFig9(opt Options) Figure {
+	fig := Figure{
+		ID:    "fig9",
+		Title: "Velocity drift removal on one slide (biased accelerometer)",
+	}
+	traj, err := motion.NewBuilder(geom.Vec3{}, 0).
+		Hold(0.6).Slide(0.55, 1).Hold(0.6).Build()
+	if err != nil {
+		fig.Notes = append(fig.Notes, "trajectory failed: "+err.Error())
+		return fig
+	}
+	cfg := imu.DefaultConfig()
+	cfg.AccelBiasStd = 0.12
+	cfg.Seed = opt.Seed + 3
+	trace, err := imu.Sample(traj, cfg)
+	if err != nil {
+		fig.Notes = append(fig.Notes, "imu failed: "+err.Error())
+		return fig
+	}
+	msp, err := core.PreprocessIMU(trace, core.DefaultMSPConfig())
+	if err != nil || len(msp.Segments) == 0 {
+		fig.Notes = append(fig.Notes, "segmentation found no movement")
+		return fig
+	}
+	seg := msp.Segments[0]
+	ay := msp.AccelY[seg.Start:seg.End]
+	// Raw integral.
+	raw := Condition{Label: "integral speed (m/s)", Paper: "drifts from 0 at slide end"}
+	var v float64
+	dt := 1 / msp.Fs
+	for i, a := range ay {
+		v += a * dt
+		if i%5 == 0 {
+			raw.Series = append(raw.Series, Point{X: float64(i) * dt, Y: v})
+		}
+	}
+	rawEnd := v
+	corrVel, slope := core.CorrectVelocity(ay, msp.Fs)
+	corr := Condition{Label: "corrected speed (m/s)", Paper: "returns to 0 at slide end"}
+	for i := 0; i < len(corrVel); i += 5 {
+		corr.Series = append(corr.Series, Point{X: float64(i) * dt, Y: corrVel[i]})
+	}
+	fig.Conditions = append(fig.Conditions, raw, corr)
+
+	rawDisp := 0.0
+	v = 0
+	for _, a := range ay {
+		v += a * dt
+		rawDisp += v * dt
+	}
+	corrDisp := core.IntegrateDisplacement(corrVel, msp.Fs)
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("terminal velocity raw %.4f m/s, corrected %.4f m/s (drift slope %.4f m/s²)",
+			rawEnd, corrVel[len(corrVel)-1], slope),
+		fmt.Sprintf("displacement: raw %.3f m, corrected %.3f m, truth 0.550 m", rawDisp, corrDisp))
+	return fig
+}

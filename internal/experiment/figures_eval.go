@@ -1,0 +1,332 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/core"
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/room"
+	"hyperear/internal/sim"
+)
+
+// trialSpec describes one randomized localization trial.
+type trialSpec struct {
+	env       room.Environment
+	phone     mic.Phone
+	distance  float64 // horizontal speaker distance in meters
+	protocol  sim.Protocol
+	noise     room.NoiseSource
+	snrDB     float64
+	speakerZ  float64 // speaker height (0 = same as phone)
+	phoneZ    float64
+	threeD    bool // run Locate3D instead of Locate2D
+	pipeline  func(cfg *core.Config)
+	skewPPM   float64
+	imuConfig *imu.Config
+}
+
+// placeInRoom draws a phone position and a speaker position the given
+// horizontal distance apart, both inside the room with a wall margin.
+func placeInRoom(env room.Environment, dist, phoneZ, speakerZ float64, rng *rand.Rand) (phonePos, spkPos geom.Vec3) {
+	const margin = 1.0
+	for attempt := 0; attempt < 1000; attempt++ {
+		px := margin + rng.Float64()*(env.Size.X-2*margin)
+		py := margin + rng.Float64()*(env.Size.Y-2*margin)
+		theta := rng.Float64() * 2 * math.Pi
+		sx := px + dist*math.Cos(theta)
+		sy := py + dist*math.Sin(theta)
+		if sx < margin || sx > env.Size.X-margin || sy < margin || sy > env.Size.Y-margin {
+			continue
+		}
+		return geom.Vec3{X: px, Y: py, Z: phoneZ}, geom.Vec3{X: sx, Y: sy, Z: speakerZ}
+	}
+	// Fallback: center placement along x.
+	cy := env.Size.Y / 2
+	return geom.Vec3{X: margin, Y: cy, Z: phoneZ},
+		geom.Vec3{X: margin + dist, Y: cy, Z: speakerZ}
+}
+
+// runTrial renders one randomized session and returns the localization
+// error in meters (projected for 3D trials).
+func runTrial(spec trialSpec, rng *rand.Rand) (float64, error) {
+	phonePos, spkPos := placeInRoom(spec.env, spec.distance, spec.phoneZ, spec.speakerZ, rng)
+	imuCfg := imu.DefaultConfig()
+	if spec.imuConfig != nil {
+		imuCfg = *spec.imuConfig
+	}
+	skew := spec.skewPPM
+	if skew == 0 {
+		skew = -30 + 60*rng.Float64() // typical consumer clock spread
+	}
+	sc := sim.Scenario{
+		Env:            spec.env,
+		Phone:          spec.phone,
+		Source:         chirp.Default(),
+		SpeakerPos:     spkPos,
+		SpeakerSkewPPM: skew,
+		PhoneStart:     phonePos,
+		Protocol:       spec.protocol,
+		IMU:            imuCfg,
+		Noise:          spec.noise,
+		SNRdB:          spec.snrDB,
+		Seed:           rng.Int63(),
+	}
+	s, err := sim.Run(sc)
+	if err != nil {
+		return 0, err
+	}
+	cfg := core.DefaultConfig(sc.Source, spec.phone.SampleRate, spec.phone.MicSeparation)
+	if spec.pipeline != nil {
+		spec.pipeline(&cfg)
+	}
+	loc, err := core.NewLocalizer(cfg)
+	if err != nil {
+		return 0, err
+	}
+	believedYaw := s.TrueYaw - geom.Radians(sc.Protocol.YawErrDeg)
+	toWorld := func(p geom.Vec2) geom.Vec2 {
+		return sc.PhoneStart.XY().Add(p.Rotate(believedYaw))
+	}
+	if spec.threeD {
+		res, err := loc.Locate3D(s.Recording, s.IMU)
+		if err != nil {
+			return 0, err
+		}
+		est := toWorld(res.ProjectedPos)
+		return est.Dist(spkPos.XY()), nil
+	}
+	res, err := loc.Locate2D(s.Recording, s.IMU)
+	if err != nil {
+		return 0, err
+	}
+	est := toWorld(res.Pos)
+	return est.Dist(spkPos.XY()), nil
+}
+
+// slideDuration keeps the commanded peak velocity at ≈1 m/s across slide
+// lengths (short slides are quicker), bounded below for realism.
+func slideDuration(dist float64) float64 {
+	d := 1.875 * dist // min-jerk peak velocity = 1.875·d/T = 1 m/s
+	if d < 0.4 {
+		return 0.4
+	}
+	return d
+}
+
+// RunFig14 reproduces Figure 14: CDFs of 2D localization error for slide
+// buckets 10-20 / 30-40 / 40-50 / 50-60 cm with the Note3 on a slide
+// ruler, speaker 5 m away. The paper reports mean error falling from
+// 142 cm (10-20 cm slides) to 18 cm (50-60 cm slides).
+func RunFig14(opt Options) Figure {
+	fig := Figure{
+		ID:    "fig14",
+		Title: "2D error vs sliding distance, Note3 on slide ruler @5m",
+		Notes: []string{"slide-length gate disabled: short slides are the subject here"},
+	}
+	buckets := []struct {
+		lo, hi float64
+		paper  string
+	}{
+		{0.10, 0.20, "mean ≈142cm"},
+		{0.30, 0.40, ""},
+		{0.40, 0.50, ""},
+		{0.50, 0.60, "mean ≈18cm"},
+	}
+	for _, b := range buckets {
+		lo, hi := b.lo, b.hi
+		errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+int64(lo*1000),
+			func(_ int, rng *rand.Rand) (float64, error) {
+				dist := lo + (hi-lo)*rng.Float64()
+				spec := trialSpec{
+					env:      room.MeetingRoom(),
+					phone:    mic.GalaxyNote3(),
+					distance: 5,
+					phoneZ:   1.2, speakerZ: 1.2,
+					noise: room.WhiteNoise{}, snrDB: 15,
+					protocol: sim.Protocol{
+						SlideDist: dist,
+						SlideDur:  slideDuration(dist),
+						HoldDur:   0.45,
+						Slides:    5,
+						Mode:      sim.ModeRuler,
+					},
+					pipeline: func(cfg *core.Config) { cfg.PDE.MinSlideDist = 0 },
+				}
+				return runTrial(spec, rng)
+			})
+		fig.Conditions = append(fig.Conditions, Condition{
+			Label:  fmt.Sprintf("sliding %.0f-%.0fcm", lo*100, hi*100),
+			Errors: errs,
+			Failed: failed,
+			Paper:  b.paper,
+		})
+	}
+	return fig
+}
+
+// distanceFigure runs the Fig 15/16 protocol for one phone: 50-60 cm
+// ruler slides, speaker distance 1-7 m, 2D error CDFs.
+func distanceFigure(opt Options, id string, phone mic.Phone, paperAt map[float64]string) Figure {
+	fig := Figure{
+		ID:    id,
+		Title: fmt.Sprintf("2D error vs speaker distance, %s on slide ruler (50-60cm slides)", phone.Name),
+	}
+	for _, r := range []float64{1, 2, 3, 5, 7} {
+		r := r
+		errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+int64(r*31),
+			func(_ int, rng *rand.Rand) (float64, error) {
+				dist := 0.50 + 0.10*rng.Float64()
+				spec := trialSpec{
+					env:      room.MeetingRoom(),
+					phone:    phone,
+					distance: r,
+					phoneZ:   1.2, speakerZ: 1.2,
+					noise: room.WhiteNoise{}, snrDB: 15,
+					protocol: sim.Protocol{
+						SlideDist: dist,
+						SlideDur:  slideDuration(dist),
+						HoldDur:   0.45,
+						Slides:    5,
+						Mode:      sim.ModeRuler,
+					},
+				}
+				return runTrial(spec, rng)
+			})
+		fig.Conditions = append(fig.Conditions, Condition{
+			Label:  fmt.Sprintf("%gm", r),
+			Errors: errs,
+			Failed: failed,
+			Paper:  paperAt[r],
+		})
+	}
+	return fig
+}
+
+// RunFig15 reproduces Figure 15 (Galaxy S4 on the ruler; paper: mean
+// 2.0 cm / p90 3.5 cm at 1 m, 14.4 cm / 22.3 cm at 7 m).
+func RunFig15(opt Options) Figure {
+	return distanceFigure(opt, "fig15", mic.GalaxyS4(), map[float64]string{
+		1: "mean 2.0cm, p90 3.5cm",
+		7: "mean 14.4cm, p90 22.3cm",
+	})
+}
+
+// RunFig16 reproduces Figure 16 (Galaxy Note3 on the ruler; the paper
+// finds it slightly worse than the S4).
+func RunFig16(opt Options) Figure {
+	return distanceFigure(opt, "fig16", mic.GalaxyNote3(), map[float64]string{
+		7: "slightly worse than S4",
+	})
+}
+
+// threeDFigure runs the Fig 17/18 protocol for one phone: free-hand
+// two-stature sessions (5 slides per stature), projected error.
+func threeDFigure(opt Options, id string, phone mic.Phone, paperAt map[float64]string) Figure {
+	fig := Figure{
+		ID:    id,
+		Title: fmt.Sprintf("3D (projected) error vs distance, %s in hand, 5-slide aggregation", phone.Name),
+	}
+	for _, r := range []float64{1, 2, 3, 5, 7} {
+		r := r
+		errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+int64(r*53),
+			func(_ int, rng *rand.Rand) (float64, error) {
+				spec := trialSpec{
+					env:      room.MeetingRoom(),
+					phone:    phone,
+					distance: r,
+					phoneZ:   1.0 + 0.4*rng.Float64(), // volunteer stature spread
+					speakerZ: 0.5,                     // speaker tripod at 0.5 m (§VII-D)
+					noise:    room.WhiteNoise{}, snrDB: 15,
+					threeD: true,
+					protocol: sim.Protocol{
+						SlideDist:     0.55,
+						SlideDur:      1.0,
+						HoldDur:       0.45,
+						Slides:        10,
+						Mode:          sim.ModeHand,
+						StatureChange: 0.35 + 0.15*rng.Float64(),
+					},
+				}
+				return runTrial(spec, rng)
+			})
+		fig.Conditions = append(fig.Conditions, Condition{
+			Label:  fmt.Sprintf("%gm", r),
+			Errors: errs,
+			Failed: failed,
+			Paper:  paperAt[r],
+		})
+	}
+	return fig
+}
+
+// RunFig17 reproduces Figure 17 (S4 in hand; paper @7 m: mean 15.8 cm,
+// p90 25.2 cm).
+func RunFig17(opt Options) Figure {
+	return threeDFigure(opt, "fig17", mic.GalaxyS4(), map[float64]string{
+		7: "mean 15.8cm, p90 25.2cm",
+	})
+}
+
+// RunFig18 reproduces Figure 18 (Note3 in hand; paper @7 m: mean 19.4 cm,
+// p90 37.5 cm).
+func RunFig18(opt Options) Figure {
+	return threeDFigure(opt, "fig18", mic.GalaxyNote3(), map[float64]string{
+		7: "mean 19.4cm, p90 37.5cm",
+	})
+}
+
+// RunFig19 reproduces Figure 19: 3D error at 7 m across the four noise
+// regimes. The paper's worst case (busy mall, SNR 3 dB) has mean 37.2 cm.
+func RunFig19(opt Options) Figure {
+	fig := Figure{
+		ID:    "fig19",
+		Title: "3D (projected) error @7m across noise regimes, S4 in hand",
+	}
+	regimes := []struct {
+		regime room.Regime
+		env    room.Environment
+		paper  string
+	}{
+		{room.RegimeQuietRoom, room.MeetingRoom(), "mean ≈15.8cm (SNR > 15dB)"},
+		{room.RegimeChatting, room.MeetingRoom(), "voice rejected by band-pass (SNR 9dB)"},
+		{room.RegimeMallOffPeak, room.MallCorridor(), "good at SNR ≥ 6dB"},
+		{room.RegimeMallBusy, room.MallCorridor(), "mean 37.2cm (SNR 3dB)"},
+	}
+	for _, rg := range regimes {
+		rg := rg
+		errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+int64(rg.regime)*101,
+			func(_ int, rng *rand.Rand) (float64, error) {
+				spec := trialSpec{
+					env:      rg.env,
+					phone:    mic.GalaxyS4(),
+					distance: 7,
+					phoneZ:   1.0 + 0.4*rng.Float64(),
+					speakerZ: 1.2, // tripod (§VII-E)
+					noise:    rg.regime.Source(),
+					snrDB:    rg.regime.SNRdB(),
+					threeD:   true,
+					protocol: sim.Protocol{
+						SlideDist:     0.55,
+						SlideDur:      1.0,
+						HoldDur:       0.45,
+						Slides:        10,
+						Mode:          sim.ModeHand,
+						StatureChange: 0.35 + 0.15*rng.Float64(),
+					},
+				}
+				return runTrial(spec, rng)
+			})
+		fig.Conditions = append(fig.Conditions, Condition{
+			Label:  rg.regime.String(),
+			Errors: errs,
+			Failed: failed,
+			Paper:  rg.paper,
+		})
+	}
+	return fig
+}

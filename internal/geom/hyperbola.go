@@ -1,0 +1,225 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SpeedOfSound is the default sound velocity in m/s used by the paper
+// (S = 343 m/s at ~20°C).
+const SpeedOfSound = 343.0
+
+// ErrNoIntersection is returned when two hyperbolas do not intersect in the
+// requested half plane.
+var ErrNoIntersection = errors.New("geom: hyperbolas do not intersect")
+
+// Hyperbola is the locus of points p with |p-F1| - |p-F2| = Delta, i.e. one
+// branch of a hyperbola with foci F1 and F2. Delta may be negative; |Delta|
+// must not exceed |F1-F2| for the locus to be non-empty.
+type Hyperbola struct {
+	F1, F2 Vec2
+	Delta  float64
+}
+
+// Eval returns |p-F1| - |p-F2| - Delta; zero on the locus.
+func (h Hyperbola) Eval(p Vec2) float64 {
+	return p.Dist(h.F1) - p.Dist(h.F2) - h.Delta
+}
+
+// grad returns the gradient of Eval at p. It is undefined exactly at a
+// focus; callers should avoid evaluating there.
+func (h Hyperbola) grad(p Vec2) Vec2 {
+	g1 := p.Sub(h.F1).Normalize()
+	g2 := p.Sub(h.F2).Normalize()
+	return g1.Sub(g2)
+}
+
+// Valid reports whether the branch is geometrically realizable:
+// |Delta| <= |F1-F2|.
+func (h Hyperbola) Valid() bool {
+	return math.Abs(h.Delta) <= h.F1.Dist(h.F2)+1e-12
+}
+
+// IntersectHyperbolas finds a common point of two hyperbola branches by
+// damped Newton iteration from guess, falling back to a coarse polar grid
+// search around the guess when Newton diverges. It returns the intersection
+// point or ErrNoIntersection.
+func IntersectHyperbolas(h1, h2 Hyperbola, guess Vec2) (Vec2, error) {
+	if !h1.Valid() || !h2.Valid() {
+		return Vec2{}, fmt.Errorf("geom: invalid hyperbola branch (|Δ| exceeds focal distance): %w", ErrNoIntersection)
+	}
+	if p, ok := newtonIntersect(h1, h2, guess); ok {
+		return p, nil
+	}
+	// Grid fallback: search a polar grid centered between the foci,
+	// spanning generous range, then refine with Newton.
+	center := h1.F1.Add(h1.F2).Scale(0.5)
+	best := guess
+	bestScore := math.Inf(1)
+	for _, r := range gridRadii {
+		for a := 0; a < 360; a += 2 {
+			p := center.Add(Vec2{r, 0}.Rotate(Radians(float64(a))))
+			s := math.Abs(h1.Eval(p)) + math.Abs(h2.Eval(p))
+			if s < bestScore {
+				bestScore = s
+				best = p
+			}
+		}
+	}
+	if p, ok := newtonIntersect(h1, h2, best); ok {
+		return p, nil
+	}
+	return Vec2{}, ErrNoIntersection
+}
+
+var gridRadii = []float64{0.25, 0.5, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 15, 20}
+
+// newtonIntersect runs a damped Newton solve of the 2x2 system
+// h1.Eval(p)=0, h2.Eval(p)=0.
+func newtonIntersect(h1, h2 Hyperbola, p Vec2) (Vec2, bool) {
+	const (
+		maxIter = 80
+		tol     = 1e-10
+	)
+	for i := 0; i < maxIter; i++ {
+		f1 := h1.Eval(p)
+		f2 := h2.Eval(p)
+		if math.Abs(f1) < tol && math.Abs(f2) < tol {
+			return p, true
+		}
+		g1 := h1.grad(p)
+		g2 := h2.grad(p)
+		det := g1.X*g2.Y - g1.Y*g2.X
+		if math.Abs(det) < 1e-14 {
+			return Vec2{}, false
+		}
+		// Solve J * dp = -f
+		dx := (-f1*g2.Y + f2*g1.Y) / det
+		dy := (-f2*g1.X + f1*g2.X) / det
+		step := Vec2{dx, dy}
+		// Damping: halve the step until the residual decreases.
+		base := math.Abs(f1) + math.Abs(f2)
+		lambda := 1.0
+		for k := 0; k < 30; k++ {
+			q := p.Add(step.Scale(lambda))
+			if math.Abs(h1.Eval(q))+math.Abs(h2.Eval(q)) < base {
+				p = q
+				break
+			}
+			lambda /= 2
+			if k == 29 {
+				return Vec2{}, false
+			}
+		}
+	}
+	if math.Abs(h1.Eval(p)) < 1e-6 && math.Abs(h2.Eval(p)) < 1e-6 {
+		return p, true
+	}
+	return Vec2{}, false
+}
+
+// TDoAResolution returns the smallest distinguishable time difference in
+// seconds at sampling rate fs Hz (≈0.023 ms at 44.1 kHz, Section II-C).
+func TDoAResolution(fs float64) float64 { return 1 / fs }
+
+// DeltaDResolution returns the distance-difference resolution S/fs in
+// meters (≈7.78 mm at 44.1 kHz and S = 343 m/s).
+func DeltaDResolution(fs, s float64) float64 { return s / fs }
+
+// DistinguishableHyperbolas implements eq. (2): N = ⌊2·D·fs/S⌋, the number
+// of distinguishable TDoA hyperbolas for mic separation D at sampling rate
+// fs and sound speed s.
+func DistinguishableHyperbolas(d, fs, s float64) int {
+	return int(math.Floor(2 * d * fs / s))
+}
+
+// TDoAAt returns the exact (unquantized) distance difference
+// |p-mic1| - |p-mic2| in meters for a source at p.
+func TDoAAt(p, mic1, mic2 Vec2) float64 {
+	return p.Dist(mic1) - p.Dist(mic2)
+}
+
+// RegionWidthAtRange returns the spatial width, in meters, of the TDoA
+// quantization region containing bearing angle theta (radians, measured from
+// the mic axis midpoint) at range r from the midpoint of a mic pair
+// separated by d, with distance-difference resolution res = S/fs.
+//
+// It measures the arc length along the circle of radius r between the two
+// adjacent quantization boundaries bracketing theta. This is the "location
+// ambiguity" of Figures 3 and 4: regions are narrow broadside (theta≈90°)
+// and widen dramatically toward the mic axis and with range.
+func RegionWidthAtRange(d, res, r, theta float64) float64 {
+	mic1 := Vec2{-d / 2, 0}
+	mic2 := Vec2{d / 2, 0}
+	at := func(th float64) float64 {
+		p := Vec2{r * math.Cos(th), r * math.Sin(th)}
+		return TDoAAt(p, mic1, mic2)
+	}
+	v := at(theta)
+	k := math.Floor(v / res)
+	lo, hi := k*res, (k+1)*res
+	// Walk outward from theta to find the angles where the quantized level
+	// changes. Δd is monotone in theta on (0, π): increasing theta moves the
+	// point from near mic2's side to mic1's side, so Δd decreases.
+	thLo := bisectLevel(at, theta, hi)
+	thHi := bisectLevel(at, theta, lo)
+	if math.IsNaN(thLo) || math.IsNaN(thHi) {
+		return math.Inf(1) // region extends beyond the valid bearing range
+	}
+	return math.Abs(thHi-thLo) * r
+}
+
+// bisectLevel finds th near th0 with f(th)=level by scanning then bisecting.
+// Returns NaN if the level is not crossed within (0, π).
+func bisectLevel(f func(float64) float64, th0, level float64) float64 {
+	const step = 1e-3
+	g := func(th float64) float64 { return f(th) - level }
+	v0 := g(th0)
+	if v0 == 0 {
+		return th0
+	}
+	dir := 1.0
+	// f is decreasing in theta on (0, π); pick scan direction by sign.
+	if v0 < 0 {
+		dir = -1
+	}
+	a := th0
+	for {
+		b := a + dir*step
+		if b <= 1e-6 || b >= math.Pi-1e-6 {
+			return math.NaN()
+		}
+		if g(a)*g(b) <= 0 {
+			// Bisect [min(a,b), max(a,b)].
+			lo, hi := math.Min(a, b), math.Max(a, b)
+			for i := 0; i < 60; i++ {
+				mid := (lo + hi) / 2
+				if g(lo)*g(mid) <= 0 {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			return (lo + hi) / 2
+		}
+		a = b
+	}
+}
+
+// DensityProfile samples RegionWidthAtRange across bearings [5°, 175°] and
+// returns parallel slices of bearing (degrees) and region width (meters).
+// It quantifies Figure 4: the hyperbola distribution is densest broadside.
+func DensityProfile(d, res, r float64, nSamples int) (bearingDeg, width []float64) {
+	if nSamples < 2 {
+		nSamples = 2
+	}
+	bearingDeg = make([]float64, nSamples)
+	width = make([]float64, nSamples)
+	for i := 0; i < nSamples; i++ {
+		deg := 5 + 170*float64(i)/float64(nSamples-1)
+		bearingDeg[i] = deg
+		width[i] = RegionWidthAtRange(d, res, r, Radians(deg))
+	}
+	return bearingDeg, width
+}

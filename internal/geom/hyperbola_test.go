@@ -1,0 +1,197 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDistinguishableHyperbolasPaperNumbers checks the Section II-C claims:
+// 35 hyperbolas for the Galaxy S4 (D = 13.66 cm) at 44.1 kHz, and roughly 40
+// for a 15.5 cm baseline.
+func TestDistinguishableHyperbolasPaperNumbers(t *testing.T) {
+	if got := DistinguishableHyperbolas(0.1366, 44100, SpeedOfSound); got != 35 {
+		t.Errorf("N(S4) = %d, want 35", got)
+	}
+	if got := DistinguishableHyperbolas(0.1512, 44100, SpeedOfSound); got != 38 {
+		t.Errorf("N(Note3) = %d, want 38", got)
+	}
+}
+
+// TestResolutions checks the paper's resolution numbers: TDoA ≈ 0.023 ms and
+// Δd ≈ 7.78 mm at 44.1 kHz.
+func TestResolutions(t *testing.T) {
+	if got := TDoAResolution(44100); math.Abs(got-0.0000227) > 1e-6 {
+		t.Errorf("TDoA resolution = %v s, want ≈ 22.7 µs", got)
+	}
+	if got := DeltaDResolution(44100, SpeedOfSound); math.Abs(got-0.00778) > 1e-4 {
+		t.Errorf("Δd resolution = %v m, want ≈ 7.78 mm", got)
+	}
+}
+
+func TestHyperbolaEvalOnLocus(t *testing.T) {
+	f1 := Vec2{-0.25, 0}
+	f2 := Vec2{0.25, 0}
+	p := Vec2{0.8, 1.7}
+	h := Hyperbola{F1: f1, F2: f2, Delta: p.Dist(f1) - p.Dist(f2)}
+	if got := h.Eval(p); math.Abs(got) > eps {
+		t.Errorf("Eval on locus = %v, want 0", got)
+	}
+}
+
+func TestHyperbolaValid(t *testing.T) {
+	h := Hyperbola{F1: Vec2{-0.1, 0}, F2: Vec2{0.1, 0}, Delta: 0.15}
+	if !h.Valid() {
+		t.Error("Delta < focal distance should be valid")
+	}
+	h.Delta = 0.25
+	if h.Valid() {
+		t.Error("Delta > focal distance should be invalid")
+	}
+}
+
+func TestIntersectHyperbolasExact(t *testing.T) {
+	// Construct two hyperbolas through a known point and verify recovery.
+	target := Vec2{1.5, 4.2}
+	h1 := Hyperbola{F1: Vec2{-0.3, 0}, F2: Vec2{0.3, 0}}
+	h1.Delta = target.Dist(h1.F1) - target.Dist(h1.F2)
+	h2 := Hyperbola{F1: Vec2{0.1, 0}, F2: Vec2{0.7, 0}}
+	h2.Delta = target.Dist(h2.F1) - target.Dist(h2.F2)
+
+	got, err := IntersectHyperbolas(h1, h2, Vec2{1, 3})
+	if err != nil {
+		t.Fatalf("IntersectHyperbolas: %v", err)
+	}
+	if got.Dist(target) > 1e-6 {
+		t.Errorf("intersection = %v, want %v", got, target)
+	}
+}
+
+func TestIntersectHyperbolasBadGuessStillConverges(t *testing.T) {
+	target := Vec2{0.9, 6.5}
+	h1 := Hyperbola{F1: Vec2{-0.3, 0}, F2: Vec2{0.3, 0}}
+	h1.Delta = target.Dist(h1.F1) - target.Dist(h1.F2)
+	h2 := Hyperbola{F1: Vec2{0.05, 0}, F2: Vec2{0.65, 0}}
+	h2.Delta = target.Dist(h2.F1) - target.Dist(h2.F2)
+
+	// A guess far from the solution exercises the grid fallback.
+	got, err := IntersectHyperbolas(h1, h2, Vec2{-15, -22})
+	if err != nil {
+		t.Fatalf("IntersectHyperbolas: %v", err)
+	}
+	if got.Dist(target) > 1e-5 {
+		t.Errorf("intersection = %v, want %v", got, target)
+	}
+}
+
+func TestIntersectHyperbolasInvalid(t *testing.T) {
+	h1 := Hyperbola{F1: Vec2{-0.1, 0}, F2: Vec2{0.1, 0}, Delta: 0.5}
+	h2 := Hyperbola{F1: Vec2{0, 0}, F2: Vec2{0.2, 0}, Delta: 0}
+	if _, err := IntersectHyperbolas(h1, h2, Vec2{0, 1}); err == nil {
+		t.Error("expected error for invalid branch")
+	}
+}
+
+// TestIntersectRandomGeometries is a property test: for random speaker
+// positions in the upper half-plane and random baseline geometries, exact
+// TDoAs must triangulate back to the speaker.
+func TestIntersectRandomGeometries(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		target := Vec2{rng.Float64()*8 - 4, 0.5 + rng.Float64()*8}
+		base := 0.3 + rng.Float64()*0.4 // sliding baseline 0.3-0.7 m
+		off := rng.Float64() * 0.15     // mic2 offset (phone width)
+		h1 := Hyperbola{F1: Vec2{-base / 2, 0}, F2: Vec2{base / 2, 0}}
+		h1.Delta = target.Dist(h1.F1) - target.Dist(h1.F2)
+		h2 := Hyperbola{F1: Vec2{-base/2 - off, 0}, F2: Vec2{base/2 - off, 0}}
+		h2.Delta = target.Dist(h2.F1) - target.Dist(h2.F2)
+		got, err := IntersectHyperbolas(h1, h2, Vec2{0, 2})
+		if err != nil {
+			t.Fatalf("case %d: %v (target %v)", i, err, target)
+		}
+		// The mirrored solution (negative y) is also a valid intersection of
+		// the branches; accept either since callers fix the half-plane.
+		mirror := Vec2{got.X, -got.Y}
+		if got.Dist(target) > 1e-4 && mirror.Dist(target) > 1e-4 {
+			t.Errorf("case %d: intersection %v, want %v", i, got, target)
+		}
+	}
+}
+
+// TestTDoASignProperty: a source on mic1's side (negative X) is farther from
+// mic2, so Δd = d1-d2 < 0... actually nearer mic1 means d1 < d2 so Δd < 0.
+func TestTDoASignProperty(t *testing.T) {
+	mic1 := Vec2{-0.07, 0}
+	mic2 := Vec2{0.07, 0}
+	f := func(x, y float64) bool {
+		p := Vec2{clampf(x), clampf(y)}
+		dd := TDoAAt(p, mic1, mic2)
+		switch {
+		case p.X < -1e-9:
+			return dd < 1e-9
+		case p.X > 1e-9:
+			return dd > -1e-9
+		default:
+			return math.Abs(dd) < 1e-9
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRegionWidthGrowsWithRange reproduces the Figure 3 observation: TDoA
+// regions expand as the source moves away.
+func TestRegionWidthGrowsWithRange(t *testing.T) {
+	res := DeltaDResolution(44100, SpeedOfSound)
+	d := 0.1366
+	w1 := RegionWidthAtRange(d, res, 1, Radians(60))
+	w5 := RegionWidthAtRange(d, res, 5, Radians(60))
+	if !(w5 > w1) {
+		t.Errorf("region width should grow with range: w1=%v w5=%v", w1, w5)
+	}
+	if w1 <= 0 || math.IsInf(w5, 1) {
+		t.Errorf("unexpected widths w1=%v w5=%v", w1, w5)
+	}
+}
+
+// TestRegionWidthShrinksWithSeparation reproduces the Figure 4(b)
+// observation: widening the baseline D→D' increases hyperbola density.
+func TestRegionWidthShrinksWithSeparation(t *testing.T) {
+	res := DeltaDResolution(44100, SpeedOfSound)
+	narrow := RegionWidthAtRange(0.1366, res, 5, Radians(75))
+	wide := RegionWidthAtRange(0.55, res, 5, Radians(75))
+	if !(wide < narrow) {
+		t.Errorf("wider baseline should shrink regions: D=13.66cm→%v, D=55cm→%v", narrow, wide)
+	}
+}
+
+// TestDensityProfileShape reproduces Figure 4(a): regions are densest
+// broadside (≈90°) and sparsest toward the endfire directions.
+func TestDensityProfileShape(t *testing.T) {
+	res := DeltaDResolution(44100, SpeedOfSound)
+	deg, width := DensityProfile(0.1366, res, 3, 35)
+	if len(deg) != 35 || len(width) != 35 {
+		t.Fatalf("unexpected lengths %d %d", len(deg), len(width))
+	}
+	mid := width[len(width)/2]
+	if !(width[0] > mid) || !(width[len(width)-1] > mid) {
+		t.Errorf("expected broadside densest: edge widths %v, %v vs mid %v",
+			width[0], width[len(width)-1], mid)
+	}
+}
+
+func BenchmarkIntersectHyperbolas(b *testing.B) {
+	target := Vec2{1.5, 5}
+	h1 := Hyperbola{F1: Vec2{-0.3, 0}, F2: Vec2{0.3, 0}}
+	h1.Delta = target.Dist(h1.F1) - target.Dist(h1.F2)
+	h2 := Hyperbola{F1: Vec2{0.1, 0}, F2: Vec2{0.7, 0}}
+	h2.Delta = target.Dist(h2.F1) - target.Dist(h2.F2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := IntersectHyperbolas(h1, h2, Vec2{1, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

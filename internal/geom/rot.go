@@ -1,0 +1,157 @@
+package geom
+
+import "math"
+
+// Mat3 is a 3x3 rotation (or general linear) matrix in row-major order.
+type Mat3 [3][3]float64
+
+// Identity3 returns the 3x3 identity matrix.
+func Identity3() Mat3 {
+	return Mat3{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+// Mul returns the matrix product m*n.
+func (m Mat3) Mul(n Mat3) Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				r[i][j] += m[i][k] * n[k][j]
+			}
+		}
+	}
+	return r
+}
+
+// Apply returns m*v.
+func (m Mat3) Apply(v Vec3) Vec3 {
+	return Vec3{
+		m[0][0]*v.X + m[0][1]*v.Y + m[0][2]*v.Z,
+		m[1][0]*v.X + m[1][1]*v.Y + m[1][2]*v.Z,
+		m[2][0]*v.X + m[2][1]*v.Y + m[2][2]*v.Z,
+	}
+}
+
+// Transpose returns mᵀ, which for a rotation matrix is its inverse.
+func (m Mat3) Transpose() Mat3 {
+	var r Mat3
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			r[i][j] = m[j][i]
+		}
+	}
+	return r
+}
+
+// RotZ returns the rotation about the world z-axis by theta radians
+// (counterclockwise looking down the +z axis).
+func RotZ(theta float64) Mat3 {
+	s, c := math.Sincos(theta)
+	return Mat3{
+		{c, -s, 0},
+		{s, c, 0},
+		{0, 0, 1},
+	}
+}
+
+// RotX returns the rotation about the x-axis by theta radians.
+func RotX(theta float64) Mat3 {
+	s, c := math.Sincos(theta)
+	return Mat3{
+		{1, 0, 0},
+		{0, c, -s},
+		{0, s, c},
+	}
+}
+
+// RotY returns the rotation about the y-axis by theta radians.
+func RotY(theta float64) Mat3 {
+	s, c := math.Sincos(theta)
+	return Mat3{
+		{c, 0, s},
+		{0, 1, 0},
+		{-s, 0, c},
+	}
+}
+
+// Quat is a unit quaternion w + xi + yj + zk representing a 3D rotation.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// QuatIdentity returns the identity rotation.
+func QuatIdentity() Quat { return Quat{W: 1} }
+
+// QuatAxisAngle builds the quaternion rotating by angle radians about axis.
+// The axis need not be normalized; a zero axis yields the identity.
+func QuatAxisAngle(axis Vec3, angle float64) Quat {
+	n := axis.Norm()
+	if n == 0 {
+		return QuatIdentity()
+	}
+	s, c := math.Sincos(angle / 2)
+	u := axis.Scale(1 / n)
+	return Quat{W: c, X: s * u.X, Y: s * u.Y, Z: s * u.Z}
+}
+
+// Mul returns the composition q*p (apply p first, then q).
+func (q Quat) Mul(p Quat) Quat {
+	return Quat{
+		W: q.W*p.W - q.X*p.X - q.Y*p.Y - q.Z*p.Z,
+		X: q.W*p.X + q.X*p.W + q.Y*p.Z - q.Z*p.Y,
+		Y: q.W*p.Y - q.X*p.Z + q.Y*p.W + q.Z*p.X,
+		Z: q.W*p.Z + q.X*p.Y - q.Y*p.X + q.Z*p.W,
+	}
+}
+
+// Conj returns the conjugate (inverse for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{W: q.W, X: -q.X, Y: -q.Y, Z: -q.Z} }
+
+// Norm returns the quaternion's Euclidean norm.
+func (q Quat) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalize returns q scaled to unit norm. A zero quaternion becomes identity.
+func (q Quat) Normalize() Quat {
+	n := q.Norm()
+	if n == 0 {
+		return QuatIdentity()
+	}
+	return Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
+}
+
+// Apply rotates v by q.
+func (q Quat) Apply(v Vec3) Vec3 {
+	// v' = q (0,v) q*
+	u := Vec3{q.X, q.Y, q.Z}
+	t := u.Cross(v).Scale(2)
+	return v.Add(t.Scale(q.W)).Add(u.Cross(t))
+}
+
+// Mat returns the equivalent rotation matrix.
+func (q Quat) Mat() Mat3 {
+	w, x, y, z := q.W, q.X, q.Y, q.Z
+	return Mat3{
+		{1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y)},
+		{2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x)},
+		{2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y)},
+	}
+}
+
+// Degrees converts radians to degrees.
+func Degrees(rad float64) float64 { return rad * 180 / math.Pi }
+
+// Radians converts degrees to radians.
+func Radians(deg float64) float64 { return deg * math.Pi / 180 }
+
+// WrapAngle wraps an angle in radians to (-π, π].
+func WrapAngle(theta float64) float64 {
+	for theta > math.Pi {
+		theta -= 2 * math.Pi
+	}
+	for theta <= -math.Pi {
+		theta += 2 * math.Pi
+	}
+	return theta
+}

@@ -1,0 +1,168 @@
+package mic
+
+import (
+	"math"
+	"testing"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/geom"
+	"hyperear/internal/room"
+)
+
+func TestHFGain(t *testing.T) {
+	p := GalaxyS4() // 8 dB rolloff at 20 kHz
+	if g := p.HFGain(4000); g != 1 {
+		t.Errorf("mid-band gain = %v, want 1", g)
+	}
+	if g := p.HFGain(10000); g != 1 {
+		t.Errorf("10 kHz gain = %v, want 1", g)
+	}
+	want := math.Pow(10, -8.0/20)
+	if g := p.HFGain(20000); math.Abs(g-want) > 1e-12 {
+		t.Errorf("20 kHz gain = %v, want %v", g, want)
+	}
+	// Halfway: 4 dB loss.
+	want = math.Pow(10, -4.0/20)
+	if g := p.HFGain(15000); math.Abs(g-want) > 1e-12 {
+		t.Errorf("15 kHz gain = %v, want %v", g, want)
+	}
+	// Zero rolloff disables.
+	p.HFRolloffDB = 0
+	if g := p.HFGain(20000); g != 1 {
+		t.Errorf("disabled rolloff gain = %v, want 1", g)
+	}
+}
+
+func TestHFRolloffValidation(t *testing.T) {
+	p := GalaxyS4()
+	p.HFRolloffDB = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative rolloff should error")
+	}
+	p.HFRolloffDB = 100
+	if err := p.Validate(); err == nil {
+		t.Error("absurd rolloff should error")
+	}
+}
+
+func TestHiResVariant(t *testing.T) {
+	p := GalaxyS4().HiResVariant()
+	if p.SampleRate != 48000 {
+		t.Errorf("sample rate = %v, want 48000", p.SampleRate)
+	}
+	if p.Name != "galaxy-s4-48k" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("hi-res variant invalid: %v", err)
+	}
+}
+
+// TestInaudibleBeaconDetectable renders the future-work 18-21.5 kHz beacon
+// through the 48 kHz front end with HF rolloff and verifies the matched
+// filter still times it accurately.
+func TestInaudibleBeaconDetectable(t *testing.T) {
+	phone := GalaxyS4().HiResVariant()
+	phone.SFOPPM = 0
+	phone.SelfNoiseRMS = 0
+	src := chirp.Inaudible()
+	rec, err := Render(RenderConfig{
+		Env:                 room.FreeField(),
+		Source:              src,
+		SourcePos:           geom.Vec3{X: 4},
+		Phone:               phone,
+		Traj:                staticPhone(geom.Vec3{}, 0.7),
+		DisableQuantization: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := room.FreeField().SpeedOfSound()
+	want := 4.0 / c
+
+	// Flat template: the mic's spectral tilt biases the timing by tens of
+	// microseconds — the distortion the paper anticipates.
+	flat, err := chirp.NewDetector(src, phone.SampleRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatDets := flat.Detect(rec.Mic1)
+	if len(flatDets) < 3 {
+		t.Fatalf("flat-template detections = %d, want ≥3", len(flatDets))
+	}
+	flatErr := math.Abs(flatDets[0].Time - want)
+
+	// Response-matched template: bias removed.
+	shaped, err := chirp.NewDetectorShaped(src, phone.SampleRate, phone.HFGain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := shaped.Detect(rec.Mic1)
+	if len(dets) < 3 {
+		t.Fatalf("shaped-template detections = %d, want ≥3", len(dets))
+	}
+	if got := math.Abs(dets[0].Time - want); got > 10e-6 {
+		t.Errorf("shaped first arrival = %v, want %v (err %.1f µs)", dets[0].Time, want, got*1e6)
+	}
+	if got := math.Abs(dets[0].Time - want); got >= flatErr && flatErr > 15e-6 {
+		t.Errorf("calibrated template should beat flat: %.1f µs vs %.1f µs", got*1e6, flatErr*1e6)
+	}
+}
+
+// TestHFRolloffCostsAmplitude: with rolloff the received near-ultrasonic
+// level is measurably below the no-rolloff case — the distortion the
+// paper's future-work section anticipates.
+func TestHFRolloffCostsAmplitude(t *testing.T) {
+	render := func(rolloff float64) float64 {
+		phone := GalaxyS4().HiResVariant()
+		phone.SFOPPM = 0
+		phone.SelfNoiseRMS = 0
+		phone.HFRolloffDB = rolloff
+		rec, err := Render(RenderConfig{
+			Env:                 room.FreeField(),
+			Source:              chirp.Inaudible(),
+			SourcePos:           geom.Vec3{X: 3},
+			Phone:               phone,
+			Traj:                staticPhone(geom.Vec3{}, 0.3),
+			DisableQuantization: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return maxAbs2(rec.Mic1)
+	}
+	flat := render(0)
+	rolled := render(8)
+	if rolled >= flat {
+		t.Fatalf("rolloff should attenuate: flat=%v rolled=%v", flat, rolled)
+	}
+	// The 18-21.5 kHz band sits ~19.75 kHz center: expect ≈7.8 dB loss.
+	lossDB := 20 * math.Log10(flat/rolled)
+	if lossDB < 5 || lossDB > 10 {
+		t.Errorf("band loss = %.1f dB, want ≈7-8 dB", lossDB)
+	}
+}
+
+// TestAudibleBandUnaffectedByRolloff: the default 2-6.4 kHz beacon must be
+// untouched by the HF rolloff model.
+func TestAudibleBandUnaffectedByRolloff(t *testing.T) {
+	render := func(rolloff float64) float64 {
+		phone := cleanPhone()
+		phone.HFRolloffDB = rolloff
+		rec, err := Render(RenderConfig{
+			Env:                 room.FreeField(),
+			Source:              chirp.Default(),
+			SourcePos:           geom.Vec3{X: 3},
+			Phone:               phone,
+			Traj:                staticPhone(geom.Vec3{}, 0.3),
+			DisableQuantization: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return maxAbs2(rec.Mic1)
+	}
+	if a, b := render(0), render(10); math.Abs(a-b) > 1e-12 {
+		t.Errorf("audible band changed: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,129 @@
+// Package mic models the smartphone's audio front end: the two-microphone
+// geometry of the paper's test devices, and the rendering of what each
+// microphone records as the phone moves through a room — per-sample
+// propagation delays over every image path (so Doppler and sub-sample TDoA
+// structure emerge from the physics), sampling-frequency offset between the
+// speaker clock and the phone ADC, additive background noise at a
+// calibrated SNR, microphone self noise, and 16-bit quantization.
+package mic
+
+import (
+	"fmt"
+	"math"
+
+	"hyperear/internal/geom"
+)
+
+// Phone describes a two-microphone handset. The body frame follows the
+// paper's Fig. 6 convention: x to the right, y along the long axis, z out
+// of the screen. Mic1 sits at body (0, +D/2, 0) (top edge) and Mic2 at
+// (0, -D/2, 0) (bottom edge).
+type Phone struct {
+	// Name labels the device in reports.
+	Name string
+	// MicSeparation is the distance D between the two microphones in
+	// meters.
+	MicSeparation float64
+	// SampleRate is the nominal ADC rate in Hz.
+	SampleRate float64
+	// SFOPPM is the ADC clock error in parts per million: the k-th sample
+	// is taken at true time k / (SampleRate·(1+SFOPPM·1e-6)).
+	SFOPPM float64
+	// BitDepth is the ADC resolution in bits (16 on both test phones).
+	BitDepth int
+	// SelfNoiseRMS is the microphone/ADC noise floor as a fraction of
+	// full scale.
+	SelfNoiseRMS float64
+	// HFRolloffDB is the microphone's sensitivity loss at 20 kHz relative
+	// to the mid band, in dB (positive = loss). Phone MEMS capsules are
+	// flat through the voice band but roll off near ultrasound — the
+	// "frequency selectivity" the paper's future-work section flags as
+	// the obstacle to inaudible beacons. The loss is interpolated
+	// linearly in dB between 10 kHz (no loss) and 20 kHz.
+	HFRolloffDB float64
+}
+
+// GalaxyS4 returns the Samsung Galaxy S4 profile (D = 13.66 cm, §VII-A).
+// The small positive SFO reflects a typical crystal tolerance.
+func GalaxyS4() Phone {
+	return Phone{
+		Name:          "galaxy-s4",
+		MicSeparation: 0.1366,
+		SampleRate:    44100,
+		SFOPPM:        12,
+		BitDepth:      16,
+		SelfNoiseRMS:  2e-4,
+		HFRolloffDB:   8,
+	}
+}
+
+// GalaxyNote3 returns the Samsung Galaxy Note3 profile (D = 15.12 cm).
+// The paper observes slightly worse accuracy on the Note3 than the S4; we
+// model its front end with a marginally noisier mic path and a larger
+// clock offset, consistent with that observation.
+func GalaxyNote3() Phone {
+	return Phone{
+		Name:          "galaxy-note3",
+		MicSeparation: 0.1512,
+		SampleRate:    44100,
+		SFOPPM:        -18,
+		BitDepth:      16,
+		SelfNoiseRMS:  3.5e-4,
+		HFRolloffDB:   10,
+	}
+}
+
+// Validate reports configuration errors.
+func (p Phone) Validate() error {
+	switch {
+	case p.MicSeparation <= 0 || p.MicSeparation > 0.5:
+		return fmt.Errorf("mic: separation %v m implausible", p.MicSeparation)
+	case p.SampleRate < 8000:
+		return fmt.Errorf("mic: sample rate %v Hz too low", p.SampleRate)
+	case p.BitDepth < 8 || p.BitDepth > 32:
+		return fmt.Errorf("mic: bit depth %d outside [8,32]", p.BitDepth)
+	case p.SelfNoiseRMS < 0:
+		return fmt.Errorf("mic: self noise %v negative", p.SelfNoiseRMS)
+	case p.HFRolloffDB < 0 || p.HFRolloffDB > 60:
+		return fmt.Errorf("mic: HF rolloff %v dB outside [0,60]", p.HFRolloffDB)
+	}
+	return nil
+}
+
+// HFGain returns the microphone's amplitude gain at frequency f Hz: unity
+// through 10 kHz, rolling off linearly in dB to -HFRolloffDB at 20 kHz and
+// continuing at the same slope above.
+func (p Phone) HFGain(f float64) float64 {
+	if p.HFRolloffDB == 0 || f <= 10000 {
+		return 1
+	}
+	loss := p.HFRolloffDB * (f - 10000) / 10000
+	return math.Pow(10, -loss/20)
+}
+
+// HiResVariant returns the phone reconfigured for near-ultrasonic capture:
+// a 48 kHz ADC (supported by both test devices) so an 18-21.5 kHz beacon
+// sits comfortably below Nyquist.
+func (p Phone) HiResVariant() Phone {
+	p.Name += "-48k"
+	p.SampleRate = 48000
+	return p
+}
+
+// MicBodyPos returns the body-frame position of microphone i (1 or 2).
+func (p Phone) MicBodyPos(i int) geom.Vec3 {
+	switch i {
+	case 1:
+		return geom.Vec3{Y: p.MicSeparation / 2}
+	case 2:
+		return geom.Vec3{Y: -p.MicSeparation / 2}
+	default:
+		return geom.Vec3{}
+	}
+}
+
+// EffectiveRate returns the true samples-per-second of the ADC including
+// its clock error.
+func (p Phone) EffectiveRate() float64 {
+	return p.SampleRate * (1 + p.SFOPPM*1e-6)
+}

@@ -1,0 +1,161 @@
+// Package motion models how the phone moves through the air during a
+// HyperEar session: minimum-jerk sliding strokes (the natural profile of a
+// human point-to-point arm movement), holds, stature changes, rotation
+// sweeps for direction finding, and the hand tremor + rotation jitter that
+// distinguish the paper's "in hand" experiments from its "slide ruler"
+// experiments.
+//
+// All trajectories are analytic: position, velocity, acceleration,
+// orientation, and angular velocity are exact closed-form functions of
+// time. The microphone renderer integrates the acoustic field along the
+// exact mic paths, and the IMU simulator samples the exact kinematics, so
+// any disagreement downstream is attributable to sensor/channel noise, not
+// to numerical differentiation.
+package motion
+
+import (
+	"hyperear/internal/geom"
+)
+
+// Pose is the phone's full kinematic state at one instant. Orientation
+// maps body coordinates to world coordinates. The phone body frame follows
+// the paper's convention (Fig. 6): x to the phone's right, y along the
+// phone's long axis (the mic axis: Mic1 at +y, Mic2 at -y), z out of the
+// screen.
+type Pose struct {
+	Pos    geom.Vec3 // world position of the phone center (m)
+	Vel    geom.Vec3 // world velocity (m/s)
+	Acc    geom.Vec3 // world acceleration (m/s²)
+	Orient geom.Quat // body→world rotation
+	AngVel geom.Vec3 // body-frame angular velocity (rad/s)
+}
+
+// Trajectory yields the phone pose over a finite time span [0, Duration].
+type Trajectory interface {
+	Pose(t float64) Pose
+	Duration() float64
+}
+
+// MinJerkS returns the minimum-jerk position profile s(τ) ∈ [0,1] for
+// normalized time τ ∈ [0,1]: s = 10τ³ - 15τ⁴ + 6τ⁵.
+func MinJerkS(tau float64) float64 {
+	tau = geom.Clamp(tau, 0, 1)
+	return tau * tau * tau * (10 + tau*(-15+6*tau))
+}
+
+// MinJerkV returns ds/dτ of the minimum-jerk profile.
+func MinJerkV(tau float64) float64 {
+	if tau <= 0 || tau >= 1 {
+		return 0
+	}
+	return tau * tau * (30 + tau*(-60+30*tau))
+}
+
+// MinJerkA returns d²s/dτ² of the minimum-jerk profile.
+func MinJerkA(tau float64) float64 {
+	if tau <= 0 || tau >= 1 {
+		return 0
+	}
+	return tau * (60 + tau*(-180+120*tau))
+}
+
+// hold keeps the phone stationary at a fixed pose.
+type hold struct {
+	pos    geom.Vec3
+	orient geom.Quat
+	dur    float64
+}
+
+func (h hold) Duration() float64 { return h.dur }
+
+func (h hold) Pose(float64) Pose {
+	return Pose{Pos: h.pos, Orient: h.orient}
+}
+
+// slide translates the phone by dist along a fixed world direction with a
+// minimum-jerk profile, keeping orientation constant.
+type slide struct {
+	start  geom.Vec3
+	dir    geom.Vec3 // unit
+	dist   float64
+	orient geom.Quat
+	dur    float64
+}
+
+func (s slide) Duration() float64 { return s.dur }
+
+func (s slide) Pose(t float64) Pose {
+	tau := geom.Clamp(t/s.dur, 0, 1)
+	p := s.start.Add(s.dir.Scale(s.dist * MinJerkS(tau)))
+	v := s.dir.Scale(s.dist * MinJerkV(tau) / s.dur)
+	a := s.dir.Scale(s.dist * MinJerkA(tau) / (s.dur * s.dur))
+	return Pose{Pos: p, Vel: v, Acc: a, Orient: s.orient}
+}
+
+// rotZ rotates the phone about the world z-axis from yaw0 to yaw1 at a
+// constant rate, keeping position fixed.
+type rotZ struct {
+	pos        geom.Vec3
+	yaw0, yaw1 float64
+	dur        float64
+}
+
+func (r rotZ) Duration() float64 { return r.dur }
+
+func (r rotZ) Pose(t float64) Pose {
+	tau := geom.Clamp(t/r.dur, 0, 1)
+	yaw := r.yaw0 + (r.yaw1-r.yaw0)*tau
+	rate := 0.0
+	if t >= 0 && t <= r.dur {
+		rate = (r.yaw1 - r.yaw0) / r.dur
+	}
+	return Pose{
+		Pos:    r.pos,
+		Orient: geom.QuatAxisAngle(geom.Vec3{Z: 1}, yaw),
+		// Body z stays aligned with world z for a flat-held phone, so the
+		// body-frame angular velocity is the yaw rate about z.
+		AngVel: geom.Vec3{Z: rate},
+	}
+}
+
+// composite chains trajectories end to end.
+type composite struct {
+	parts  []Trajectory
+	starts []float64
+	total  float64
+}
+
+// Compose concatenates trajectories; each part's local time starts where
+// the previous ended.
+func Compose(parts ...Trajectory) Trajectory {
+	c := &composite{parts: parts}
+	t := 0.0
+	for _, p := range parts {
+		c.starts = append(c.starts, t)
+		t += p.Duration()
+	}
+	c.total = t
+	return c
+}
+
+func (c *composite) Duration() float64 { return c.total }
+
+func (c *composite) Pose(t float64) Pose {
+	if len(c.parts) == 0 {
+		return Pose{Orient: geom.QuatIdentity()}
+	}
+	if t <= 0 {
+		return c.parts[0].Pose(0)
+	}
+	if t >= c.total {
+		last := c.parts[len(c.parts)-1]
+		return last.Pose(last.Duration())
+	}
+	// Binary search would be overkill; sessions have a handful of parts.
+	for i := len(c.parts) - 1; i >= 0; i-- {
+		if t >= c.starts[i] {
+			return c.parts[i].Pose(t - c.starts[i])
+		}
+	}
+	return c.parts[0].Pose(0)
+}

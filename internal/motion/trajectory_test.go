@@ -1,0 +1,217 @@
+package motion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hyperear/internal/geom"
+)
+
+func TestMinJerkBoundaryConditions(t *testing.T) {
+	if MinJerkS(0) != 0 || MinJerkS(1) != 1 {
+		t.Errorf("s(0)=%v s(1)=%v, want 0 and 1", MinJerkS(0), MinJerkS(1))
+	}
+	if MinJerkV(0) != 0 || MinJerkV(1) != 0 {
+		t.Errorf("v(0)=%v v(1)=%v, want 0", MinJerkV(0), MinJerkV(1))
+	}
+	if MinJerkA(0) != 0 || MinJerkA(1) != 0 {
+		t.Errorf("a(0)=%v a(1)=%v, want 0", MinJerkA(0), MinJerkA(1))
+	}
+	// Clamping outside [0,1].
+	if MinJerkS(-1) != 0 || MinJerkS(2) != 1 {
+		t.Error("MinJerkS should clamp")
+	}
+}
+
+func TestMinJerkDerivativesConsistent(t *testing.T) {
+	// Numerical derivative of s must match v; of v must match a.
+	const h = 1e-6
+	for _, tau := range []float64{0.1, 0.3, 0.5, 0.77, 0.9} {
+		numV := (MinJerkS(tau+h) - MinJerkS(tau-h)) / (2 * h)
+		if math.Abs(numV-MinJerkV(tau)) > 1e-6 {
+			t.Errorf("v(%v): numeric %v vs analytic %v", tau, numV, MinJerkV(tau))
+		}
+		numA := (MinJerkV(tau+h) - MinJerkV(tau-h)) / (2 * h)
+		if math.Abs(numA-MinJerkA(tau)) > 1e-5 {
+			t.Errorf("a(%v): numeric %v vs analytic %v", tau, numA, MinJerkA(tau))
+		}
+	}
+}
+
+func TestMinJerkMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw float64) bool {
+		a := math.Abs(math.Mod(aRaw, 1))
+		b := math.Abs(math.Mod(bRaw, 1))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return MinJerkS(a) <= MinJerkS(b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlidePhaseKinematics(t *testing.T) {
+	b := NewBuilder(geom.Vec3{X: 1, Y: 2, Z: 1}, 0)
+	traj, err := b.Slide(0.5, 1.0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start and end at rest; displacement along body +y = world +y.
+	p0 := traj.Pose(0)
+	p1 := traj.Pose(traj.Duration())
+	if p0.Vel.Norm() > 1e-12 || p1.Vel.Norm() > 1e-12 {
+		t.Errorf("slide should start/end at rest: %v, %v", p0.Vel, p1.Vel)
+	}
+	if d := p1.Pos.Sub(p0.Pos); math.Abs(d.Y-0.5) > 1e-12 || math.Abs(d.X) > 1e-12 {
+		t.Errorf("displacement = %v, want (0, 0.5, 0)", d)
+	}
+	// Midpoint should move at peak speed 1.875·d/T.
+	pm := traj.Pose(0.5)
+	if math.Abs(pm.Vel.Y-1.875*0.5) > 1e-9 {
+		t.Errorf("peak velocity = %v, want %v", pm.Vel.Y, 1.875*0.5)
+	}
+}
+
+func TestSlideVelocityIsDerivativeOfPosition(t *testing.T) {
+	b := NewBuilder(geom.Vec3{}, geom.Radians(30))
+	traj, err := b.Slide(0.6, 0.9).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-6
+	for _, tt := range []float64{0.1, 0.33, 0.5, 0.8} {
+		num := traj.Pose(tt + h).Pos.Sub(traj.Pose(tt - h).Pos).Scale(1 / (2 * h))
+		ana := traj.Pose(tt).Vel
+		if num.Sub(ana).Norm() > 1e-5 {
+			t.Errorf("t=%v: numeric vel %v vs analytic %v", tt, num, ana)
+		}
+		numA := traj.Pose(tt + h).Vel.Sub(traj.Pose(tt - h).Vel).Scale(1 / (2 * h))
+		anaA := traj.Pose(tt).Acc
+		if numA.Sub(anaA).Norm() > 1e-4 {
+			t.Errorf("t=%v: numeric acc %v vs analytic %v", tt, numA, anaA)
+		}
+	}
+}
+
+func TestNegativeSlide(t *testing.T) {
+	b := NewBuilder(geom.Vec3{}, 0)
+	traj, err := b.Slide(-0.4, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := traj.Pose(traj.Duration()).Pos
+	if math.Abs(end.Y+0.4) > 1e-12 {
+		t.Errorf("backward slide end = %v, want y=-0.4", end)
+	}
+}
+
+func TestHoldPhase(t *testing.T) {
+	b := NewBuilder(geom.Vec3{X: 3}, 0.5)
+	traj, err := b.Hold(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := traj.Pose(1)
+	if p.Pos != (geom.Vec3{X: 3}) || p.Vel.Norm() != 0 || p.Acc.Norm() != 0 {
+		t.Errorf("hold pose = %+v", p)
+	}
+}
+
+func TestRotateToSweep(t *testing.T) {
+	b := NewBuilder(geom.Vec3{}, 0)
+	traj, err := b.RotateTo(math.Pi/2, 2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Body +y at t=0 is world +y; at the end it is world -x.
+	start := traj.Pose(0).Orient.Apply(geom.Vec3{Y: 1})
+	end := traj.Pose(2).Orient.Apply(geom.Vec3{Y: 1})
+	if start.Sub(geom.Vec3{Y: 1}).Norm() > 1e-9 {
+		t.Errorf("start body-y = %v", start)
+	}
+	if end.Sub(geom.Vec3{X: -1}).Norm() > 1e-9 {
+		t.Errorf("end body-y = %v, want -x", end)
+	}
+	if w := traj.Pose(1).AngVel.Z; math.Abs(w-math.Pi/4) > 1e-9 {
+		t.Errorf("yaw rate = %v, want π/4", w)
+	}
+}
+
+func TestComposeContinuity(t *testing.T) {
+	b := NewBuilder(geom.Vec3{}, 0)
+	traj, err := b.Hold(0.5).
+		Slide(0.5, 1).
+		Hold(0.3).
+		Slide(-0.5, 1).
+		ChangeHeight(0.4, 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := traj.Duration(), 3.8; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("duration = %v, want %v", got, want)
+	}
+	// Sample densely: position must be continuous (no jumps > vmax·dt).
+	prev := traj.Pose(0).Pos
+	const dt = 1e-3
+	for tt := dt; tt <= traj.Duration(); tt += dt {
+		cur := traj.Pose(tt).Pos
+		if cur.Sub(prev).Norm() > 2e-3 { // max speed ≈ 0.94 m/s
+			t.Fatalf("discontinuity at t=%v: %v -> %v", tt, prev, cur)
+		}
+		prev = cur
+	}
+	// Net displacement: slides cancel, height +0.4.
+	end := traj.Pose(traj.Duration()).Pos
+	if math.Abs(end.X) > 1e-9 || math.Abs(end.Y) > 1e-9 || math.Abs(end.Z-0.4) > 1e-9 {
+		t.Errorf("end position = %v, want (0,0,0.4)", end)
+	}
+}
+
+func TestComposeClampsOutOfRange(t *testing.T) {
+	b := NewBuilder(geom.Vec3{}, 0)
+	traj, err := b.Slide(0.5, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := traj.Pose(-5).Pos; got != traj.Pose(0).Pos {
+		t.Errorf("t<0 should clamp to start, got %v", got)
+	}
+	if got := traj.Pose(99).Pos; got != traj.Pose(1).Pos {
+		t.Errorf("t>end should clamp to end, got %v", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder(geom.Vec3{}, 0).Build(); err == nil {
+		t.Error("empty session should error")
+	}
+	if _, err := NewBuilder(geom.Vec3{}, 0).Hold(-1).Build(); err == nil {
+		t.Error("negative hold should error")
+	}
+	if _, err := NewBuilder(geom.Vec3{}, 0).Slide(0.5, 0).Build(); err == nil {
+		t.Error("zero-duration slide should error")
+	}
+	// Error sticks: later valid phases don't clear it.
+	if _, err := NewBuilder(geom.Vec3{}, 0).Hold(-1).Hold(1).Build(); err == nil {
+		t.Error("error should persist")
+	}
+}
+
+func TestBuilderYawAffectsSlideDirection(t *testing.T) {
+	b := NewBuilder(geom.Vec3{}, math.Pi/2) // body +y points along world -x
+	traj, err := b.Slide(1, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := traj.Pose(1).Pos
+	if math.Abs(end.X+1) > 1e-9 || math.Abs(end.Y) > 1e-9 {
+		t.Errorf("yawed slide end = %v, want (-1,0,0)", end)
+	}
+}

@@ -1,0 +1,245 @@
+package room
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hyperear/internal/dsp"
+)
+
+// NoiseSource generates background noise waveforms. Implementations return
+// approximately unit-RMS noise; the renderer scales it to hit a target SNR
+// against the received chirp level.
+type NoiseSource interface {
+	// Name identifies the noise regime in reports.
+	Name() string
+	// Generate returns n samples of noise at sampling rate fs using rng.
+	Generate(n int, fs float64, rng *rand.Rand) []float64
+}
+
+// Regime selects one of the paper's four Figure 19 noise conditions.
+type Regime int
+
+// The four noise regimes of §VII-E, ordered from most to least benign.
+const (
+	RegimeQuietRoom   Regime = iota + 1 // meeting room, volunteers silent (SNR > 15 dB)
+	RegimeChatting                      // meeting room, volunteers chatting (SNR ≈ 9 dB)
+	RegimeMallOffPeak                   // mall with background music (SNR ≈ 6 dB)
+	RegimeMallBusy                      // crowded mall with announcements (SNR ≈ 3 dB)
+)
+
+// String implements fmt.Stringer.
+func (r Regime) String() string {
+	switch r {
+	case RegimeQuietRoom:
+		return "room-quiet"
+	case RegimeChatting:
+		return "room-chatting"
+	case RegimeMallOffPeak:
+		return "mall-offpeak"
+	case RegimeMallBusy:
+		return "mall-busy"
+	default:
+		return fmt.Sprintf("regime(%d)", int(r))
+	}
+}
+
+// SNRdB returns the paper's nominal signal-to-noise ratio for the regime.
+func (r Regime) SNRdB() float64 {
+	switch r {
+	case RegimeQuietRoom:
+		return 15
+	case RegimeChatting:
+		return 9
+	case RegimeMallOffPeak:
+		return 6
+	case RegimeMallBusy:
+		return 3
+	default:
+		return 15
+	}
+}
+
+// Source returns the noise generator for the regime.
+func (r Regime) Source() NoiseSource {
+	switch r {
+	case RegimeQuietRoom:
+		return WhiteNoise{}
+	case RegimeChatting:
+		return VoiceNoise{}
+	case RegimeMallOffPeak:
+		return MusicNoise{}
+	case RegimeMallBusy:
+		return BusyNoise{}
+	default:
+		return WhiteNoise{}
+	}
+}
+
+// WhiteNoise is spectrally flat background noise (electronics, HVAC). The
+// quiet meeting room is dominated by it.
+type WhiteNoise struct{}
+
+// Name implements NoiseSource.
+func (WhiteNoise) Name() string { return "white" }
+
+// Generate implements NoiseSource.
+func (WhiteNoise) Generate(n int, _ float64, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// VoiceNoise models conversational babble: noise concentrated below 2 kHz
+// (the paper notes human voice is "normally lower than 2 kHz", so the ASP
+// band-pass removes most of it) with syllabic amplitude modulation.
+type VoiceNoise struct{}
+
+// Name implements NoiseSource.
+func (VoiceNoise) Name() string { return "voice" }
+
+// Generate implements NoiseSource.
+func (VoiceNoise) Generate(n int, fs float64, rng *rand.Rand) []float64 {
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = rng.NormFloat64()
+	}
+	lp, err := dsp.NewLowPass(1800, fs, 129)
+	if err != nil {
+		// fs too low for the voice band: fall back to raw noise.
+		return normalizeRMS(raw)
+	}
+	x := lp.Apply(raw)
+	// Syllabic modulation ≈ 4 Hz with random phase per talker burst.
+	phase := rng.Float64() * 2 * math.Pi
+	for i := range x {
+		t := float64(i) / fs
+		m := 0.6 + 0.4*math.Sin(2*math.Pi*4*t+phase)
+		x[i] *= m
+	}
+	return normalizeRMS(x)
+}
+
+// MusicNoise models the mall's off-peak background music: tonal harmonics
+// plus pink-ish broadband energy. Unlike voice, its spectrum overlaps the
+// 2-6.4 kHz chirp band, which is what makes Figure 19's mall curves worse
+// than the room curves.
+type MusicNoise struct{}
+
+// Name implements NoiseSource.
+func (MusicNoise) Name() string { return "music" }
+
+// Generate implements NoiseSource.
+func (MusicNoise) Generate(n int, fs float64, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	// Sustained tones with vibrato. Mall PA music is equalized bright
+	// (presence boost), so half the tones are drawn from the 2-7 kHz
+	// region the chirp occupies — this in-band energy is what makes the
+	// mall curves of Fig. 19 worse than the voice-dominated room.
+	nTones := 10
+	for k := 0; k < nTones; k++ {
+		var f float64
+		if k%2 == 0 {
+			f = 2000 * math.Pow(7000/2000.0, rng.Float64())
+		} else {
+			f = 200 * math.Pow(2000/200.0, rng.Float64())
+		}
+		amp := 0.2 + 0.8*rng.Float64()
+		phase := rng.Float64() * 2 * math.Pi
+		vib := 1 + 0.002*rng.NormFloat64()
+		for i := range out {
+			t := float64(i) / fs
+			out[i] += amp * math.Sin(2*math.Pi*f*vib*t+phase)
+		}
+	}
+	// Broadband bed: band-limited noise spanning the mid band.
+	bed := bandNoise(n, fs, 300, 8000, rng)
+	for i := range out {
+		out[i] = 0.8*out[i] + 1.1*bed[i]
+	}
+	return normalizeRMS(out)
+}
+
+// BusyNoise models the crowded mall at busy hours: strongly nonstationary
+// broadband bursts (announcements, crowd surges) whose level "dramatically
+// changes over time" (§VII-E), overlapping the chirp band.
+type BusyNoise struct{}
+
+// Name implements NoiseSource.
+func (BusyNoise) Name() string { return "busy" }
+
+// Generate implements NoiseSource.
+func (BusyNoise) Generate(n int, fs float64, rng *rand.Rand) []float64 {
+	base := MusicNoise{}.Generate(n, fs, rng)
+	out := make([]float64, n)
+	// Random burst envelope: level jumps every 100-400 ms between 0.3x
+	// and 3x, smoothed to avoid clicks.
+	env := make([]float64, n)
+	i := 0
+	level := 1.0
+	for i < n {
+		segment := int((0.1 + 0.3*rng.Float64()) * fs)
+		next := 0.3 + 2.7*rng.Float64()
+		for j := 0; j < segment && i < n; j++ {
+			// Exponential approach to the new level.
+			level += (next - level) * 0.001
+			env[i] = level
+			i++
+		}
+	}
+	// Crowd babble: dense band noise reaching into the chirp band (many
+	// overlapping voices, consonant energy extends well past 2 kHz).
+	babble := bandNoise(n, fs, 500, 5000, rng)
+	for i := range base {
+		base[i] = 0.8*base[i] + 0.9*babble[i]
+	}
+	// Occasional "announcement" sweeps squarely in the signal band.
+	nBursts := n / int(fs) * 4
+	for k := 0; k < nBursts; k++ {
+		start := rng.Intn(n)
+		f := 2000 + 5000*rng.Float64()
+		dur := int(0.08 * fs)
+		for j := 0; j < dur && start+j < n; j++ {
+			t := float64(j) / fs
+			base[start+j] += 2.0 * math.Sin(2*math.Pi*f*t)
+		}
+	}
+	for i := range out {
+		out[i] = base[i] * env[i]
+	}
+	return normalizeRMS(out)
+}
+
+// bandNoise returns white noise band-passed to [lo, hi] Hz, unit-RMS-ish
+// before the caller's final normalization. Falls back to raw noise when
+// the band does not fit under Nyquist.
+func bandNoise(n int, fs, lo, hi float64, rng *rand.Rand) []float64 {
+	raw := make([]float64, n)
+	for i := range raw {
+		raw[i] = rng.NormFloat64()
+	}
+	if hi >= fs/2 {
+		hi = fs/2 - 1
+	}
+	bp, err := dsp.NewBandPass(lo, hi, fs, 129)
+	if err != nil {
+		return normalizeRMS(raw)
+	}
+	return normalizeRMS(bp.Apply(raw))
+}
+
+// normalizeRMS scales x to unit RMS in place and returns it. Silent input
+// is returned unchanged.
+func normalizeRMS(x []float64) []float64 {
+	r := dsp.RMS(x)
+	if r == 0 {
+		return x
+	}
+	for i := range x {
+		x[i] /= r
+	}
+	return x
+}

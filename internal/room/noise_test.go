@@ -1,0 +1,139 @@
+package room
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hyperear/internal/dsp"
+)
+
+func TestRegimeStringsAndSNR(t *testing.T) {
+	cases := []struct {
+		r    Regime
+		name string
+		snr  float64
+	}{
+		{RegimeQuietRoom, "room-quiet", 15},
+		{RegimeChatting, "room-chatting", 9},
+		{RegimeMallOffPeak, "mall-offpeak", 6},
+		{RegimeMallBusy, "mall-busy", 3},
+	}
+	for _, c := range cases {
+		if c.r.String() != c.name {
+			t.Errorf("String(%d) = %q, want %q", c.r, c.r.String(), c.name)
+		}
+		if c.r.SNRdB() != c.snr {
+			t.Errorf("SNRdB(%v) = %v, want %v", c.r, c.r.SNRdB(), c.snr)
+		}
+		if c.r.Source() == nil {
+			t.Errorf("Source(%v) = nil", c.r)
+		}
+	}
+	if got := Regime(99).String(); got != "regime(99)" {
+		t.Errorf("unknown regime string = %q", got)
+	}
+	if got := Regime(99).SNRdB(); got != 15 {
+		t.Errorf("unknown regime SNR = %v", got)
+	}
+}
+
+func TestAllSourcesUnitRMS(t *testing.T) {
+	fs := 44100.0
+	n := int(fs) // one second
+	for _, src := range []NoiseSource{WhiteNoise{}, VoiceNoise{}, MusicNoise{}, BusyNoise{}} {
+		rng := rand.New(rand.NewSource(42))
+		x := src.Generate(n, fs, rng)
+		if len(x) != n {
+			t.Errorf("%s: length %d, want %d", src.Name(), len(x), n)
+		}
+		r := dsp.RMS(x)
+		if math.Abs(r-1) > 0.05 {
+			t.Errorf("%s: RMS = %v, want ≈1", src.Name(), r)
+		}
+	}
+}
+
+func TestVoiceNoiseIsLowBand(t *testing.T) {
+	fs := 44100.0
+	rng := rand.New(rand.NewSource(7))
+	x := VoiceNoise{}.Generate(int(fs), fs, rng)
+	low := dsp.Goertzel(x, 800, fs)
+	high := dsp.Goertzel(x, 4000, fs)
+	if high > 0.1*low {
+		t.Errorf("voice noise should sit below 2 kHz: 800 Hz %v vs 4 kHz %v", low, high)
+	}
+}
+
+func TestMusicNoiseOverlapsChirpBand(t *testing.T) {
+	fs := 44100.0
+	rng := rand.New(rand.NewSource(8))
+	x := MusicNoise{}.Generate(int(fs), fs, rng)
+	// Energy inside the 2-6.4 kHz chirp band must be non-negligible.
+	bp, err := dsp.NewBandPass(2000, 6400, fs, 201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBand := dsp.RMS(bp.Apply(x))
+	if inBand < 0.05 {
+		t.Errorf("music noise in-band RMS = %v, want noticeable overlap", inBand)
+	}
+}
+
+func TestBusyNoiseIsNonstationary(t *testing.T) {
+	fs := 44100.0
+	rng := rand.New(rand.NewSource(9))
+	x := BusyNoise{}.Generate(4*int(fs), fs, rng)
+	// Split into 250 ms windows and compare levels: busy-hour noise should
+	// fluctuate far more than white noise.
+	win := int(0.25 * fs)
+	var levels []float64
+	for i := 0; i+win <= len(x); i += win {
+		levels = append(levels, dsp.RMS(x[i:i+win]))
+	}
+	minL, maxL := levels[0], levels[0]
+	for _, l := range levels {
+		minL = math.Min(minL, l)
+		maxL = math.Max(maxL, l)
+	}
+	if maxL/minL < 1.5 {
+		t.Errorf("busy noise level ratio = %v, want strongly nonstationary (>1.5)", maxL/minL)
+	}
+}
+
+func TestWhiteNoiseIsStationary(t *testing.T) {
+	fs := 44100.0
+	rng := rand.New(rand.NewSource(10))
+	x := WhiteNoise{}.Generate(2*int(fs), fs, rng)
+	win := int(0.25 * fs)
+	var levels []float64
+	for i := 0; i+win <= len(x); i += win {
+		levels = append(levels, dsp.RMS(x[i:i+win]))
+	}
+	for _, l := range levels {
+		if math.Abs(l-1) > 0.1 {
+			t.Errorf("white noise window RMS = %v, want ≈1", l)
+		}
+	}
+}
+
+func TestGenerateDeterministicWithSeed(t *testing.T) {
+	fs := 44100.0
+	a := BusyNoise{}.Generate(1000, fs, rand.New(rand.NewSource(1)))
+	b := BusyNoise{}.Generate(1000, fs, rand.New(rand.NewSource(1)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("noise generation must be deterministic for equal seeds")
+		}
+	}
+}
+
+func TestNormalizeRMSSilence(t *testing.T) {
+	x := make([]float64, 10)
+	out := normalizeRMS(x)
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("silent input must stay silent")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package sessionio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+)
+
+// imuHeader is the CSV column layout: one row per sample at the trace's
+// fixed rate. The first line is "# fs=<rate>" followed by this header.
+const imuHeader = "ax,ay,az,gx,gy,gz,gravx,gravy,gravz"
+
+// WriteIMU saves an IMU trace as CSV with a "# fs=<rate>" preamble —
+// trivially producible from an Android sensor log.
+func WriteIMU(w io.Writer, tr *imu.Trace) error {
+	if tr == nil || tr.Len() == 0 {
+		return fmt.Errorf("sessionio: empty IMU trace")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# fs=%g\n%s\n", tr.Fs, imuHeader)
+	for i := 0; i < tr.Len(); i++ {
+		a, g, gr := tr.Accel[i], tr.Gyro[i], tr.Gravity[i]
+		fmt.Fprintf(bw, "%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g,%.9g\n",
+			a.X, a.Y, a.Z, g.X, g.Y, g.Z, gr.X, gr.Y, gr.Z)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("sessionio: write IMU csv: %w", err)
+	}
+	return nil
+}
+
+// ReadIMU parses the CSV format written by WriteIMU.
+func ReadIMU(r io.Reader) (*imu.Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sessionio: empty IMU csv")
+	}
+	first := strings.TrimSpace(sc.Text())
+	if !strings.HasPrefix(first, "# fs=") {
+		return nil, fmt.Errorf("sessionio: missing '# fs=' preamble (got %q)", first)
+	}
+	fs, err := strconv.ParseFloat(strings.TrimPrefix(first, "# fs="), 64)
+	if err != nil || fs <= 0 {
+		return nil, fmt.Errorf("sessionio: bad sample rate in preamble %q", first)
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sessionio: missing IMU header row")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != imuHeader {
+		return nil, fmt.Errorf("sessionio: unexpected header %q", got)
+	}
+	tr := &imu.Trace{Fs: fs}
+	line := 2
+	for sc.Scan() {
+		line++
+		row := strings.TrimSpace(sc.Text())
+		if row == "" {
+			continue
+		}
+		fields := strings.Split(row, ",")
+		if len(fields) != 9 {
+			return nil, fmt.Errorf("sessionio: line %d: %d fields (want 9)", line, len(fields))
+		}
+		var vals [9]float64
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("sessionio: line %d field %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		tr.Accel = append(tr.Accel, geom.Vec3{X: vals[0], Y: vals[1], Z: vals[2]})
+		tr.Gyro = append(tr.Gyro, geom.Vec3{X: vals[3], Y: vals[4], Z: vals[5]})
+		tr.Gravity = append(tr.Gravity, geom.Vec3{X: vals[6], Y: vals[7], Z: vals[8]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sessionio: read IMU csv: %w", err)
+	}
+	if tr.Len() == 0 {
+		return nil, fmt.Errorf("sessionio: IMU csv has no samples")
+	}
+	return tr, nil
+}

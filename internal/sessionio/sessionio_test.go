@@ -1,0 +1,250 @@
+package sessionio
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	rate := 44100
+	n := 1000
+	left := make([]float64, n)
+	right := make([]float64, n)
+	for i := range left {
+		left[i] = 0.5 * math.Sin(2*math.Pi*440*float64(i)/float64(rate))
+		right[i] = -0.25 * math.Cos(2*math.Pi*880*float64(i)/float64(rate))
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, rate, left, right); err != nil {
+		t.Fatal(err)
+	}
+	gotRate, chans, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRate != rate || len(chans) != 2 {
+		t.Fatalf("rate=%d channels=%d", gotRate, len(chans))
+	}
+	for i := range left {
+		if math.Abs(chans[0][i]-left[i]) > 1.0/32767 {
+			t.Fatalf("left[%d] = %v, want %v", i, chans[0][i], left[i])
+		}
+		if math.Abs(chans[1][i]-right[i]) > 1.0/32767 {
+			t.Fatalf("right[%d] = %v, want %v", i, chans[1][i], right[i])
+		}
+	}
+}
+
+func TestWAVMono(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, 8000, []float64{0, 0.5, -0.5}); err != nil {
+		t.Fatal(err)
+	}
+	rate, chans, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 8000 || len(chans) != 1 || len(chans[0]) != 3 {
+		t.Fatalf("rate=%d chans=%d", rate, len(chans))
+	}
+}
+
+func TestWAVClipsOutOfRange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, 8000, []float64{2, -3}); err != nil {
+		t.Fatal(err)
+	}
+	_, chans, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chans[0][0] < 0.99 || chans[0][1] > -0.99 {
+		t.Errorf("clipping failed: %v", chans[0])
+	}
+}
+
+func TestWriteWAVValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, 8000); err == nil {
+		t.Error("zero channels should error")
+	}
+	if err := WriteWAV(&buf, 8000, []float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if err := WriteWAV(&buf, 0, []float64{1}); err == nil {
+		t.Error("zero rate should error")
+	}
+}
+
+func TestReadWAVRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadWAV(strings.NewReader("not a wav file at all")); err == nil {
+		t.Error("garbage should error")
+	}
+	if _, _, err := ReadWAV(strings.NewReader("")); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestRecordingRoundTrip(t *testing.T) {
+	rec := &mic.Recording{
+		Fs:   44100,
+		Mic1: []float64{0.1, -0.2, 0.3},
+		Mic2: []float64{-0.1, 0.2, -0.3},
+	}
+	var buf bytes.Buffer
+	if err := WriteRecording(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fs != rec.Fs || len(got.Mic1) != 3 || len(got.Mic2) != 3 {
+		t.Fatalf("got %+v", got)
+	}
+	if err := WriteRecording(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil recording should error")
+	}
+}
+
+func TestReadRecordingRejectsMono(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, 8000, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRecording(&buf); err == nil {
+		t.Error("mono WAV should be rejected as a recording")
+	}
+}
+
+func makeTrace() *imu.Trace {
+	return &imu.Trace{
+		Fs: 100,
+		Accel: []geom.Vec3{
+			{X: 0.1, Y: -0.2, Z: 9.81},
+			{X: 0.3, Y: 0.4, Z: 9.79},
+		},
+		Gyro: []geom.Vec3{
+			{X: 0.01, Y: 0, Z: -0.02},
+			{X: 0, Y: 0.005, Z: 0.001},
+		},
+		Gravity: []geom.Vec3{
+			{X: 0, Y: 0, Z: 9.80665},
+			{X: 0.01, Y: 0, Z: 9.806},
+		},
+	}
+}
+
+func TestIMURoundTrip(t *testing.T) {
+	tr := makeTrace()
+	var buf bytes.Buffer
+	if err := WriteIMU(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIMU(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fs != tr.Fs || got.Len() != tr.Len() {
+		t.Fatalf("fs=%v len=%d", got.Fs, got.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		if got.Accel[i].Sub(tr.Accel[i]).Norm() > 1e-9 ||
+			got.Gyro[i].Sub(tr.Gyro[i]).Norm() > 1e-9 ||
+			got.Gravity[i].Sub(tr.Gravity[i]).Norm() > 1e-9 {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+}
+
+func TestIMUValidation(t *testing.T) {
+	if err := WriteIMU(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil trace should error")
+	}
+	cases := []string{
+		"",
+		"no preamble\nax,ay\n",
+		"# fs=abc\n" + "ax,ay,az,gx,gy,gz,gravx,gravy,gravz\n",
+		"# fs=100\nwrong,header\n",
+		"# fs=100\nax,ay,az,gx,gy,gz,gravx,gravy,gravz\n1,2,3\n",
+		"# fs=100\nax,ay,az,gx,gy,gz,gravx,gravy,gravz\n1,2,3,4,5,6,7,8,not-a-number\n",
+		"# fs=100\nax,ay,az,gx,gy,gz,gravx,gravy,gravz\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadIMU(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestBundleSaveLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "session1")
+	b := &Bundle{
+		Recording: &mic.Recording{
+			Fs:   44100,
+			Mic1: []float64{0.1, 0.2},
+			Mic2: []float64{0.3, 0.4},
+		},
+		IMU: makeTrace(),
+		Meta: Meta{
+			PhoneName:     "galaxy-s4",
+			MicSeparation: 0.1366,
+			SampleRate:    44100,
+			ChirpLowHz:    2000,
+			ChirpHighHz:   6400,
+			ChirpDurS:     0.04,
+			ChirpPeriodS:  0.2,
+			TrueDistanceM: 5,
+		},
+	}
+	if err := Save(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != b.Meta {
+		t.Errorf("meta = %+v, want %+v", got.Meta, b.Meta)
+	}
+	if got.Recording.Fs != 44100 || got.IMU.Len() != 2 {
+		t.Errorf("payload mismatch: fs=%v imu=%d", got.Recording.Fs, got.IMU.Len())
+	}
+}
+
+func TestBundleSaveValidation(t *testing.T) {
+	if err := Save(t.TempDir(), nil); err == nil {
+		t.Error("nil bundle should error")
+	}
+	if err := Save(t.TempDir(), &Bundle{}); err == nil {
+		t.Error("empty bundle should error")
+	}
+}
+
+func TestBundleLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing dir should error")
+	}
+}
+
+func TestBundleLoadRateMismatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "session2")
+	b := &Bundle{
+		Recording: &mic.Recording{Fs: 44100, Mic1: []float64{0}, Mic2: []float64{0}},
+		IMU:       makeTrace(),
+		Meta:      Meta{SampleRate: 48000},
+	}
+	if err := Save(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("rate mismatch should error")
+	}
+}

@@ -1,0 +1,165 @@
+// Package sessionio persists and loads HyperEar sessions: stereo
+// recordings as 16-bit PCM WAV, IMU traces as CSV, and session metadata as
+// JSON. This is the bridge between the simulator and real captured data —
+// record a stereo WAV and a sensor log on an actual phone, and the same
+// pipeline localizes it.
+package sessionio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"hyperear/internal/mic"
+)
+
+// WriteWAV emits a stereo (or mono) 16-bit PCM RIFF/WAVE stream. Channel
+// slices must be equal length; samples are clipped to [-1, 1].
+func WriteWAV(w io.Writer, rate int, channels ...[]float64) error {
+	if len(channels) == 0 || len(channels) > 2 {
+		return fmt.Errorf("sessionio: %d channels unsupported (want 1 or 2)", len(channels))
+	}
+	n := len(channels[0])
+	for _, ch := range channels {
+		if len(ch) != n {
+			return fmt.Errorf("sessionio: channel length mismatch %d vs %d", len(ch), n)
+		}
+	}
+	if rate <= 0 {
+		return fmt.Errorf("sessionio: non-positive sample rate %d", rate)
+	}
+	nCh := len(channels)
+	dataLen := n * nCh * 2
+
+	var header []byte
+	header = append(header, "RIFF"...)
+	header = binary.LittleEndian.AppendUint32(header, uint32(36+dataLen))
+	header = append(header, "WAVE"...)
+	header = append(header, "fmt "...)
+	header = binary.LittleEndian.AppendUint32(header, 16)
+	header = binary.LittleEndian.AppendUint16(header, 1) // PCM
+	header = binary.LittleEndian.AppendUint16(header, uint16(nCh))
+	header = binary.LittleEndian.AppendUint32(header, uint32(rate))
+	header = binary.LittleEndian.AppendUint32(header, uint32(rate*nCh*2))
+	header = binary.LittleEndian.AppendUint16(header, uint16(nCh*2))
+	header = binary.LittleEndian.AppendUint16(header, 16)
+	header = append(header, "data"...)
+	header = binary.LittleEndian.AppendUint32(header, uint32(dataLen))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("sessionio: write header: %w", err)
+	}
+
+	buf := make([]byte, dataLen)
+	for i := 0; i < n; i++ {
+		for c, ch := range channels {
+			v := ch[i]
+			if v > 1 {
+				v = 1
+			} else if v < -1 {
+				v = -1
+			}
+			s := int16(math.Round(v * 32767))
+			binary.LittleEndian.PutUint16(buf[(i*nCh+c)*2:], uint16(s))
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("sessionio: write data: %w", err)
+	}
+	return nil
+}
+
+// ReadWAV parses a 16-bit PCM WAV stream into float channels in [-1, 1].
+func ReadWAV(r io.Reader) (rate int, channels [][]float64, err error) {
+	var riff [12]byte
+	if _, err := io.ReadFull(r, riff[:]); err != nil {
+		return 0, nil, fmt.Errorf("sessionio: read RIFF header: %w", err)
+	}
+	if string(riff[0:4]) != "RIFF" || string(riff[8:12]) != "WAVE" {
+		return 0, nil, fmt.Errorf("sessionio: not a RIFF/WAVE stream")
+	}
+	var nCh, bits int
+	var data []byte
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break
+			}
+			return 0, nil, fmt.Errorf("sessionio: read chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		body := make([]byte, size)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return 0, nil, fmt.Errorf("sessionio: read %q chunk: %w", id, err)
+		}
+		switch id {
+		case "fmt ":
+			if size < 16 {
+				return 0, nil, fmt.Errorf("sessionio: fmt chunk too short (%d bytes)", size)
+			}
+			if format := binary.LittleEndian.Uint16(body[0:2]); format != 1 {
+				return 0, nil, fmt.Errorf("sessionio: unsupported WAV format %d (want PCM)", format)
+			}
+			nCh = int(binary.LittleEndian.Uint16(body[2:4]))
+			rate = int(binary.LittleEndian.Uint32(body[4:8]))
+			bits = int(binary.LittleEndian.Uint16(body[14:16]))
+		case "data":
+			data = body
+		}
+		if size%2 == 1 {
+			// Chunks are word-aligned; skip the pad byte.
+			var pad [1]byte
+			if _, err := io.ReadFull(r, pad[:]); err != nil && err != io.EOF {
+				return 0, nil, fmt.Errorf("sessionio: chunk padding: %w", err)
+			}
+		}
+	}
+	if nCh == 0 || rate == 0 {
+		return 0, nil, fmt.Errorf("sessionio: missing fmt chunk")
+	}
+	if bits != 16 {
+		return 0, nil, fmt.Errorf("sessionio: %d-bit WAV unsupported (want 16)", bits)
+	}
+	if data == nil {
+		return 0, nil, fmt.Errorf("sessionio: missing data chunk")
+	}
+	frame := nCh * 2
+	n := len(data) / frame
+	channels = make([][]float64, nCh)
+	for c := range channels {
+		channels[c] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for c := 0; c < nCh; c++ {
+			raw := int16(binary.LittleEndian.Uint16(data[i*frame+c*2:]))
+			channels[c][i] = float64(raw) / 32767
+		}
+	}
+	return rate, channels, nil
+}
+
+// WriteRecording saves a stereo mic.Recording as WAV.
+func WriteRecording(w io.Writer, rec *mic.Recording) error {
+	if rec == nil {
+		return fmt.Errorf("sessionio: nil recording")
+	}
+	return WriteWAV(w, int(rec.Fs), rec.Mic1, rec.Mic2)
+}
+
+// ReadRecording loads a stereo WAV as a mic.Recording.
+func ReadRecording(r io.Reader) (*mic.Recording, error) {
+	rate, channels, err := ReadWAV(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(channels) != 2 {
+		return nil, fmt.Errorf("sessionio: recording needs 2 channels, got %d", len(channels))
+	}
+	return &mic.Recording{
+		Fs:   float64(rate),
+		Mic1: channels[0],
+		Mic2: channels[1],
+	}, nil
+}

@@ -1,0 +1,263 @@
+// Package sim assembles full HyperEar sessions: it builds the user-motion
+// protocol (slides on one or two statures, rotation sweeps), renders what
+// the phone's two microphones record in the chosen room, samples the IMU
+// along the exact same trajectory, and keeps the ground truth needed to
+// score the pipeline. All randomness is derived from a single seed.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/motion"
+	"hyperear/internal/room"
+)
+
+// Mode selects how the phone is moved.
+type Mode int
+
+// Movement modes: the paper evaluates both a level slide ruler (Figs.
+// 14-16) and free-hand operation (Figs. 17-19).
+const (
+	// ModeRuler mounts the phone on a level slide ruler: no tremor, no
+	// rotation jitter, exact slide direction.
+	ModeRuler Mode = iota + 1
+	// ModeHand is free-hand operation: millimeter-scale tremor, a few
+	// degrees of rotation wobble, and imperfect slide lengths.
+	ModeHand
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeRuler:
+		return "ruler"
+	case ModeHand:
+		return "hand"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Protocol describes the user-motion script of one session.
+type Protocol struct {
+	// SlideDist is the commanded slide length in meters.
+	SlideDist float64
+	// SlideDur is the duration of one slide in seconds.
+	SlideDur float64
+	// HoldDur is the pause before/after each slide in seconds (the phone
+	// must be at rest at both ends for the PDE zero-velocity anchors).
+	HoldDur float64
+	// CalibHold is the stationary period at session start in seconds —
+	// physically the tail of the direction-finding phase, during which
+	// the ASP stage estimates the sampling-frequency offset from the
+	// received beacon period. Zero selects the 3 s default.
+	CalibHold float64
+	// Slides is the number of slides (alternating forward/backward).
+	Slides int
+	// Mode selects ruler or hand operation.
+	Mode Mode
+	// YawErrDeg is the residual direction-finding error: the phone's
+	// slide axis is rotated this many degrees away from the ideal
+	// broadside orientation. The SDF experiments sweep this.
+	YawErrDeg float64
+	// StatureChange, when nonzero, inserts a vertical move of this many
+	// meters after the first half of the slides (the paper's two-stature
+	// 3D protocol, Fig. 11). Use an even Slides count with it.
+	StatureChange float64
+}
+
+// DefaultProtocol returns the paper's standard operating point: 55 cm
+// slides (the 50-60 cm bucket that HyperEar auto-selects, §VII-B), one
+// second per slide, five slides.
+func DefaultProtocol() Protocol {
+	return Protocol{
+		SlideDist: 0.55,
+		SlideDur:  1.0,
+		HoldDur:   0.45,
+		CalibHold: 3.0,
+		Slides:    5,
+		Mode:      ModeRuler,
+	}
+}
+
+// Validate reports protocol errors.
+func (p Protocol) Validate() error {
+	switch {
+	case p.SlideDist <= 0 || p.SlideDist > 2:
+		return fmt.Errorf("sim: slide distance %v m implausible", p.SlideDist)
+	case p.SlideDur <= 0.1:
+		return fmt.Errorf("sim: slide duration %v s too short", p.SlideDur)
+	case p.HoldDur <= 0.1:
+		return fmt.Errorf("sim: hold duration %v s too short", p.HoldDur)
+	case p.CalibHold < 0:
+		return fmt.Errorf("sim: negative calibration hold %v s", p.CalibHold)
+	case p.Slides < 1 || p.Slides > 50:
+		return fmt.Errorf("sim: %d slides outside [1,50]", p.Slides)
+	case p.Mode != ModeRuler && p.Mode != ModeHand:
+		return fmt.Errorf("sim: unknown mode %d", p.Mode)
+	}
+	return nil
+}
+
+// Scenario is a complete experiment configuration.
+type Scenario struct {
+	// Env is the acoustic environment.
+	Env room.Environment
+	// Phone is the handset.
+	Phone mic.Phone
+	// Source is the beacon waveform.
+	Source chirp.Params
+	// SpeakerPos is the speaker's world position.
+	SpeakerPos geom.Vec3
+	// SpeakerSkewPPM is the speaker clock error.
+	SpeakerSkewPPM float64
+	// PhoneStart is the phone center's world position at session start.
+	PhoneStart geom.Vec3
+	// Protocol is the motion script.
+	Protocol Protocol
+	// IMU is the inertial sensor error model.
+	IMU imu.Config
+	// Noise is the background noise source (nil for silence).
+	Noise room.NoiseSource
+	// SNRdB is the target recorded SNR when Noise is set.
+	SNRdB float64
+	// Seed derives every random draw in the session.
+	Seed int64
+}
+
+// Session is a rendered scenario: the sensor data the pipeline consumes
+// plus ground truth for scoring.
+type Session struct {
+	// Recording is the stereo microphone capture.
+	Recording *mic.Recording
+	// IMU is the inertial trace.
+	IMU *imu.Trace
+	// Traj is the ground-truth trajectory (world frame).
+	Traj motion.Trajectory
+	// Scenario echoes the configuration.
+	Scenario Scenario
+	// TrueYaw is the phone yaw actually used (ideal broadside yaw plus
+	// the protocol's YawErrDeg).
+	TrueYaw float64
+	// TrueProjectedDist is the ground-truth horizontal distance from the
+	// phone start to the speaker (the quantity Figures 14-19 score).
+	TrueProjectedDist float64
+}
+
+// BroadsideYaw returns the phone yaw that puts the speaker exactly on the
+// body +x axis (the "in-direction position" of §IV-B) for a phone at
+// phonePos: body +x must point at the speaker's horizontal bearing.
+func BroadsideYaw(phonePos, speakerPos geom.Vec3) float64 {
+	d := speakerPos.Sub(phonePos)
+	return math.Atan2(d.Y, d.X)
+}
+
+// Run renders the scenario into a Session.
+func Run(sc Scenario) (*Session, error) {
+	if err := sc.Protocol.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	traj, yaw, err := buildTrajectory(sc, rng)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := mic.Render(mic.RenderConfig{
+		Env:            sc.Env,
+		Source:         sc.Source,
+		SourcePos:      sc.SpeakerPos,
+		SpeakerSkewPPM: sc.SpeakerSkewPPM,
+		Phone:          sc.Phone,
+		Traj:           traj,
+		Noise:          sc.Noise,
+		SNRdB:          sc.SNRdB,
+		Seed:           rng.Int63(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	imuCfg := sc.IMU
+	if imuCfg.SampleRate == 0 {
+		imuCfg = imu.DefaultConfig()
+	}
+	imuCfg.Seed = rng.Int63()
+	trace, err := imu.Sample(traj, imuCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		Recording:         rec,
+		IMU:               trace,
+		Traj:              traj,
+		Scenario:          sc,
+		TrueYaw:           yaw,
+		TrueProjectedDist: sc.SpeakerPos.Sub(sc.PhoneStart).XY().Norm(),
+	}, nil
+}
+
+// buildTrajectory constructs the session motion from the protocol.
+func buildTrajectory(sc Scenario, rng *rand.Rand) (motion.Trajectory, float64, error) {
+	p := sc.Protocol
+	yaw := BroadsideYaw(sc.PhoneStart, sc.SpeakerPos) + geom.Radians(p.YawErrDeg)
+
+	calib := p.CalibHold
+	if calib == 0 {
+		calib = 3.0
+	}
+	b := motion.NewBuilder(sc.PhoneStart, yaw)
+	b.Hold(calib)
+	dir := 1.0
+	half := p.Slides / 2
+	for i := 0; i < p.Slides; i++ {
+		dist := p.SlideDist
+		dur := p.SlideDur
+		if p.Mode == ModeHand {
+			// Free-hand slides vary a few percent in length and timing.
+			dist *= 1 + 0.04*rng.NormFloat64()
+			dur *= 1 + 0.06*rng.NormFloat64()
+			if dur < 0.3 {
+				dur = 0.3
+			}
+		}
+		b.Slide(dir*dist, dur)
+		b.Hold(p.HoldDur)
+		dir = -dir
+		if p.StatureChange != 0 && half > 0 && i == half-1 {
+			b.ChangeHeight(p.StatureChange, 0.8)
+			b.Hold(p.HoldDur)
+		}
+	}
+	base, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	if p.Mode == ModeHand {
+		return &motion.Shaky{
+			Base:   base,
+			Tremor: motion.NewTremor(rng, 0.0025, 4),
+		}, yaw, nil
+	}
+	return base, yaw, nil
+}
+
+// RotationSweep builds a Scenario-compatible trajectory in which the phone
+// holds still and rotates one full turn about its z-axis over dur seconds
+// — the SDF direction-finding sweep of Figures 6 and 7. It is exposed for
+// experiments that bypass the slide protocol.
+func RotationSweep(start geom.Vec3, dur float64) (motion.Trajectory, error) {
+	traj, err := motion.NewBuilder(start, 0).
+		Hold(0.2).
+		RotateTo(2*math.Pi, dur).
+		Hold(0.2).
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	return traj, nil
+}

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/geom"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/room"
+)
+
+func baseScenario() Scenario {
+	return Scenario{
+		Env:        room.MeetingRoom(),
+		Phone:      mic.GalaxyS4(),
+		Source:     chirp.Default(),
+		SpeakerPos: geom.Vec3{X: 10, Y: 6, Z: 1.2},
+		PhoneStart: geom.Vec3{X: 5, Y: 6, Z: 1.2},
+		Protocol:   DefaultProtocol(),
+		IMU:        imu.DefaultConfig(),
+		Seed:       1,
+	}
+}
+
+func TestProtocolValidate(t *testing.T) {
+	if err := DefaultProtocol().Validate(); err != nil {
+		t.Errorf("default protocol: %v", err)
+	}
+	cases := []func(*Protocol){
+		func(p *Protocol) { p.SlideDist = 0 },
+		func(p *Protocol) { p.SlideDist = 5 },
+		func(p *Protocol) { p.SlideDur = 0.05 },
+		func(p *Protocol) { p.HoldDur = 0 },
+		func(p *Protocol) { p.Slides = 0 },
+		func(p *Protocol) { p.Slides = 100 },
+		func(p *Protocol) { p.Mode = 0 },
+	}
+	for i, mut := range cases {
+		p := DefaultProtocol()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeRuler.String() != "ruler" || ModeHand.String() != "hand" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Error("unknown mode string wrong")
+	}
+}
+
+func TestBroadsideYaw(t *testing.T) {
+	// Speaker due +x of the phone: body +x must point along world +x,
+	// so yaw = 0.
+	yaw := BroadsideYaw(geom.Vec3{}, geom.Vec3{X: 5})
+	if math.Abs(yaw) > 1e-12 {
+		t.Errorf("yaw = %v, want 0", yaw)
+	}
+	// Speaker due +y: yaw = π/2.
+	yaw = BroadsideYaw(geom.Vec3{}, geom.Vec3{Y: 5})
+	if math.Abs(yaw-math.Pi/2) > 1e-12 {
+		t.Errorf("yaw = %v, want π/2", yaw)
+	}
+}
+
+func TestRunProducesConsistentSession(t *testing.T) {
+	sc := baseScenario()
+	sc.Protocol.Slides = 2
+	s, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recording == nil || s.IMU == nil || s.Traj == nil {
+		t.Fatal("incomplete session")
+	}
+	wantDur := s.Traj.Duration()
+	gotAudio := float64(len(s.Recording.Mic1)) / s.Recording.Fs
+	if math.Abs(gotAudio-wantDur) > 0.01 {
+		t.Errorf("audio %v s vs trajectory %v s", gotAudio, wantDur)
+	}
+	gotIMU := float64(s.IMU.Len()-1) / s.IMU.Fs
+	if math.Abs(gotIMU-wantDur) > 0.02 {
+		t.Errorf("imu %v s vs trajectory %v s", gotIMU, wantDur)
+	}
+	if want := 5.0; math.Abs(s.TrueProjectedDist-want) > 1e-12 {
+		t.Errorf("TrueProjectedDist = %v, want %v", s.TrueProjectedDist, want)
+	}
+}
+
+func TestRunSlideAxisIsBroadside(t *testing.T) {
+	// In ruler mode with no yaw error, the slide axis must be exactly
+	// perpendicular to the speaker bearing.
+	sc := baseScenario()
+	sc.Protocol.Slides = 1
+	s, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find displacement over the slide (between the holds).
+	p0 := s.Traj.Pose(sc.Protocol.CalibHold).Pos
+	p1 := s.Traj.Pose(sc.Protocol.CalibHold + sc.Protocol.SlideDur).Pos
+	slideDir := p1.Sub(p0).Normalize()
+	bearing := sc.SpeakerPos.Sub(sc.PhoneStart).Normalize()
+	if dot := math.Abs(slideDir.Dot(bearing)); dot > 1e-9 {
+		t.Errorf("slide axis not broadside: |dot| = %v", dot)
+	}
+	if math.Abs(p1.Dist(p0)-sc.Protocol.SlideDist) > 1e-9 {
+		t.Errorf("ruler slide length = %v, want %v", p1.Dist(p0), sc.Protocol.SlideDist)
+	}
+}
+
+func TestRunYawError(t *testing.T) {
+	sc := baseScenario()
+	sc.Protocol.Slides = 1
+	sc.Protocol.YawErrDeg = 30
+	s, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := s.Traj.Pose(sc.Protocol.CalibHold).Pos
+	p1 := s.Traj.Pose(sc.Protocol.CalibHold + sc.Protocol.SlideDur).Pos
+	slideDir := p1.Sub(p0).Normalize()
+	bearing := sc.SpeakerPos.Sub(sc.PhoneStart).Normalize()
+	angle := math.Acos(geom.Clamp(math.Abs(slideDir.Dot(bearing)), -1, 1))
+	// Perpendicular minus 30° of yaw error = 60° between slide and bearing.
+	if math.Abs(geom.Degrees(angle)-60) > 1 {
+		t.Errorf("slide-bearing angle = %v°, want 60°", geom.Degrees(angle))
+	}
+}
+
+func TestRunHandModeVariesSlides(t *testing.T) {
+	sc := baseScenario()
+	sc.Protocol.Mode = ModeHand
+	sc.Protocol.Slides = 4
+	s, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-mode slide lengths should differ from the commanded value.
+	p := sc.Protocol
+	t0 := p.CalibHold
+	identical := true
+	for i := 0; i < p.Slides; i++ {
+		// Approximate phase boundaries: hand mode perturbs durations, so
+		// just check the total path isn't exactly the ruler path.
+		pos := s.Traj.Pose(t0 + float64(i)*(p.SlideDur+p.HoldDur)).Pos
+		ruler := sc.PhoneStart
+		if pos.Dist(ruler) > 1e-6 {
+			identical = false
+		}
+	}
+	if identical {
+		t.Error("hand mode produced an exact ruler trajectory")
+	}
+}
+
+func TestRunStatureChange(t *testing.T) {
+	sc := baseScenario()
+	sc.Protocol.Slides = 4
+	sc.Protocol.StatureChange = 0.4
+	s, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z0 := s.Traj.Pose(0).Pos.Z
+	z1 := s.Traj.Pose(s.Traj.Duration()).Pos.Z
+	if math.Abs(z1-z0-0.4) > 1e-9 {
+		t.Errorf("stature change = %v, want 0.4", z1-z0)
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	sc := baseScenario()
+	sc.Protocol.Slides = 1
+	sc.Protocol.Mode = ModeHand
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Recording.Mic1 {
+		if a.Recording.Mic1[i] != b.Recording.Mic1[i] {
+			t.Fatal("audio must be deterministic per seed")
+		}
+	}
+	for i := range a.IMU.Accel {
+		if a.IMU.Accel[i] != b.IMU.Accel[i] {
+			t.Fatal("IMU must be deterministic per seed")
+		}
+	}
+}
+
+func TestRunInvalidProtocol(t *testing.T) {
+	sc := baseScenario()
+	sc.Protocol.Slides = 0
+	if _, err := Run(sc); err == nil {
+		t.Error("invalid protocol should error")
+	}
+}
+
+func TestRotationSweep(t *testing.T) {
+	traj, err := RotationSweep(geom.Vec3{X: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(traj.Duration()-4.4) > 1e-9 {
+		t.Errorf("duration = %v, want 4.4", traj.Duration())
+	}
+	// Mid-sweep the phone must have rotated half a turn.
+	mid := traj.Pose(0.2 + 2).Orient.Apply(geom.Vec3{X: 1})
+	if mid.Sub(geom.Vec3{X: -1}).Norm() > 1e-6 {
+		t.Errorf("half-turn body x = %v, want -x", mid)
+	}
+}
