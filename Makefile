@@ -1,0 +1,37 @@
+# Developer entry points. `make check` is the CI gate: vet, build, the
+# full test suite under the race detector, and a one-iteration benchmark
+# smoke run so the benchmark harness itself cannot rot.
+
+GO ?= go
+
+.PHONY: all check vet build test race bench-smoke bench
+
+all: check
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector is a ~10× slowdown and the experiment suite renders
+# minutes of audio; the default 10m per-package timeout is not enough on
+# small machines.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# One iteration of every benchmark: catches compile errors, panics, and
+# setup regressions in the benchmark harness without paying for a real
+# measurement run.
+bench-smoke:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# Real measurement run of the performance-critical benchmarks (see
+# DESIGN.md "Performance architecture").
+bench:
+	$(GO) test -run NONE -bench 'CrossCorrelate|Correlator|Envelope|PipelineLocate2D' -benchmem ./ ./internal/dsp/

@@ -8,9 +8,13 @@
 package hyperear
 
 import (
+	"math"
+	"math/cmplx"
 	"strings"
 	"testing"
 
+	"hyperear/internal/core"
+	"hyperear/internal/dsp"
 	"hyperear/internal/experiment"
 	"hyperear/internal/imu"
 	"hyperear/internal/room"
@@ -156,11 +160,10 @@ func BenchmarkFull3DComparison(b *testing.B) {
 	}
 }
 
-// BenchmarkPipelineLocate2D measures the end-to-end pipeline cost on one
-// pre-rendered 5-slide session (the per-localization latency a phone
-// implementation would care about).
-func BenchmarkPipelineLocate2D(b *testing.B) {
-	sc := Scenario{
+// benchScenario is the standard 5-slide session the pipeline benchmarks
+// share.
+func benchScenario() Scenario {
+	return Scenario{
 		Env:            MeetingRoom(),
 		Phone:          GalaxyS4(),
 		Source:         DefaultBeacon(),
@@ -173,11 +176,20 @@ func BenchmarkPipelineLocate2D(b *testing.B) {
 		SNRdB:          15,
 		Seed:           12,
 	}
+}
+
+// benchLocate2D runs the end-to-end Locate2D benchmark with the given
+// worker-pool bound (1 = fully serial, 0 = GOMAXPROCS).
+func benchLocate2D(b *testing.B, parallelism int) {
+	b.Helper()
+	sc := benchScenario()
 	session, err := Simulate(sc)
 	if err != nil {
 		b.Fatal(err)
 	}
-	loc, err := NewLocalizer(sc.Phone, sc.Source)
+	cfg := core.DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation)
+	cfg.Parallelism = parallelism
+	loc, err := NewLocalizerConfig(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -187,6 +199,124 @@ func BenchmarkPipelineLocate2D(b *testing.B) {
 		if _, err := loc.Locate2D(session); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPipelineLocate2D measures the end-to-end pipeline cost on one
+// pre-rendered 5-slide session (the per-localization latency a phone
+// implementation would care about), at the default parallelism.
+func BenchmarkPipelineLocate2D(b *testing.B) { benchLocate2D(b, 0) }
+
+// BenchmarkPipelineLocate2DSerial pins the pipeline to one worker. On a
+// multi-core machine compare against BenchmarkPipelineLocate2DParallel:
+// the two-channel ASP fan-out alone should approach 2× on ≥4 cores (the
+// matched-filter FFTs dominate the pipeline).
+func BenchmarkPipelineLocate2DSerial(b *testing.B) { benchLocate2D(b, 1) }
+
+// BenchmarkPipelineLocate2DParallel uses the full worker pool
+// (GOMAXPROCS).
+func BenchmarkPipelineLocate2DParallel(b *testing.B) { benchLocate2D(b, 0) }
+
+// noPlanFFT is a textbook recursive Cooley-Tukey that recomputes twiddles
+// and allocates half-size scratch at every level — what the DSP layer did
+// before plans, kept here as the benchmark baseline.
+func noPlanFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 1 {
+		return []complex128{x[0]}
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	fe := noPlanFFT(even)
+	fo := noPlanFFT(odd)
+	out := make([]complex128, n)
+	for k := 0; k < n/2; k++ {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		t := complex(math.Cos(ang), math.Sin(ang)) * fo[k]
+		out[k] = fe[k] + t
+		out[k+n/2] = fe[k] - t
+	}
+	return out
+}
+
+// noPlanCrossCorrelate is the pre-plan matched filter: per-call FFTs of
+// both operands with no caching, no pooling, no template reuse.
+func noPlanCrossCorrelate(x, ref []float64) []float64 {
+	n := dsp.NextPow2(len(x) + len(ref) - 1)
+	fx := make([]complex128, n)
+	fr := make([]complex128, n)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	for i, v := range ref {
+		fr[i] = complex(v, 0)
+	}
+	X := noPlanFFT(fx)
+	R := noPlanFFT(fr)
+	for i := range X {
+		X[i] *= cmplx.Conj(R[i])
+	}
+	// Inverse via conjugation.
+	for i := range X {
+		X[i] = cmplx.Conj(X[i])
+	}
+	Y := noPlanFFT(X)
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = real(cmplx.Conj(Y[i])) / float64(n)
+	}
+	return out
+}
+
+// benchCorrelateInput builds the matched-filter workload the detector
+// runs per channel: one second of audio against the 40 ms template.
+func benchCorrelateInput() (x, ref []float64) {
+	x = make([]float64, 44100)
+	ref = make([]float64, 1764)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.127)
+	}
+	for i := range ref {
+		ref[i] = math.Cos(float64(i) * 0.211)
+	}
+	return x, ref
+}
+
+// BenchmarkCrossCorrelateNoPlan is the no-plan baseline for the plan
+// benchmarks below (and BenchmarkCrossCorrelatePlanInto /
+// BenchmarkCorrelatorCrossCorrelate in internal/dsp).
+func BenchmarkCrossCorrelateNoPlan(b *testing.B) {
+	x, ref := benchCorrelateInput()
+	// Sanity-pin the baseline against the production path once.
+	want := dsp.CrossCorrelate(x, ref)
+	got := noPlanCrossCorrelate(x, ref)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			b.Fatalf("no-plan baseline diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		noPlanCrossCorrelate(x, ref)
+	}
+}
+
+// BenchmarkCrossCorrelatePlan is the plan-cached, scratch-pooled path on
+// the same workload; with a reused destination it runs allocation-free in
+// steady state (see -benchmem, and TestPlanPathZeroAllocs in
+// internal/dsp).
+func BenchmarkCrossCorrelatePlan(b *testing.B) {
+	x, ref := benchCorrelateInput()
+	dst := dsp.CrossCorrelateInto(nil, x, ref)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = dsp.CrossCorrelateInto(dst, x, ref)
 	}
 }
 

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"hyperear/internal/chirp"
@@ -36,9 +37,23 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Guard the free-form numeric flags before any arithmetic: a zero,
+	// negative, or NaN rate (the !(x > 0) form catches NaN too) would
+	// otherwise produce an empty or corrupt WAV header, and the chirp must
+	// fit under Nyquist to be playable at all.
+	if !(*rate > 0) || math.IsInf(*rate, 0) {
+		return fmt.Errorf("sample rate %v Hz invalid (need a finite rate > 0)", *rate)
+	}
+	if !(*seconds > 0) || math.IsInf(*seconds, 0) {
+		return fmt.Errorf("length %v s invalid (need a finite duration > 0)", *seconds)
+	}
 	p := chirp.Params{Low: *low, High: *high, Duration: *duration, Period: *period, Amplitude: 0.8}
 	if err := p.Validate(); err != nil {
 		return err
+	}
+	if *rate < 2**high {
+		return fmt.Errorf("sample rate %v Hz below Nyquist for a %v Hz chirp (need ≥ %v)",
+			*rate, *high, 2**high)
 	}
 	n := int(*seconds * *rate)
 	samples := make([]float64, n)

@@ -54,4 +54,15 @@ func TestRunRejectsBadParams(t *testing.T) {
 	if err := run([]string{"-badflag"}); err == nil {
 		t.Error("unknown flag should error")
 	}
+	// Regression: a zero, negative, or NaN sample rate used to reach the
+	// WAV writer and produce a corrupt file; a sub-Nyquist rate produced
+	// an aliased chirp.
+	for _, rate := range []string{"0", "-44100", "NaN", "+Inf", "8000"} {
+		if err := run([]string{"-out", out, "-fs", rate}); err == nil {
+			t.Errorf("-fs %s should error", rate)
+		}
+	}
+	if err := run([]string{"-out", out, "-seconds", "0"}); err == nil {
+		t.Error("-seconds 0 should error")
+	}
 }

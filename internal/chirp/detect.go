@@ -30,6 +30,10 @@ type Detector struct {
 	params Params
 	fs     float64
 	ref    []float64
+	// corr is the matched filter with the template spectrum cached per
+	// transform size, so repeated Detect calls on same-length inputs
+	// (stream blocks, fixed recording windows) skip the template FFT.
+	corr *dsp.Correlator
 	// Threshold is the minimum peak-to-noise-floor ratio (linear) to
 	// accept a detection. Default 5.
 	Threshold float64
@@ -60,10 +64,12 @@ func NewDetectorShaped(p Params, fs float64, gain func(freqHz float64) float64) 
 		return nil, fmt.Errorf("chirp: sampling rate %v Hz too low for a %v Hz chirp (need ≥ %v)",
 			fs, p.High, 2.2*p.High)
 	}
+	ref := p.ReferenceShaped(fs, gain)
 	return &Detector{
 		params:        p,
 		fs:            fs,
-		ref:           p.ReferenceShaped(fs, gain),
+		ref:           ref,
+		corr:          dsp.NewCorrelator(ref),
 		Threshold:     5,
 		MinSeparation: p.Period / 2,
 	}, nil
@@ -89,7 +95,7 @@ func (d *Detector) Detect(x []float64) []Detection {
 	if len(x) < len(d.ref) {
 		return nil
 	}
-	r := dsp.CrossCorrelate(x, d.ref)
+	r := d.corr.CrossCorrelate(x)
 	env := dsp.Envelope(r)
 	floor := correlationFloor(env)
 	if floor == 0 {

@@ -10,7 +10,8 @@ import (
 // as enough context exists to time them reliably. Internally it buffers,
 // runs the batch detector over a sliding block, and carries enough tail
 // across block boundaries that a chirp straddling two chunks is never
-// missed or double-reported.
+// missed or double-reported, and that detections agree with a batch run
+// over the whole stream regardless of how the samples were chunked.
 type StreamDetector struct {
 	det *Detector
 	fs  float64
@@ -21,11 +22,20 @@ type StreamDetector struct {
 	// blockSize is how many samples trigger a detection pass.
 	blockSize int
 	// tailKeep is how many trailing samples are carried to the next pass
-	// (a full template plus margin, so boundary chirps get a clean peak).
+	// (a full template plus the non-maximum-suppression window plus
+	// margin, so boundary chirps get a clean peak and keep competing with
+	// neighbours exactly as they would in a batch run).
 	tailKeep int
-	// lastEmit is the absolute time of the last emitted detection, for
-	// cross-block dedupe.
-	lastEmit float64
+	// minSepSamples is the detector's minimum detection spacing in
+	// samples, mirrored here for the emission horizon.
+	minSepSamples int
+	// emitted holds the absolute timestamps of recently emitted
+	// detections for cross-block dedupe. A single last-emission timestamp
+	// is not enough: a chirp carried in the tail overlap must be matched
+	// against its own prior emission, not merely the most recent one, and
+	// a distinct later chirp must never be confused with a re-detection.
+	// Entries too old to ever match again are pruned.
+	emitted []float64
 }
 
 // NewStreamDetector wraps a Detector for incremental use.
@@ -35,12 +45,23 @@ func NewStreamDetector(p Params, fs float64) (*StreamDetector, error) {
 		return nil, err
 	}
 	refLen := len(det.ref)
+	minSep := int(det.MinSeparation * fs)
+	if minSep < 1 {
+		minSep = 1
+	}
+	tailKeep := 2*refLen + minSep
+	blockSize := 8 * refLen
+	if blockSize < 2*tailKeep {
+		// Long beacon periods push the NMS window past the default block;
+		// grow the block so every pass still makes progress.
+		blockSize = 2 * tailKeep
+	}
 	return &StreamDetector{
-		det:       det,
-		fs:        fs,
-		blockSize: 8 * refLen,
-		tailKeep:  2 * refLen,
-		lastEmit:  math.Inf(-1),
+		det:           det,
+		fs:            fs,
+		blockSize:     blockSize,
+		tailKeep:      tailKeep,
+		minSepSamples: minSep,
 	}, nil
 }
 
@@ -64,14 +85,27 @@ func (s *StreamDetector) Flush() []Detection {
 	return s.process(true)
 }
 
+// alreadyEmitted reports whether a detection at absolute time abs is a
+// re-detection of something already reported from an earlier overlapping
+// block.
+func (s *StreamDetector) alreadyEmitted(abs float64) bool {
+	for _, e := range s.emitted {
+		if math.Abs(abs-e) < s.det.MinSeparation {
+			return true
+		}
+	}
+	return false
+}
+
 // process runs the batch detector on the current buffer. Unless final,
-// detections too close to the buffer end are withheld (their correlation
-// peak could still sharpen with more samples) and a tail is carried over.
+// detections too close to the buffer end are withheld and a tail is
+// carried over. The emission horizon leaves room for both the detection's
+// own template and a full minimum-separation window after it, so that any
+// stronger competitor the batch detector's non-maximum suppression would
+// have preferred is already visible before the detection is committed.
 func (s *StreamDetector) process(final bool) []Detection {
 	dets := s.det.Detect(s.buf)
-	// Emission horizon: peaks must be at least one template before the
-	// buffer end to be fully formed.
-	horizon := len(s.buf) - len(s.det.ref)
+	horizon := len(s.buf) - len(s.det.ref) - s.minSepSamples
 	if final {
 		horizon = len(s.buf)
 	}
@@ -82,26 +116,23 @@ func (s *StreamDetector) process(final bool) []Detection {
 			continue
 		}
 		abs := d.Time + float64(s.absOffset)/s.fs
-		if abs-s.lastEmit < s.det.MinSeparation {
-			continue // already emitted in a previous overlapping block
+		if s.alreadyEmitted(abs) {
+			continue // already reported from a previous overlapping block
 		}
 		d.Time = abs
 		d.Index += s.absOffset
 		out = append(out, d)
-		s.lastEmit = abs
+		s.emitted = append(s.emitted, abs)
 		lastIdx = d.Index - s.absOffset
 	}
 	if final {
 		s.buf = nil
 		return out
 	}
-	// Keep the tail: everything after the emission horizon, and at least
-	// tailKeep samples; also never drop samples before an emitted (or
-	// pending) peak's template span.
-	keepFrom := horizon
-	if len(s.buf)-s.tailKeep < keepFrom {
-		keepFrom = len(s.buf) - s.tailKeep
-	}
+	// Keep the tail: at least tailKeep samples, and never drop samples
+	// after an emitted peak (the peak itself stays so its re-detection is
+	// recognized rather than half a template producing a phantom).
+	keepFrom := len(s.buf) - s.tailKeep
 	if keepFrom < lastIdx {
 		keepFrom = lastIdx
 	}
@@ -112,5 +143,15 @@ func (s *StreamDetector) process(final bool) []Detection {
 	remaining := len(s.buf) - keepFrom
 	copy(s.buf, s.buf[keepFrom:])
 	s.buf = s.buf[:remaining]
+	// Prune emissions that can no longer collide with future detections:
+	// anything before the kept samples minus the dedupe window.
+	bufStart := float64(s.absOffset)/s.fs - s.det.MinSeparation
+	keep := s.emitted[:0]
+	for _, e := range s.emitted {
+		if e >= bufStart {
+			keep = append(keep, e)
+		}
+	}
+	s.emitted = keep
 	return out
 }

@@ -94,6 +94,126 @@ func TestStreamChunkSizeInvariance(t *testing.T) {
 	}
 }
 
+// placeChirp adds an amplitude-scaled copy of tpl to x starting at sample at.
+func placeChirp(x, tpl []float64, at int, amp float64) {
+	for i, v := range tpl {
+		if at+i < len(x) {
+			x[at+i] += amp * v
+		}
+	}
+}
+
+// TestStreamClosePairMatchesBatch is the regression test for the
+// cross-block dedupe bug: a weak chirp followed 0.09 s later (inside the
+// 0.1 s minimum-separation window) by a strong one. The batch detector's
+// non-maximum suppression keeps only the strong chirp of each pair. The
+// old stream logic — an emission horizon of just one template length and
+// a single last-emission timestamp — would commit the weak chirp when a
+// pair straddled a block boundary and then discard the strong one as a
+// "duplicate", inverting the batch decision. Pairs are swept across many
+// phases so that some pair straddles a boundary for any block layout or
+// chunk size.
+func TestStreamClosePairMatchesBatch(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	tpl := p.Reference(fs)
+	n := 6 * int(fs)
+	x := make([]float64, n)
+	gap := int(0.09 * fs) // closer than MinSeparation = Period/2 = 0.1 s
+	var strongAt []int
+	for start := int(0.25 * fs); start+gap+3*len(tpl) < n; start += int(0.5 * fs) {
+		placeChirp(x, tpl, start, 0.4)
+		placeChirp(x, tpl, start+gap, 1.0)
+		strongAt = append(strongAt, start+gap)
+	}
+	if len(strongAt) < 10 {
+		t.Fatalf("only %d pairs placed", len(strongAt))
+	}
+
+	batchDet, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := batchDet.Detect(x)
+	if len(batch) != len(strongAt) {
+		t.Fatalf("batch found %d detections, want %d (one per pair)", len(batch), len(strongAt))
+	}
+	for i, d := range batch {
+		if abs(d.Index-strongAt[i]) > 2 {
+			t.Fatalf("batch detection %d at sample %d, want the strong chirp at %d",
+				i, d.Index, strongAt[i])
+		}
+	}
+
+	for _, chunk := range []int{512, 1000, 4096} {
+		s, err := NewStreamDetector(p, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Detection
+		for pos := 0; pos < n; pos += chunk {
+			end := pos + chunk
+			if end > n {
+				end = n
+			}
+			got = append(got, s.Push(x[pos:end])...)
+		}
+		got = append(got, s.Flush()...)
+		if len(got) != len(batch) {
+			t.Fatalf("chunk %d: stream found %d detections, batch %d", chunk, len(got), len(batch))
+		}
+		for i := range got {
+			if d := math.Abs(got[i].Time - batch[i].Time); d > 2e-6 {
+				t.Errorf("chunk %d, detection %d: stream %.7f vs batch %.7f (the weak twin was emitted instead of the strong chirp?)",
+					chunk, i, got[i].Time, batch[i].Time)
+			}
+		}
+	}
+}
+
+// TestStreamChunkSizeInvarianceMatrix: detections must be identical for
+// chunk sizes 1, 64, 4096, and one full-batch push.
+func TestStreamChunkSizeInvarianceMatrix(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, 2*int(fs), 0.0311, 0.1, 37)
+
+	run := func(chunk int) []Detection {
+		s, err := NewStreamDetector(p, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Detection
+		for pos := 0; pos < len(x); pos += chunk {
+			end := pos + chunk
+			if end > len(x) {
+				end = len(x)
+			}
+			out = append(out, s.Push(x[pos:end])...)
+		}
+		return append(out, s.Flush()...)
+	}
+	full := run(len(x))
+	if len(full) < 8 {
+		t.Fatalf("full-batch push found only %d detections", len(full))
+	}
+	for _, chunk := range []int{1, 64, 4096} {
+		got := run(chunk)
+		if len(got) != len(full) {
+			t.Fatalf("chunk %d: %d detections vs full-batch %d", chunk, len(got), len(full))
+		}
+		for i := range got {
+			// Times may differ by an ulp: the absolute timestamp is
+			// assembled from block-relative time plus offset, and block
+			// boundaries differ between chunkings.
+			if math.Abs(got[i].Time-full[i].Time) > 1e-9 || got[i].Index != full[i].Index {
+				t.Errorf("chunk %d, detection %d: (%.9f, %d) vs full-batch (%.9f, %d)",
+					chunk, i, got[i].Time, got[i].Index, full[i].Time, full[i].Index)
+			}
+		}
+	}
+}
+
 // TestStreamBoundaryStraddle: place a chirp exactly across a block
 // boundary and verify it is reported exactly once.
 func TestStreamBoundaryStraddle(t *testing.T) {

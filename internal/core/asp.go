@@ -33,6 +33,9 @@ type ASPConfig struct {
 	// the per-device calibration that keeps near-ultrasonic beacon timing
 	// unbiased through a rolled-off capsule. Nil uses the flat template.
 	TemplateGain func(freqHz float64) float64
+	// Parallelism bounds the workers for the per-channel filter+detect
+	// fan-out: 0 uses GOMAXPROCS, 1 runs the two channels serially.
+	Parallelism int
 }
 
 // DefaultASPConfig returns sensible defaults for the paper's beacon.
@@ -133,10 +136,15 @@ func (a *ASP) Process(rec *mic.Recording) (*ASPResult, error) {
 	if rec == nil || len(rec.Mic1) == 0 || len(rec.Mic2) == 0 {
 		return nil, fmt.Errorf("core: empty recording")
 	}
-	f1 := a.bp.Apply(rec.Mic1)
-	f2 := a.bp.Apply(rec.Mic2)
-	d1 := a.det.Detect(f1)
-	d2 := a.det.Detect(f2)
+	// The two channels are independent, and both the FIR and the detector
+	// are stateless after construction (the detector's template spectrum
+	// cache is lock-protected), so filter+detect fans out per channel.
+	chans := [2][]float64{rec.Mic1, rec.Mic2}
+	var dets [2][]chirp.Detection
+	parallelFor(2, a.cfg.Parallelism, func(i int) {
+		dets[i] = a.det.Detect(a.bp.Apply(chans[i]))
+	})
+	d1, d2 := dets[0], dets[1]
 	pairs := chirp.PairBeacons(d1, d2, a.cfg.MaxPairSkew)
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("core: no beacons detected on both channels")

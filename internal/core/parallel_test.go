@@ -1,0 +1,37 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 2, 17, 256} {
+			var hits = make([]int32, n)
+			var calls int32
+			parallelFor(n, workers, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+				atomic.AddInt32(&calls, 1)
+			})
+			if int(calls) != n {
+				t.Fatalf("workers=%d n=%d: %d calls", workers, n, calls)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForSerialIsOrdered(t *testing.T) {
+	var order []int
+	parallelFor(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path visited %v", order)
+		}
+	}
+}

@@ -38,6 +38,12 @@ type Config struct {
 	// 3D projection will infer (meters); 0 selects the 1.5 m default. See
 	// ProjectDistanceClamped.
 	MaxVerticalOffset float64
+	// Parallelism bounds the worker goroutines used for the pipeline's
+	// independent stages (the two microphone channels in ASP and the
+	// per-slide movement estimates). 0 uses GOMAXPROCS; 1 forces a fully
+	// serial pipeline (useful for benchmarking and deterministic
+	// profiling).
+	Parallelism int
 }
 
 // DefaultConfig returns a configuration for the given phone geometry.
@@ -64,6 +70,15 @@ type Localizer struct {
 
 // NewLocalizer validates the configuration and prepares the stages.
 func NewLocalizer(cfg Config) (*Localizer, error) {
+	// The !(x > 0) form also rejects NaN, which every ordered comparison
+	// reports false for — a plain `<= 0` check would wave NaN through and
+	// let it poison the band-pass design and all downstream timestamps.
+	if !(cfg.SampleRate > 0) || math.IsInf(cfg.SampleRate, 0) {
+		return nil, fmt.Errorf("core: sample rate %v Hz invalid (need a finite rate > 0)", cfg.SampleRate)
+	}
+	if err := cfg.Source.Validate(); err != nil {
+		return nil, fmt.Errorf("core: beacon source: %w", err)
+	}
 	if cfg.MicSeparation <= 0 {
 		return nil, fmt.Errorf("core: mic separation %v <= 0", cfg.MicSeparation)
 	}
@@ -85,6 +100,9 @@ func NewLocalizer(cfg Config) (*Localizer, error) {
 		gain := cfg.ASP.TemplateGain
 		cfg.ASP = DefaultASPConfig()
 		cfg.ASP.TemplateGain = gain
+	}
+	if cfg.ASP.Parallelism == 0 {
+		cfg.ASP.Parallelism = cfg.Parallelism
 	}
 	asp, err := NewASP(cfg.Source, cfg.SampleRate, cfg.ASP)
 	if err != nil {
@@ -160,14 +178,17 @@ func (l *Localizer) analyzeSession(rec *mic.Recording, tr *imu.Trace) (*ASPResul
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	ests := make([]SlideEstimate, 0, len(msp.Segments))
-	for _, seg := range msp.Segments {
-		est := EstimateMovement(msp, seg, l.cfg.PDE)
+	// Movement estimates are independent per segment (EstimateMovement only
+	// reads the shared MSPResult), so they fan out over the worker pool;
+	// results land at their segment index to keep the output order.
+	ests := make([]SlideEstimate, len(msp.Segments))
+	parallelFor(len(msp.Segments), l.cfg.Parallelism, func(i int) {
+		est := EstimateMovement(msp, msp.Segments[i], l.cfg.PDE)
 		if l.cfg.DisableDriftCorrection {
-			est = l.reestimateWithoutCorrection(msp, seg, est)
+			est = l.reestimateWithoutCorrection(msp, msp.Segments[i], est)
 		}
-		ests = append(ests, est)
-	}
+		ests[i] = est
+	})
 	return aspRes, msp, ests, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"hyperear/internal/chirp"
@@ -81,6 +82,60 @@ func TestNewLocalizerValidation(t *testing.T) {
 	cfg = DefaultConfig(chirp.Params{}, 44100, 0.1366)
 	if _, err := NewLocalizer(cfg); err == nil {
 		t.Error("invalid source should error")
+	}
+}
+
+// TestNewLocalizerRejectsBadSampleRate is the regression test for the
+// missing SampleRate validation: zero and negative rates previously
+// surfaced as a cryptic band-pass design error, and a NaN rate was
+// accepted outright (every ordered comparison on NaN is false, so it
+// sailed past the downstream `fs < 2.2·High` and filter-edge checks) and
+// produced NaN timestamps at runtime. All must now fail construction with
+// an error that names the sample rate.
+func TestNewLocalizerRejectsBadSampleRate(t *testing.T) {
+	for _, fs := range []float64{0, -44100, math.NaN(), math.Inf(1)} {
+		cfg := DefaultConfig(chirp.Default(), fs, 0.1366)
+		_, err := NewLocalizer(cfg)
+		if err == nil {
+			t.Errorf("SampleRate=%v: construction succeeded, want error", fs)
+			continue
+		}
+		if !strings.Contains(err.Error(), "sample rate") {
+			t.Errorf("SampleRate=%v: error %q does not name the sample rate", fs, err)
+		}
+	}
+}
+
+// TestLocalizerSerialMatchesParallel: the Parallelism knob must not change
+// results, only scheduling.
+func TestLocalizerSerialMatchesParallel(t *testing.T) {
+	sc := ruler2DScenario(4, 107)
+	s, err := sim.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(par int) *Result2D {
+		cfg := DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation)
+		cfg.Parallelism = par
+		loc, err := NewLocalizer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := loc.Locate2D(s.Recording, s.IMU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(0)
+	if serial.Pos != parallel.Pos || serial.L != parallel.L {
+		t.Errorf("serial (%v, L=%v) vs parallel (%v, L=%v)",
+			serial.Pos, serial.L, parallel.Pos, parallel.L)
+	}
+	if len(serial.Fixes) != len(parallel.Fixes) || len(serial.Movements) != len(parallel.Movements) {
+		t.Errorf("serial %d fixes/%d movements vs parallel %d/%d",
+			len(serial.Fixes), len(serial.Movements), len(parallel.Fixes), len(parallel.Movements))
 	}
 }
 

@@ -23,12 +23,15 @@ import (
 
 // Estimator measures the radial speed encoded in one received chirp.
 type Estimator struct {
-	params    chirp.Params
-	fs        float64
-	sos       float64
-	speeds    []float64
-	templates [][]float64
-	detector  *chirp.Detector
+	params chirp.Params
+	fs     float64
+	sos    float64
+	speeds []float64
+	// correlators hold one matched filter per time-scaled template; each
+	// caches its template spectrum per transform size, so measuring many
+	// chirps re-runs only the per-window FFT, not the bank's.
+	correlators []*dsp.Correlator
+	detector    *chirp.Detector
 }
 
 // Config tunes the estimator.
@@ -69,7 +72,7 @@ func NewEstimator(p chirp.Params, fs float64, cfg Config) (*Estimator, error) {
 		// base chirp resampled by factor (1 + v/c).
 		scale := 1 + v/cfg.SpeedOfSound
 		e.speeds = append(e.speeds, v)
-		e.templates = append(e.templates, resample(base, scale))
+		e.correlators = append(e.correlators, dsp.NewCorrelator(resample(base, scale)))
 	}
 	return e, nil
 }
@@ -106,7 +109,8 @@ type Measurement struct {
 func (e *Estimator) Measure(x []float64, tMin, tMax float64) []Measurement {
 	dets := e.detector.Detect(x)
 	var out []Measurement
-	refLen := len(e.templates[len(e.templates)/2])
+	refLen := e.correlators[len(e.correlators)/2].RefLen()
+	var r, env []float64
 	for _, d := range dets {
 		if d.Time < tMin || d.Time > tMax {
 			continue
@@ -120,13 +124,13 @@ func (e *Estimator) Measure(x []float64, tMin, tMax float64) []Measurement {
 			end = len(x)
 		}
 		window := x[start:end]
-		scores := make([]float64, len(e.templates))
-		for k, tpl := range e.templates {
-			if len(window) < len(tpl) {
+		scores := make([]float64, len(e.correlators))
+		for k, corr := range e.correlators {
+			if len(window) < corr.RefLen() {
 				continue
 			}
-			r := dsp.CrossCorrelate(window, tpl)
-			env := dsp.Envelope(r)
+			r = corr.CrossCorrelateInto(r, window)
+			env = dsp.EnvelopeInto(env, r)
 			best := 0.0
 			for _, v := range env {
 				if v > best {

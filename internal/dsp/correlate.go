@@ -10,35 +10,17 @@ import "math"
 //
 // Lags where ref extends past the end of x use the available overlap only
 // (zero padding), matching the behavior of a streaming correlator.
+//
+// The FFTs run over cached plans and pooled scratch (see Plan); callers on
+// a hot path that can reuse an output buffer should prefer
+// CrossCorrelateInto, and callers correlating many signals against one
+// fixed template should hold a Correlator.
 func CrossCorrelate(x, ref []float64) []float64 {
 	if len(x) == 0 || len(ref) == 0 {
 		return nil
 	}
-	n := NextPow2(len(x) + len(ref))
-	fx := make([]complex128, n)
-	fr := make([]complex128, n)
-	for i, v := range x {
-		fx[i] = complex(v, 0)
-	}
-	for i, v := range ref {
-		fr[i] = complex(v, 0)
-	}
-	fft(fx, false)
-	fft(fr, false)
-	// Correlation: X(f)·conj(R(f)).
-	for i := range fx {
-		fx[i] *= complexConj(fr[i])
-	}
-	fft(fx, true)
-	scale := 1 / float64(n)
-	out := make([]float64, len(x))
-	for i := range out {
-		out[i] = real(fx[i]) * scale
-	}
-	return out
+	return CrossCorrelateInto(make([]float64, len(x)), x, ref)
 }
-
-func complexConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
 
 // Envelope returns the magnitude of the analytic signal of x (Hilbert
 // envelope), computed by zeroing the negative-frequency half of the
@@ -51,27 +33,7 @@ func Envelope(x []float64) []float64 {
 	if len(x) == 0 {
 		return nil
 	}
-	n := NextPow2(len(x))
-	c := make([]complex128, n)
-	for i, v := range x {
-		c[i] = complex(v, 0)
-	}
-	fft(c, false)
-	// Analytic signal: keep DC and Nyquist, double positive frequencies,
-	// zero negatives.
-	for i := 1; i < n/2; i++ {
-		c[i] *= 2
-	}
-	for i := n/2 + 1; i < n; i++ {
-		c[i] = 0
-	}
-	fft(c, true)
-	scale := 1 / float64(n)
-	out := make([]float64, len(x))
-	for i := range out {
-		out[i] = math.Hypot(real(c[i])*scale, imag(c[i])*scale)
-	}
-	return out
+	return EnvelopeInto(make([]float64, len(x)), x)
 }
 
 // GCCPhat computes the generalized cross-correlation with phase transform
@@ -79,39 +41,16 @@ func Envelope(x []float64) []float64 {
 // whitened to unit magnitude before inverting, so every frequency votes
 // equally on the delay. PHAT is the classical defense against
 // reverberation — multipath's spectral comb no longer shapes the peak —
-// at the cost of amplifying bands that contain only noise. The returned
+// at the cost of amplifying bands that contain only noise. Bins whose
+// cross-spectrum magnitude falls below a floor relative to the strongest
+// bin are zeroed instead of whitened (an absolute floor would silently
+// discard the whole spectrum of a quiet far-field recording). The returned
 // lags match CrossCorrelate's.
 func GCCPhat(x, ref []float64) []float64 {
 	if len(x) == 0 || len(ref) == 0 {
 		return nil
 	}
-	n := NextPow2(len(x) + len(ref))
-	fx := make([]complex128, n)
-	fr := make([]complex128, n)
-	for i, v := range x {
-		fx[i] = complex(v, 0)
-	}
-	for i, v := range ref {
-		fr[i] = complex(v, 0)
-	}
-	fft(fx, false)
-	fft(fr, false)
-	for i := range fx {
-		c := fx[i] * complexConj(fr[i])
-		mag := math.Hypot(real(c), imag(c))
-		if mag > 1e-12 {
-			fx[i] = c / complex(mag, 0)
-		} else {
-			fx[i] = 0
-		}
-	}
-	fft(fx, true)
-	scale := 1 / float64(n)
-	out := make([]float64, len(x))
-	for i := range out {
-		out[i] = real(fx[i]) * scale
-	}
-	return out
+	return GCCPhatInto(make([]float64, len(x)), x, ref)
 }
 
 // CrossCorrelateDirect is the O(N·M) reference implementation of

@@ -7,7 +7,6 @@ package dsp
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
 	"math/cmplx"
 )
@@ -24,64 +23,27 @@ func NextPow2(n int) int {
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // FFT computes the in-place forward discrete Fourier transform of x using
-// an iterative radix-2 Cooley-Tukey algorithm. len(x) must be a power of
-// two; otherwise an error is returned and x is unchanged.
+// an iterative radix-2 Cooley-Tukey algorithm over a cached plan (see
+// PlanFor). len(x) must be a power of two; otherwise an error is returned
+// and x is unchanged.
 func FFT(x []complex128) error {
-	if !IsPow2(len(x)) {
+	p, err := PlanFor(len(x))
+	if err != nil {
 		return fmt.Errorf("dsp: FFT length %d is not a power of two", len(x))
 	}
-	fft(x, false)
+	p.Forward(x)
 	return nil
 }
 
 // IFFT computes the in-place inverse DFT of x, including the 1/N scaling.
 // len(x) must be a power of two.
 func IFFT(x []complex128) error {
-	if !IsPow2(len(x)) {
+	p, err := PlanFor(len(x))
+	if err != nil {
 		return fmt.Errorf("dsp: IFFT length %d is not a power of two", len(x))
 	}
-	fft(x, true)
-	scale := complex(1/float64(len(x)), 0)
-	for i := range x {
-		x[i] *= scale
-	}
+	p.Inverse(x)
 	return nil
-}
-
-// fft is the core iterative radix-2 kernel. inverse selects the conjugate
-// twiddle direction; scaling is done by the caller.
-func fft(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
-		return
-	}
-	// Bit reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := 2 * math.Pi / float64(size) * sign
-		wStep := cmplx.Rect(1, step)
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
 }
 
 // FFTReal transforms a real signal, zero-padding to the next power of two,
@@ -92,7 +54,7 @@ func FFTReal(x []float64) []complex128 {
 	for i, v := range x {
 		c[i] = complex(v, 0)
 	}
-	fft(c, false)
+	planFor(n).Forward(c)
 	return c
 }
 

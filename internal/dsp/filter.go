@@ -139,25 +139,27 @@ func directConvolve(x, h []float64) []float64 {
 
 func fftConvolve(x, h []float64) []float64 {
 	n := NextPow2(len(x) + len(h) - 1)
-	fx := make([]complex128, n)
-	fh := make([]complex128, n)
+	p := planFor(n)
+	fx := getComplex(n)
+	fh := getComplex(n)
 	for i, v := range x {
-		fx[i] = complex(v, 0)
+		(*fx)[i] = complex(v, 0)
 	}
 	for i, v := range h {
-		fh[i] = complex(v, 0)
+		(*fh)[i] = complex(v, 0)
 	}
-	fft(fx, false)
-	fft(fh, false)
-	for i := range fx {
-		fx[i] *= fh[i]
+	p.Forward(*fx)
+	p.Forward(*fh)
+	for i, v := range *fh {
+		(*fx)[i] *= v
 	}
-	fft(fx, true)
-	scale := 1 / float64(n)
+	p.Inverse(*fx)
 	out := make([]float64, len(x)+len(h)-1)
 	for i := range out {
-		out[i] = real(fx[i]) * scale
+		out[i] = real((*fx)[i])
 	}
+	putComplex(fx)
+	putComplex(fh)
 	return out
 }
 

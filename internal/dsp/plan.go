@@ -1,0 +1,357 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// Plan holds the precomputed tables for one radix-2 FFT size: the
+// bit-reversal permutation and the twiddle factors for both transform
+// directions. Sharing a Plan across calls removes the per-call sin/cos
+// recurrence of the naive kernel (better accuracy and speed) and, combined
+// with the package's scratch pools, makes the FFT hot path allocation-free
+// in steady state. Plans are immutable after construction and safe for
+// concurrent use.
+type Plan struct {
+	n    int
+	rev  []int32      // bit-reversal permutation: rev[i] = bit-reverse of i
+	wFwd []complex128 // wFwd[k] = exp(-2πik/n), k in [0, n/2)
+	wInv []complex128 // wInv[k] = exp(+2πik/n), k in [0, n/2)
+}
+
+// planCache maps transform size -> *Plan. Sizes repeat heavily in a
+// localization service (one per template/recording length), so the cache
+// stays tiny while every correlation after the first reuses its tables.
+var planCache sync.Map
+
+// PlanFor returns the shared FFT plan for size n (a power of two).
+func PlanFor(n int) (*Plan, error) {
+	if !IsPow2(n) {
+		return nil, fmt.Errorf("dsp: FFT plan size %d is not a power of two", n)
+	}
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan), nil
+	}
+	v, _ := planCache.LoadOrStore(n, newPlan(n))
+	return v.(*Plan), nil
+}
+
+// planFor is PlanFor for callers that have already validated n.
+func planFor(n int) *Plan {
+	p, err := PlanFor(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func newPlan(n int) *Plan {
+	p := &Plan{n: n}
+	if n <= 1 {
+		return p
+	}
+	p.rev = make([]int32, n)
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 1; i < n; i++ {
+		p.rev[i] = p.rev[i>>1]>>1 | int32(i&1)<<(bits-1)
+	}
+	half := n / 2
+	p.wFwd = make([]complex128, half)
+	p.wInv = make([]complex128, half)
+	for k := 0; k < half; k++ {
+		w := cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))
+		p.wFwd[k] = w
+		p.wInv[k] = complex(real(w), -imag(w))
+	}
+	return p
+}
+
+// Size returns the transform length the plan was built for.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the in-place forward DFT of x. len(x) must equal
+// p.Size().
+func (p *Plan) Forward(x []complex128) { p.transform(x, p.wFwd) }
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// scaling. len(x) must equal p.Size().
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, p.wInv)
+	scale := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+// transform is the iterative radix-2 kernel over precomputed tables. The
+// twiddle for butterfly k at stage size is w[k·(n/size)].
+func (p *Plan) transform(x []complex128, w []complex128) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("dsp: plan size %d applied to %d samples", n, len(x)))
+	}
+	if n <= 1 {
+		return
+	}
+	for i, j := range p.rev {
+		if int(j) > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			wi := 0
+			for k := start; k < start+half; k++ {
+				a := x[k]
+				b := x[k+half] * w[wi]
+				x[k] = a + b
+				x[k+half] = a - b
+				wi += stride
+			}
+		}
+	}
+}
+
+// Scratch pools. Buffers are handed out at the requested length (grown as
+// needed) and zero-filled, so callers can rely on zero padding. Returning
+// them keeps the steady state allocation-free.
+
+var complexPool = sync.Pool{New: func() any { s := make([]complex128, 0, 4096); return &s }}
+
+func getComplex(n int) *[]complex128 {
+	p := complexPool.Get().(*[]complex128)
+	if cap(*p) < n {
+		*p = make([]complex128, n)
+	} else {
+		*p = (*p)[:n]
+		for i := range *p {
+			(*p)[i] = 0
+		}
+	}
+	return p
+}
+
+func putComplex(p *[]complex128) { complexPool.Put(p) }
+
+// resizeF64 returns dst with length n, reusing its backing array when
+// possible.
+func resizeF64(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// CrossCorrelateInto is CrossCorrelate writing its result into dst
+// (grown/reused as needed) and returning it. With a warm plan cache and a
+// caller-reused dst it performs zero heap allocations.
+func CrossCorrelateInto(dst, x, ref []float64) []float64 {
+	if len(x) == 0 || len(ref) == 0 {
+		return dst[:0]
+	}
+	n := NextPow2(len(x) + len(ref))
+	p := planFor(n)
+	fx := getComplex(n)
+	fr := getComplex(n)
+	for i, v := range x {
+		(*fx)[i] = complex(v, 0)
+	}
+	for i, v := range ref {
+		(*fr)[i] = complex(v, 0)
+	}
+	p.Forward(*fx)
+	p.Forward(*fr)
+	// Correlation: X(f)·conj(R(f)).
+	for i, c := range *fr {
+		(*fx)[i] *= complex(real(c), -imag(c))
+	}
+	p.Inverse(*fx)
+	dst = resizeF64(dst, len(x))
+	for i := range dst {
+		dst[i] = real((*fx)[i])
+	}
+	putComplex(fx)
+	putComplex(fr)
+	return dst
+}
+
+// phatFloorRel is GCCPhat's whitening floor relative to the peak
+// cross-spectrum magnitude. Bins this far below the strongest bin carry no
+// usable phase (they are numerically zero-padded or out-of-band) and are
+// zeroed rather than amplified to unit magnitude. The floor is relative so
+// that uniformly quiet recordings — a far-field beacon at 1e-6 full scale —
+// whiten exactly like loud ones.
+const phatFloorRel = 1e-9
+
+// GCCPhatInto is GCCPhat writing its result into dst (grown/reused as
+// needed) and returning it.
+func GCCPhatInto(dst, x, ref []float64) []float64 {
+	if len(x) == 0 || len(ref) == 0 {
+		return dst[:0]
+	}
+	n := NextPow2(len(x) + len(ref))
+	p := planFor(n)
+	fx := getComplex(n)
+	fr := getComplex(n)
+	for i, v := range x {
+		(*fx)[i] = complex(v, 0)
+	}
+	for i, v := range ref {
+		(*fr)[i] = complex(v, 0)
+	}
+	p.Forward(*fx)
+	p.Forward(*fr)
+	maxMag := 0.0
+	for i, c := range *fr {
+		cs := (*fx)[i] * complex(real(c), -imag(c))
+		(*fx)[i] = cs
+		if m := math.Hypot(real(cs), imag(cs)); m > maxMag {
+			maxMag = m
+		}
+	}
+	floor := phatFloorRel * maxMag
+	dst = resizeF64(dst, len(x))
+	if maxMag == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		putComplex(fx)
+		putComplex(fr)
+		return dst
+	}
+	for i, c := range *fx {
+		if m := math.Hypot(real(c), imag(c)); m > floor {
+			(*fx)[i] = c / complex(m, 0)
+		} else {
+			(*fx)[i] = 0
+		}
+	}
+	p.Inverse(*fx)
+	for i := range dst {
+		dst[i] = real((*fx)[i])
+	}
+	putComplex(fx)
+	putComplex(fr)
+	return dst
+}
+
+// EnvelopeInto is Envelope writing its result into dst (grown/reused as
+// needed) and returning it.
+func EnvelopeInto(dst, x []float64) []float64 {
+	if len(x) == 0 {
+		return dst[:0]
+	}
+	n := NextPow2(len(x))
+	p := planFor(n)
+	c := getComplex(n)
+	for i, v := range x {
+		(*c)[i] = complex(v, 0)
+	}
+	p.Forward(*c)
+	// Analytic signal: keep DC and Nyquist, double positive frequencies,
+	// zero negatives.
+	for i := 1; i < n/2; i++ {
+		(*c)[i] *= 2
+	}
+	for i := n/2 + 1; i < n; i++ {
+		(*c)[i] = 0
+	}
+	p.Inverse(*c)
+	dst = resizeF64(dst, len(x))
+	for i := range dst {
+		dst[i] = math.Hypot(real((*c)[i]), imag((*c)[i]))
+	}
+	putComplex(c)
+	return dst
+}
+
+// Correlator cross-correlates many signals against one fixed reference
+// template, caching the template's conjugated spectrum per transform size.
+// This is the matched-filter object a detector holds: signal lengths repeat
+// (stream blocks, fixed recording windows), so after warm-up each call runs
+// one forward FFT instead of two. Safe for concurrent use.
+type Correlator struct {
+	ref []float64
+
+	mu   sync.RWMutex
+	spec map[int][]complex128 // size -> conj(FFT(zero-padded ref))
+}
+
+// NewCorrelator builds a Correlator for the given reference template. The
+// template is copied.
+func NewCorrelator(ref []float64) *Correlator {
+	r := make([]float64, len(ref))
+	copy(r, ref)
+	return &Correlator{ref: r, spec: make(map[int][]complex128)}
+}
+
+// RefLen returns the template length.
+func (c *Correlator) RefLen() int { return len(c.ref) }
+
+// spectrum returns the cached conjugated reference spectrum at size n,
+// computing it on first use.
+func (c *Correlator) spectrum(n int) []complex128 {
+	c.mu.RLock()
+	s, ok := c.spec[n]
+	c.mu.RUnlock()
+	if ok {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.spec[n]; ok {
+		return s
+	}
+	s = make([]complex128, n)
+	for i, v := range c.ref {
+		s[i] = complex(v, 0)
+	}
+	planFor(n).Forward(s)
+	for i, v := range s {
+		s[i] = complex(real(v), -imag(v))
+	}
+	c.spec[n] = s
+	return s
+}
+
+// CrossCorrelateInto computes CrossCorrelate(x, ref) into dst using the
+// cached reference spectrum.
+func (c *Correlator) CrossCorrelateInto(dst, x []float64) []float64 {
+	if len(x) == 0 || len(c.ref) == 0 {
+		return dst[:0]
+	}
+	n := NextPow2(len(x) + len(c.ref))
+	p := planFor(n)
+	spec := c.spectrum(n)
+	fx := getComplex(n)
+	for i, v := range x {
+		(*fx)[i] = complex(v, 0)
+	}
+	p.Forward(*fx)
+	for i, s := range spec {
+		(*fx)[i] *= s
+	}
+	p.Inverse(*fx)
+	dst = resizeF64(dst, len(x))
+	for i := range dst {
+		dst[i] = real((*fx)[i])
+	}
+	putComplex(fx)
+	return dst
+}
+
+// CrossCorrelate computes CrossCorrelate(x, ref) using the cached
+// reference spectrum.
+func (c *Correlator) CrossCorrelate(x []float64) []float64 {
+	if len(x) == 0 || len(c.ref) == 0 {
+		return nil
+	}
+	return c.CrossCorrelateInto(make([]float64, len(x)), x)
+}

@@ -1,0 +1,338 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPlanForRejectsNonPow2(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 100} {
+		if _, err := PlanFor(n); err == nil {
+			t.Errorf("PlanFor(%d) should error", n)
+		}
+	}
+}
+
+func TestPlanForCachesBySize(t *testing.T) {
+	a, err := PlanFor(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanFor(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("PlanFor(256) returned distinct plans for the same size")
+	}
+	if a.Size() != 256 {
+		t.Errorf("Size() = %d, want 256", a.Size())
+	}
+}
+
+func TestPlanRoundTripAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 1024; n <<= 1 {
+		p, err := PlanFor(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		p.Forward(x)
+		p.Inverse(x)
+		for i := range x {
+			if d := cAbs(x[i] - orig[i]); d > 1e-10 {
+				t.Fatalf("n=%d: round trip error %g at %d", n, d, i)
+			}
+		}
+	}
+}
+
+// TestPlanMatchesNaiveDFT pins the plan kernel against a direct O(N²) DFT.
+func TestPlanMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		want[k] = s
+	}
+	got := make([]complex128, n)
+	copy(got, x)
+	planFor(n).Forward(got)
+	for k := range got {
+		if d := cAbs(got[k] - want[k]); d > 1e-9 {
+			t.Fatalf("bin %d: plan %v vs DFT %v", k, got[k], want[k])
+		}
+	}
+}
+
+func cAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+// TestIntoVariantsMatchAllocating: the Into variants must agree with the
+// allocating APIs and reuse a caller-provided buffer.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 777)
+	ref := make([]float64, 61)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	var dst []float64
+	check := func(name string, got, want []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("%s: mismatch at %d: %v vs %v", name, i, got[i], want[i])
+			}
+		}
+	}
+	dst = CrossCorrelateInto(dst, x, ref)
+	check("CrossCorrelateInto", dst, CrossCorrelate(x, ref))
+	prev := &dst[0]
+	dst = GCCPhatInto(dst, x, ref)
+	if &dst[0] != prev {
+		t.Error("GCCPhatInto reallocated a sufficient buffer")
+	}
+	check("GCCPhatInto", dst, GCCPhat(x, ref))
+	dst = EnvelopeInto(dst, x)
+	check("EnvelopeInto", dst, Envelope(x))
+}
+
+func TestIntoVariantsEmptyInputs(t *testing.T) {
+	dst := make([]float64, 5)
+	if got := CrossCorrelateInto(dst, nil, []float64{1}); len(got) != 0 {
+		t.Errorf("CrossCorrelateInto empty x: len %d", len(got))
+	}
+	if got := GCCPhatInto(dst, []float64{1}, nil); len(got) != 0 {
+		t.Errorf("GCCPhatInto empty ref: len %d", len(got))
+	}
+	if got := EnvelopeInto(dst, nil); len(got) != 0 {
+		t.Errorf("EnvelopeInto empty: len %d", len(got))
+	}
+}
+
+// TestCrossCorrelateMatchesDirectRandomLengths is the differential
+// property test of the FFT path against the O(N·M) reference across random
+// lengths, including tiny and non-power-of-two inputs.
+func TestCrossCorrelateMatchesDirectRandomLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	lengths := [][2]int{{1, 1}, {1, 7}, {2, 1}, {3, 5}, {17, 17}, {100, 33}}
+	for trial := 0; trial < 40; trial++ {
+		nx := 1 + rng.Intn(600)
+		nr := 1 + rng.Intn(200)
+		lengths = append(lengths, [2]int{nx, nr})
+	}
+	for _, l := range lengths {
+		x := make([]float64, l[0])
+		ref := make([]float64, l[1])
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range ref {
+			ref[i] = rng.NormFloat64()
+		}
+		fftR := CrossCorrelate(x, ref)
+		dirR := CrossCorrelateDirect(x, ref)
+		if len(fftR) != len(dirR) {
+			t.Fatalf("nx=%d nr=%d: length mismatch %d vs %d", l[0], l[1], len(fftR), len(dirR))
+		}
+		for i := range fftR {
+			if math.Abs(fftR[i]-dirR[i]) > 1e-8 {
+				t.Fatalf("nx=%d nr=%d: mismatch at %d: %v vs %v", l[0], l[1], i, fftR[i], dirR[i])
+			}
+		}
+	}
+}
+
+// TestGCCPhatQuietSignal: regression for the absolute 1e-12 whitening
+// floor, which zeroed the entire spectrum of heavily attenuated far-field
+// recordings. The delay estimate must be amplitude-invariant.
+func TestGCCPhatQuietSignal(t *testing.T) {
+	fs := 44100.0
+	ref := chirplet(1764, fs)
+	x := make([]float64, 8192)
+	k := 3000
+	copy(x[k:], ref)
+	for _, amp := range []float64{1, 1e-6, 1e-8} {
+		xs := make([]float64, len(x))
+		rs := make([]float64, len(ref))
+		for i := range xs {
+			xs[i] = amp * x[i]
+		}
+		for i := range rs {
+			rs[i] = amp * ref[i]
+		}
+		r := GCCPhat(xs, rs)
+		best := 0
+		for i := range r {
+			if r[i] > r[best] {
+				best = i
+			}
+		}
+		if best != k {
+			t.Errorf("amp=%g: PHAT peak at %d, want %d", amp, best, k)
+		}
+		if r[best] <= 0 {
+			t.Errorf("amp=%g: PHAT peak value %g, want > 0", amp, r[best])
+		}
+	}
+}
+
+func TestGCCPhatAllZeroInput(t *testing.T) {
+	r := GCCPhat(make([]float64, 256), make([]float64, 64))
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("all-zero input produced %v at %d", v, i)
+		}
+	}
+}
+
+func TestCorrelatorMatchesCrossCorrelate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ref := make([]float64, 97)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	c := NewCorrelator(ref)
+	if c.RefLen() != len(ref) {
+		t.Fatalf("RefLen = %d, want %d", c.RefLen(), len(ref))
+	}
+	// Repeat lengths to exercise the cached-spectrum path.
+	for _, n := range []int{500, 123, 500, 4096, 123} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := c.CrossCorrelate(x)
+		want := CrossCorrelate(x, ref)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				t.Fatalf("n=%d: mismatch at %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCorrelatorCopiesTemplate(t *testing.T) {
+	ref := []float64{1, 2, 3}
+	c := NewCorrelator(ref)
+	ref[0] = 99
+	x := []float64{0, 1, 2, 3, 0, 0}
+	got := c.CrossCorrelate(x)
+	want := CrossCorrelate(x, []float64{1, 2, 3})
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("mutating the caller's slice changed the template")
+		}
+	}
+}
+
+// TestPlanPathZeroAllocs: the Into variants with a warm plan cache and a
+// reused destination must not allocate (the acceptance criterion for the
+// serving hot path).
+func TestPlanPathZeroAllocs(t *testing.T) {
+	x := make([]float64, 4000)
+	ref := make([]float64, 500)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.1)
+	}
+	for i := range ref {
+		ref[i] = math.Cos(float64(i) * 0.2)
+	}
+	dst := make([]float64, len(x))
+	c := NewCorrelator(ref)
+	warm := func() {
+		dst = CrossCorrelateInto(dst, x, ref)
+		dst = GCCPhatInto(dst, x, ref)
+		dst = EnvelopeInto(dst, x)
+		dst = c.CrossCorrelateInto(dst, x)
+	}
+	warm()
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"CrossCorrelateInto", func() { dst = CrossCorrelateInto(dst, x, ref) }},
+		{"GCCPhatInto", func() { dst = GCCPhatInto(dst, x, ref) }},
+		{"EnvelopeInto", func() { dst = EnvelopeInto(dst, x) }},
+		{"Correlator.CrossCorrelateInto", func() { dst = c.CrossCorrelateInto(dst, x) }},
+	}
+	for _, tc := range cases {
+		// A GC between runs may drain the scratch pools; allow a fraction
+		// of refills but no per-call allocation.
+		if allocs := testing.AllocsPerRun(50, tc.fn); allocs > 0.5 {
+			t.Errorf("%s: %.2f allocs/run, want 0 in steady state", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCrossCorrelatePlanInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 44100)
+	ref := make([]float64, 1764)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	dst := CrossCorrelateInto(nil, x, ref)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = CrossCorrelateInto(dst, x, ref)
+	}
+}
+
+func BenchmarkCorrelatorCrossCorrelate(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 44100)
+	ref := make([]float64, 1764)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	c := NewCorrelator(ref)
+	dst := c.CrossCorrelateInto(nil, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = c.CrossCorrelateInto(dst, x)
+	}
+}
+
+func BenchmarkEnvelopeInto(b *testing.B) {
+	x := make([]float64, 44100)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.3)
+	}
+	dst := EnvelopeInto(nil, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = EnvelopeInto(dst, x)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"hyperear/internal/chirp"
 	"hyperear/internal/geom"
@@ -95,32 +97,62 @@ func Render(cfg RenderConfig) (*Recording, error) {
 	clean := [2][]float64{make([]float64, n), make([]float64, n)}
 	active := [2][]bool{make([]bool, n), make([]bool, n)}
 
-	for k := 0; k < n; k++ {
-		t := float64(k) / adcRate
-		pose := cfg.Traj.Pose(t)
-		for m := 0; m < 2; m++ {
-			micPos := pose.Pos.Add(pose.Orient.Apply(cfg.Phone.MicBodyPos(m + 1)))
-			var v float64
-			act := false
-			for _, p := range paths {
-				d := p.Image.Dist(micPos)
-				emit := (t - d/c) * skew
-				s := cfg.Source.Eval(emit)
-				if s != 0 {
-					g := 1.0
-					if cfg.Phone.HFRolloffDB > 0 {
-						within := math.Mod(emit, cfg.Source.Period)
-						g = cfg.Phone.HFGain(cfg.Source.InstantFrequency(within))
-					}
-					v += cfg.Env.Attenuation(d, p.Gain) * s * g
-					if p.Bounces == 0 {
-						act = true
+	// The per-sample synthesis is pure — trajectory poses, chirp evaluation
+	// and path attenuation are all analytic, and the RNG is only consulted
+	// after this loop — so it splits into contiguous chunks across cores
+	// without changing a single output sample. This loop dominates render
+	// cost (every sample evaluates every image-source path twice).
+	renderRange := func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			t := float64(k) / adcRate
+			pose := cfg.Traj.Pose(t)
+			for m := 0; m < 2; m++ {
+				micPos := pose.Pos.Add(pose.Orient.Apply(cfg.Phone.MicBodyPos(m + 1)))
+				var v float64
+				act := false
+				for _, p := range paths {
+					d := p.Image.Dist(micPos)
+					emit := (t - d/c) * skew
+					s := cfg.Source.Eval(emit)
+					if s != 0 {
+						g := 1.0
+						if cfg.Phone.HFRolloffDB > 0 {
+							within := math.Mod(emit, cfg.Source.Period)
+							g = cfg.Phone.HFGain(cfg.Source.InstantFrequency(within))
+						}
+						v += cfg.Env.Attenuation(d, p.Gain) * s * g
+						if p.Bounces == 0 {
+							act = true
+						}
 					}
 				}
+				clean[m][k] = v
+				active[m][k] = act
 			}
-			clean[m][k] = v
-			active[m][k] = act
 		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n < 1<<14 {
+		// Short renders are not worth the goroutine fan-out.
+		workers = 1
+	}
+	if workers <= 1 {
+		renderRange(0, n)
+	} else {
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				renderRange(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
 	}
 
 	// Measure the received chirp level on channel 1 (direct-path active
