@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all check vet build test race bench-smoke bench
+.PHONY: all check vet build test race bench-smoke bench bench-json obs-check
 
 all: check
 
-check: vet build race bench-smoke
+check: vet build race obs-check bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -31,7 +31,22 @@ race:
 bench-smoke:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
 
+# Focused observability gate: the concurrent counter/span tests under
+# the race detector, plus the disabled-path overhead proof (a no-op obs
+# hook must add 0 B/op). BenchmarkPipelineLocate2DObserved fails the run
+# if an instrumented pipeline stops emitting spans or slide tallies, so
+# this (and bench-smoke, which runs every benchmark) catches plumbing rot.
+obs-check:
+	$(GO) test -race -run 'Obs|Trace|Concurrent' ./internal/obs/ ./
+	$(GO) test -run NONE -bench 'Disabled|Locate2DObserved' -benchtime 1x -benchmem ./internal/obs/ ./
+
 # Real measurement run of the performance-critical benchmarks (see
 # DESIGN.md "Performance architecture").
 bench:
 	$(GO) test -run NONE -bench 'CrossCorrelate|Correlator|Envelope|PipelineLocate2D' -benchmem ./ ./internal/dsp/
+
+# Same measurement run, archived as a dated JSON snapshot (name, ns/op,
+# B/op, allocs/op per benchmark) for cross-commit comparison.
+bench-json:
+	$(GO) test -run NONE -bench 'CrossCorrelate|Correlator|Envelope|PipelineLocate2D' -benchmem ./ ./internal/dsp/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json

@@ -17,6 +17,7 @@ import (
 	"hyperear/internal/dsp"
 	"hyperear/internal/experiment"
 	"hyperear/internal/imu"
+	"hyperear/internal/obs"
 	"hyperear/internal/room"
 )
 
@@ -216,6 +217,52 @@ func BenchmarkPipelineLocate2DSerial(b *testing.B) { benchLocate2D(b, 1) }
 // BenchmarkPipelineLocate2DParallel uses the full worker pool
 // (GOMAXPROCS).
 func BenchmarkPipelineLocate2DParallel(b *testing.B) { benchLocate2D(b, 0) }
+
+// BenchmarkPipelineLocate2DObserved runs the same session with a live
+// obs hook (in-memory sink + registry). Compare against
+// BenchmarkPipelineLocate2D (nil hook) for the enabled-path overhead;
+// the disabled-path overhead itself is pinned at 0 B/op by
+// internal/obs.BenchmarkDisabledSpan. The benchmark fails if the
+// instrumented pipeline stops emitting spans or slide tallies, so a
+// bench-smoke run catches observability plumbing rot.
+func BenchmarkPipelineLocate2DObserved(b *testing.B) {
+	sc := benchScenario()
+	session, err := Simulate(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := &obs.MemSink{}
+	reg := obs.NewRegistry()
+	cfg := core.DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation)
+	cfg.Obs = obs.New(sink, reg)
+	loc, err := NewLocalizerConfig(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var movements int
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fix, err := loc.Locate2D(session)
+		if err != nil {
+			b.Fatal(err)
+		}
+		movements += fix.Movements
+	}
+	b.StopTimer()
+	if len(sink.Events()) == 0 {
+		b.Fatal("instrumented pipeline emitted no spans")
+	}
+	snap := reg.Snapshot()
+	accepted := snap.Counters[core.MSlideAccepted]
+	rejected := snap.SumPrefix(core.MSlideRejectedPrefix)
+	if accepted+rejected == 0 {
+		b.Fatal("instrumented pipeline recorded no slide tallies")
+	}
+	if got, want := accepted+rejected, uint64(movements); got != want {
+		b.Fatalf("slide tallies = %d, want %d movements", got, want)
+	}
+}
 
 // noPlanFFT is a textbook recursive Cooley-Tukey that recomputes twiddles
 // and allocates half-size scratch at every level — what the DSP layer did

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkPipelineLocate2D-8   \t      12\t  95123456 ns/op\t 8123456 B/op\t   40321 allocs/op")
+	if !ok {
+		t.Fatal("expected benchmark line to parse")
+	}
+	if r.Name != "BenchmarkPipelineLocate2D-8" || r.Iterations != 12 {
+		t.Fatalf("name/iters = %q/%d", r.Name, r.Iterations)
+	}
+	if r.NsPerOp != 95123456 || r.BytesPerOp != 8123456 || r.AllocsPerOp != 40321 {
+		t.Fatalf("metrics = %v %v %v", r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+}
+
+func TestParseBenchLineCustomMetric(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkCorrelate-4 100 250000 ns/op 812.5 MB/s 64 B/op 2 allocs/op")
+	if !ok {
+		t.Fatal("expected line to parse")
+	}
+	if r.Extra["MB/s"] != 812.5 {
+		t.Fatalf("extra = %v", r.Extra)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \thyperear\t12.345s",
+		"goos: linux",
+		"BenchmarkBroken notanumber 1 ns/op",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q should not parse as a benchmark", line)
+		}
+	}
+}

@@ -4,9 +4,16 @@
 // Usage:
 //
 //	hyperearsim [-trials N] [-seed S] [-fig fig15,fig19] [-cdf] [-list]
+//	            [-pprof :6060] [-trace out.jsonl] [-metrics]
 //
 // With no -fig it runs every figure plus the ablation suite (this takes a
 // few minutes at the default 10 trials per condition).
+//
+// -pprof serves net/http/pprof and expvar (/debug/vars, including the
+// live metrics registry) on the given address for the duration of the
+// run — point `go tool pprof http://localhost:6060/debug/pprof/profile`
+// at it while figures render. -trace writes per-trial spans as JSONL;
+// -metrics prints the counter snapshot when the run ends.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"strings"
 
 	"hyperear/internal/experiment"
+	"hyperear/internal/obs"
 )
 
 var runners = map[string]func(experiment.Options) experiment.Figure{
@@ -60,6 +68,9 @@ func run(args []string) error {
 	cdf := fs.Bool("cdf", false, "also print text CDF plots")
 	list := fs.Bool("list", false, "list available figures and exit")
 	par := fs.Int("parallel", 0, "max concurrent sessions (0 = GOMAXPROCS)")
+	pprofAddr := fs.String("pprof", "", "serve /debug/pprof and /debug/vars on this address during the run (e.g. :6060)")
+	trace := fs.String("trace", "", "write a JSONL per-trial span trace to this file")
+	metrics := fs.Bool("metrics", false, "print the metrics snapshot when the run ends")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +81,38 @@ func run(args []string) error {
 		return nil
 	}
 	opt := experiment.Options{Trials: *trials, Seed: *seed, Parallelism: *par}
+
+	// Observability: the registry feeds both -metrics and the -pprof
+	// server's /debug/vars, so any of the three flags enables it.
+	var sink obs.Sink
+	var reg *obs.Registry
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl := obs.NewJSONLSink(f)
+		defer func() {
+			if err := jsonl.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "hyperearsim: trace write:", err)
+			}
+		}()
+		sink = jsonl
+	}
+	if *metrics || *pprofAddr != "" || *trace != "" {
+		reg = obs.NewRegistry()
+		reg.PublishExpvar("hyperear")
+	}
+	opt.Obs = obs.New(sink, reg)
+	if *pprofAddr != "" {
+		srv, addr, err := obs.ServeDebug(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("debug server: http://%s/debug/pprof/ and /debug/vars\n", addr)
+	}
 
 	ids := order
 	if *figList != "" {
@@ -87,6 +130,12 @@ func run(args []string) error {
 			fmt.Print(fig.CDFReport(1.0))
 		}
 		fmt.Println()
+	}
+	if *trace != "" {
+		fmt.Printf("trace written to %s\n", *trace)
+	}
+	if *metrics {
+		fmt.Print("--- metrics ---\n", reg.Snapshot().String())
 	}
 	return nil
 }

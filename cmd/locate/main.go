@@ -4,11 +4,16 @@
 // Usage:
 //
 //	locate [-dist D] [-phone s4|note3] [-mode ruler|hand] [-noise regime]
-//	       [-3d] [-seed S]
+//	       [-3d] [-seed S] [-trace out.jsonl] [-metrics]
 //
 // Example:
 //
 //	locate -dist 7 -phone s4 -mode hand -noise mall-busy -3d
+//
+// With -trace the pipeline writes one JSON line per stage span
+// (asp/msp/pde/ttl/locate2d) to the given file; with -metrics it prints
+// the reason-coded counter and histogram snapshot after the run. See
+// DESIGN.md "Observability" for how to read both.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"hyperear"
 	"hyperear/internal/imu"
+	"hyperear/internal/obs"
 )
 
 func main() {
@@ -35,6 +41,8 @@ func run(args []string) error {
 	noise := fs.String("noise", "room-quiet", "noise regime: room-quiet, room-chatting, mall-offpeak, mall-busy, none")
 	threeD := fs.Bool("3d", false, "run the two-stature 3D protocol")
 	seed := fs.Int64("seed", 1, "random seed")
+	trace := fs.String("trace", "", "write a JSONL stage-span trace to this file")
+	metrics := fs.Bool("metrics", false, "print the metrics snapshot (reason-coded counters, stage timings) after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,13 +100,37 @@ func run(args []string) error {
 		}
 	}
 
+	// Observability wiring: a JSONL sink when tracing, a registry when
+	// metrics are requested. A nil hook (neither flag) costs nothing.
+	var sink obs.Sink
+	var reg *obs.Registry
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl := obs.NewJSONLSink(f)
+		defer func() {
+			if err := jsonl.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "locate: trace write:", err)
+			}
+		}()
+		sink = jsonl
+	}
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	cfg := hyperear.DefaultConfigFor(phone, sc.Source)
+	cfg.Obs = obs.New(sink, reg)
+
 	fmt.Printf("simulating: %s, %s mode, %s noise, speaker %.1f m away...\n",
 		phone.Name, *mode, *noise, *dist)
 	session, err := hyperear.Simulate(sc)
 	if err != nil {
 		return err
 	}
-	loc, err := hyperear.NewLocalizer(phone, sc.Source)
+	loc, err := hyperear.NewLocalizerConfig(cfg)
 	if err != nil {
 		return err
 	}
@@ -112,15 +144,37 @@ func run(args []string) error {
 		fmt.Printf("estimated position: %v\n", fix.World)
 		fmt.Printf("true position:      %v\n", sc.SpeakerPos.XY())
 		fmt.Printf("error: %.1f cm\n", hyperear.Error2D(fix.World, session)*100)
+		printDiagnostics(fix.Diagnostics)
+		printObs(*trace, *metrics, reg)
 		return nil
 	}
 	fix, err := loc.Locate2D(session)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("2D fix: distance %.3f m (%d slides)\n", fix.Distance, fix.Slides)
+	fmt.Printf("2D fix: distance %.3f m (%d/%d movements usable)\n", fix.Distance, fix.Slides, fix.Movements)
 	fmt.Printf("estimated position: %v\n", fix.World)
 	fmt.Printf("true position:      %v\n", sc.SpeakerPos.XY())
 	fmt.Printf("error: %.1f cm\n", hyperear.Error2D(fix.World, session)*100)
+	printDiagnostics(fix.Diagnostics)
+	printObs(*trace, *metrics, reg)
 	return nil
+}
+
+// printDiagnostics lists the reason-coded per-movement rejections.
+func printDiagnostics(diags []hyperear.SlideError) {
+	for _, d := range diags {
+		fmt.Printf("  %v\n", d)
+	}
+}
+
+// printObs reports where the trace went and renders the metrics
+// snapshot.
+func printObs(trace string, metrics bool, reg *obs.Registry) {
+	if trace != "" {
+		fmt.Printf("trace written to %s\n", trace)
+	}
+	if metrics {
+		fmt.Print("--- metrics ---\n", reg.Snapshot().String())
+	}
 }

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	replay -in ./session1 [-3d]
+//	replay -in ./session1 [-3d] [-trace out.jsonl] [-metrics]
+//
+// -trace writes one JSON line per pipeline stage span; -metrics prints
+// the reason-coded counter snapshot after the run — together they answer
+// "where did this session's time and rejections go" for real captures.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"hyperear/internal/chirp"
 	"hyperear/internal/core"
+	"hyperear/internal/obs"
 	"hyperear/internal/sessionio"
 )
 
@@ -29,6 +34,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	in := fs.String("in", "", "session directory (required)")
 	threeD := fs.Bool("3d", false, "run the two-stature 3D pipeline")
+	trace := fs.String("trace", "", "write a JSONL stage-span trace to this file")
+	metrics := fs.Bool("metrics", false, "print the metrics snapshot after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,9 +60,38 @@ func run(args []string) error {
 	if m.MicSeparation <= 0 {
 		return fmt.Errorf("meta.json missing micSeparationM")
 	}
-	loc, err := core.NewLocalizer(core.DefaultConfig(source, bundle.Recording.Fs, m.MicSeparation))
+	var sink obs.Sink
+	var reg *obs.Registry
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl := obs.NewJSONLSink(f)
+		defer func() {
+			if err := jsonl.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "replay: trace write:", err)
+			}
+		}()
+		sink = jsonl
+	}
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	cfg := core.DefaultConfig(source, bundle.Recording.Fs, m.MicSeparation)
+	cfg.Obs = obs.New(sink, reg)
+	loc, err := core.NewLocalizer(cfg)
 	if err != nil {
 		return err
+	}
+	finish := func() {
+		if *trace != "" {
+			fmt.Printf("trace written to %s\n", *trace)
+		}
+		if *metrics {
+			fmt.Print("--- metrics ---\n", reg.Snapshot().String())
+		}
 	}
 
 	fmt.Printf("session: %s, %.1f s audio at %.0f Hz, %d IMU samples\n",
@@ -69,7 +105,11 @@ func run(args []string) error {
 		}
 		fmt.Printf("3D fix: projected distance %.3f m (L1 %.3f, L2 %.3f, H %.3f)\n",
 			res.ProjectedDist, res.L1, res.L2, res.H)
+		for _, d := range res.Diagnostics {
+			fmt.Printf("  %v\n", d)
+		}
 		report(m, res.ProjectedDist)
+		finish()
 		return nil
 	}
 	res, err := loc.Locate2D(bundle.Recording, bundle.IMU)
@@ -81,7 +121,11 @@ func run(args []string) error {
 	for i, f := range res.Fixes {
 		fmt.Printf("  slide %d: L=%.3f m, D'=%.3f m, n=%d\n", i+1, f.L, f.DPrime, f.N)
 	}
+	for _, d := range res.Diagnostics {
+		fmt.Printf("  %v\n", d)
+	}
 	report(m, res.L)
+	finish()
 	return nil
 }
 

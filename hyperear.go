@@ -126,6 +126,13 @@ type Fix2D struct {
 	// Slides is the number of slides that survived quality gating and
 	// contributed to the estimate.
 	Slides int
+	// Movements is the total number of segmented movements the session
+	// produced, accepted or not.
+	Movements int
+	// Diagnostics records, reason-coded, every movement that produced no
+	// fix (quality-gate rejections, missing anchor beacons, failed
+	// triangulations).
+	Diagnostics []SlideError
 }
 
 // Fix3D is a two-stature (projected 3D) localization result.
@@ -139,7 +146,17 @@ type Fix3D struct {
 	L1, L2, H float64
 	// Slides counts the contributing slides across both statures.
 	Slides int
+	// Movements is the total number of segmented movements the session
+	// produced, accepted or not.
+	Movements int
+	// Diagnostics records, reason-coded, every movement that produced no
+	// fix (see Fix2D.Diagnostics).
+	Diagnostics []SlideError
 }
+
+// SlideError is one reason-coded per-movement rejection record (see
+// core.SlideError for the reason-code vocabulary).
+type SlideError = core.SlideError
 
 // Localizer runs the HyperEar pipeline on sessions.
 type Localizer struct {
@@ -147,16 +164,24 @@ type Localizer struct {
 	cfg   core.Config
 }
 
+// DefaultConfigFor returns the paper-default pipeline configuration for
+// a phone and beacon — the config NewLocalizer uses — so callers can
+// adjust fields (Parallelism, Obs, ablation switches) before building
+// the Localizer with NewLocalizerConfig.
+func DefaultConfigFor(phone Phone, beacon Beacon) Config {
+	cfg := core.DefaultConfig(beacon, phone.SampleRate, phone.MicSeparation)
+	if phone.HFRolloffDB > 0 {
+		cfg.ASP.TemplateGain = phone.HFGain
+	}
+	return cfg
+}
+
 // NewLocalizer builds a Localizer for a phone and beacon using the
 // paper's default stage parameters. On phones with a high-frequency
 // roll-off, the matched-filter template is calibrated to the device's
 // response, which near-ultrasonic beacons require for unbiased timing.
 func NewLocalizer(phone Phone, beacon Beacon) (*Localizer, error) {
-	cfg := core.DefaultConfig(beacon, phone.SampleRate, phone.MicSeparation)
-	if phone.HFRolloffDB > 0 {
-		cfg.ASP.TemplateGain = phone.HFGain
-	}
-	return NewLocalizerConfig(cfg)
+	return NewLocalizerConfig(DefaultConfigFor(phone, beacon))
 }
 
 // Config exposes the full pipeline configuration for advanced use
@@ -183,10 +208,12 @@ func (l *Localizer) Locate2D(s *Session) (*Fix2D, error) {
 		return nil, fmt.Errorf("hyperear: %w", err)
 	}
 	return &Fix2D{
-		Distance: res.L,
-		Body:     res.Pos,
-		World:    BodyToWorld(res.Pos, s),
-		Slides:   len(res.Fixes),
+		Distance:    res.L,
+		Body:        res.Pos,
+		World:       BodyToWorld(res.Pos, s),
+		Slides:      len(res.Fixes),
+		Movements:   len(res.Movements),
+		Diagnostics: res.Diagnostics,
 	}, nil
 }
 
@@ -200,12 +227,14 @@ func (l *Localizer) Locate3D(s *Session) (*Fix3D, error) {
 		return nil, fmt.Errorf("hyperear: %w", err)
 	}
 	return &Fix3D{
-		Distance: res.ProjectedDist,
-		World:    BodyToWorld(res.ProjectedPos, s),
-		L1:       res.L1,
-		L2:       res.L2,
-		H:        res.H,
-		Slides:   len(res.Fixes[0]) + len(res.Fixes[1]),
+		Distance:    res.ProjectedDist,
+		World:       BodyToWorld(res.ProjectedPos, s),
+		L1:          res.L1,
+		L2:          res.L2,
+		H:           res.H,
+		Slides:      len(res.Fixes[0]) + len(res.Fixes[1]),
+		Movements:   len(res.Movements),
+		Diagnostics: res.Diagnostics,
 	}, nil
 }
 

@@ -2,6 +2,17 @@ package chirp
 
 import (
 	"math"
+
+	"hyperear/internal/obs"
+)
+
+// Metric names the StreamDetector emits when an obs hook is attached
+// (SetObs): emitted detections, cross-block dedupe hits, and detections
+// withheld past the emission horizon awaiting more context.
+const (
+	MStreamEmitted  = "chirp.stream.emitted"
+	MStreamDeduped  = "chirp.stream.deduped"
+	MStreamWithheld = "chirp.stream.withheld"
 )
 
 // StreamDetector is an incremental version of Detector for live capture:
@@ -36,7 +47,14 @@ type StreamDetector struct {
 	// a distinct later chirp must never be confused with a re-detection.
 	// Entries too old to ever match again are pruned.
 	emitted []float64
+	// obs counts emissions, dedupe hits, and withheld detections; nil
+	// (the default) disables at zero cost.
+	obs *obs.Obs
 }
+
+// SetObs attaches an observability hook for the MStream* counters. Call
+// it before the first Push; nil detaches.
+func (s *StreamDetector) SetObs(o *obs.Obs) { s.obs = o }
 
 // NewStreamDetector wraps a Detector for incremental use.
 func NewStreamDetector(p Params, fs float64) (*StreamDetector, error) {
@@ -113,15 +131,18 @@ func (s *StreamDetector) process(final bool) []Detection {
 	lastIdx := 0
 	for _, d := range dets {
 		if d.Index >= horizon {
+			s.obs.Inc(MStreamWithheld)
 			continue
 		}
 		abs := d.Time + float64(s.absOffset)/s.fs
 		if s.alreadyEmitted(abs) {
+			s.obs.Inc(MStreamDeduped)
 			continue // already reported from a previous overlapping block
 		}
 		d.Time = abs
 		d.Index += s.absOffset
 		out = append(out, d)
+		s.obs.Inc(MStreamEmitted)
 		s.emitted = append(s.emitted, abs)
 		lastIdx = d.Index - s.absOffset
 	}

@@ -7,6 +7,7 @@ import (
 	"hyperear/internal/chirp"
 	"hyperear/internal/dsp"
 	"hyperear/internal/mic"
+	"hyperear/internal/obs"
 )
 
 // ASPConfig holds the acoustic-preprocessing parameters.
@@ -36,6 +37,9 @@ type ASPConfig struct {
 	// Parallelism bounds the workers for the per-channel filter+detect
 	// fan-out: 0 uses GOMAXPROCS, 1 runs the two channels serially.
 	Parallelism int
+	// Obs receives the "asp" stage span and detection/pairing counters;
+	// nil disables. NewLocalizer propagates Config.Obs here.
+	Obs *obs.Obs
 }
 
 // DefaultASPConfig returns sensible defaults for the paper's beacon.
@@ -133,7 +137,10 @@ func NewASP(source chirp.Params, fs float64, cfg ASPConfig) (*ASP, error) {
 // Process filters both channels, detects and pairs beacons, and estimates
 // the received beacon period from the calibration window.
 func (a *ASP) Process(rec *mic.Recording) (*ASPResult, error) {
+	sp := a.cfg.Obs.Span("asp")
+	defer sp.End()
 	if rec == nil || len(rec.Mic1) == 0 || len(rec.Mic2) == 0 {
+		sp.AttrStr("error", "empty recording")
 		return nil, fmt.Errorf("core: empty recording")
 	}
 	// The two channels are independent, and both the FIR and the detector
@@ -145,8 +152,12 @@ func (a *ASP) Process(rec *mic.Recording) (*ASPResult, error) {
 		dets[i] = a.det.Detect(a.bp.Apply(chans[i]))
 	})
 	d1, d2 := dets[0], dets[1]
+	a.cfg.Obs.Add(MASPDetections, uint64(len(d1)+len(d2)))
+	sp.AttrInt("detections_mic1", len(d1))
+	sp.AttrInt("detections_mic2", len(d2))
 	pairs := chirp.PairBeacons(d1, d2, a.cfg.MaxPairSkew)
 	if len(pairs) == 0 {
+		sp.AttrStr("error", "no beacons on both channels")
 		return nil, fmt.Errorf("core: no beacons detected on both channels")
 	}
 
@@ -166,6 +177,10 @@ func (a *ASP) Process(rec *mic.Recording) (*ASPResult, error) {
 		res.PeriodEff, res.CalibBeacons = a.estimatePeriod(beacons)
 	}
 	res.SFOPPM = (res.PeriodEff/a.source.Period - 1) * 1e6
+	a.cfg.Obs.Add(MBeaconsPaired, uint64(len(beacons)))
+	a.cfg.Obs.Add(MBeaconsCalib, uint64(res.CalibBeacons))
+	sp.AttrInt("beacons", len(beacons))
+	sp.Attr("sfo_ppm", res.SFOPPM)
 	return res, nil
 }
 

@@ -1,0 +1,51 @@
+package core
+
+// Metric names the pipeline emits into its obs.Registry. The span
+// duration histograms ("span.asp", "span.msp", "span.pde", "span.ttl",
+// "span.locate2d", "span.locate3d") are named by the obs package from
+// the stage names below. The full taxonomy is documented in DESIGN.md
+// ("Observability").
+const (
+	// MASPDetections counts raw matched-filter detections across both
+	// microphone channels.
+	MASPDetections = "asp.detections"
+	// MBeaconsPaired counts detections paired into two-channel beacons.
+	MBeaconsPaired = "asp.beacons.paired"
+	// MBeaconsCalib counts beacons that informed the SFO period estimate.
+	MBeaconsCalib = "asp.beacons.calib"
+	// MSegments counts MSP movement segments.
+	MSegments = "msp.segments"
+	// MMovementSlide/Stature/Rejected tally PDE movement classifications.
+	MMovementSlide    = "pde.movement.slide"
+	MMovementStature  = "pde.movement.stature"
+	MMovementRejected = "pde.movement.rejected"
+	// MDriftSlope is the histogram of |err_a| drift-correction slopes
+	// (m/s², eq. 4) over slide-axis integrations.
+	MDriftSlope = "pde.drift_slope_abs"
+	// MSlideAccepted counts movements that produced a localization fix.
+	MSlideAccepted = "pipeline.slide.accepted"
+	// MSlideRejectedPrefix + reason code counts movements that produced
+	// no fix; summing MSlideAccepted and every MSlideRejectedPrefix
+	// counter reconstructs len(Result2D.Movements) across the session.
+	MSlideRejectedPrefix = "pipeline.slide.rejected."
+)
+
+// Reason codes attached to SlideError.Reason and appended to
+// MSlideRejectedPrefix counters. Stable identifiers: traces, metrics,
+// and wrapped ErrNoUsableSlides messages all use them.
+const (
+	// ReasonPDEAmbiguous: neither axis dominated the displacement.
+	ReasonPDEAmbiguous = "pde_ambiguous_axis"
+	// ReasonPDEShort: the slide was below PDEConfig.MinSlideDist.
+	ReasonPDEShort = "pde_short_slide"
+	// ReasonPDERotation: z rotation exceeded PDEConfig.MaxZRotationRad.
+	ReasonPDERotation = "pde_excess_rotation"
+	// ReasonStature: the movement was a vertical stature change, not a
+	// slide (expected in 3D sessions; consumed by the projection, not
+	// triangulated).
+	ReasonStature = "stature"
+	// ReasonNoAnchor: no beacon inside a rest window next to the slide.
+	ReasonNoAnchor = "no_anchor"
+	// ReasonTriangulation: the hyperbola intersection failed.
+	ReasonTriangulation = "triangulation_failed"
+)

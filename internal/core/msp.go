@@ -23,6 +23,7 @@ import (
 
 	"hyperear/internal/dsp"
 	"hyperear/internal/imu"
+	"hyperear/internal/obs"
 )
 
 // MSPConfig holds the motion-preprocessing parameters. The defaults are
@@ -40,6 +41,9 @@ type MSPConfig struct {
 	// QuietSamples is the number m of consecutive sub-threshold samples
 	// that ends a movement (paper: m = 8).
 	QuietSamples int
+	// Obs receives the "msp" stage span and the segment counter; nil
+	// disables. NewLocalizer propagates Config.Obs here.
+	Obs *obs.Obs
 }
 
 // DefaultMSPConfig returns the paper's parameters.
@@ -104,7 +108,10 @@ func PreprocessIMU(tr *imu.Trace, cfg MSPConfig) (*MSPResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	sp := cfg.Obs.Span("msp")
+	defer sp.End()
 	if tr == nil || tr.Len() == 0 {
+		sp.AttrStr("error", "empty IMU trace")
 		return nil, fmt.Errorf("core: empty IMU trace")
 	}
 	lin := tr.LinearAccel()
@@ -121,6 +128,9 @@ func PreprocessIMU(tr *imu.Trace, cfg MSPConfig) (*MSPResult, error) {
 	power := slidingMean(combined, cfg.PowerWindow)
 	segs := segment(power, cfg.PowerThreshold, cfg.QuietSamples)
 	gyroZ := imu.Axis(tr.Gyro, 2)
+	cfg.Obs.Add(MSegments, uint64(len(segs)))
+	sp.AttrInt("samples", tr.Len())
+	sp.AttrInt("segments", len(segs))
 
 	return &MSPResult{
 		Fs:       tr.Fs,

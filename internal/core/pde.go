@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"hyperear/internal/obs"
 )
 
 // PDEConfig holds the displacement-estimation parameters.
@@ -18,6 +20,11 @@ type PDEConfig struct {
 	// MaxZRotationRad is the maximum z-axis rotation during a slide for
 	// it to be used (paper: 20°). Zero disables the gate.
 	MaxZRotationRad float64
+	// Obs receives the movement-classification counters and the
+	// drift-slope magnitude histogram; nil disables. EstimateMovement
+	// runs concurrently under the pipeline's worker pool, so everything
+	// it emits is atomic. NewLocalizer propagates Config.Obs here.
+	Obs *obs.Obs
 }
 
 // DefaultPDEConfig returns the paper's gates: slides over 50 cm with less
@@ -61,8 +68,12 @@ type SlideEstimate struct {
 	Segment Segment
 	// Kind classifies the movement.
 	Kind MovementKind
-	// RejectReason explains a KindRejected classification.
+	// RejectReason explains a KindRejected classification in prose.
 	RejectReason string
+	// RejectCode is the machine-readable reason code behind RejectReason
+	// (the Reason* constants), carried into Diagnostics and the rejected-
+	// slide counters.
+	RejectCode string
 	// StartTime and EndTime are the movement bounds in seconds.
 	StartTime, EndTime float64
 	// DispY is the signed displacement along body y in meters (the D' of
@@ -145,6 +156,7 @@ func EstimateMovement(m *MSPResult, seg Segment, cfg PDEConfig) SlideEstimate {
 		ZRotation:  zrot,
 		DriftSlope: slopeY,
 	}
+	cfg.Obs.Observe(MDriftSlope, math.Abs(slopeY))
 	ady, adz := math.Abs(dy), math.Abs(dz)
 	switch {
 	case ady >= 2*adz && ady > 0.02:
@@ -156,17 +168,27 @@ func EstimateMovement(m *MSPResult, seg Segment, cfg PDEConfig) SlideEstimate {
 	default:
 		est.Kind = KindRejected
 		est.RejectReason = fmt.Sprintf("ambiguous axis (|dy|=%.3f |dz|=%.3f)", ady, adz)
-		return est
+		est.RejectCode = ReasonPDEAmbiguous
 	}
 
 	if est.Kind == KindSlide {
 		if cfg.MinSlideDist > 0 && ady < cfg.MinSlideDist {
 			est.Kind = KindRejected
 			est.RejectReason = fmt.Sprintf("slide %.2f m below minimum %.2f m", ady, cfg.MinSlideDist)
+			est.RejectCode = ReasonPDEShort
 		} else if cfg.MaxZRotationRad > 0 && math.Abs(zrot) > cfg.MaxZRotationRad {
 			est.Kind = KindRejected
 			est.RejectReason = fmt.Sprintf("z rotation %.1f° exceeds gate", zrot*180/math.Pi)
+			est.RejectCode = ReasonPDERotation
 		}
+	}
+	switch est.Kind {
+	case KindSlide:
+		cfg.Obs.Inc(MMovementSlide)
+	case KindStature:
+		cfg.Obs.Inc(MMovementStature)
+	default:
+		cfg.Obs.Inc(MMovementRejected)
 	}
 	return est
 }

@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"hyperear/internal/chirp"
 	"hyperear/internal/geom"
 	"hyperear/internal/imu"
 	"hyperear/internal/mic"
+	"hyperear/internal/obs"
 )
 
 // ErrNoUsableSlides is returned when every segmented movement was rejected
@@ -44,6 +47,12 @@ type Config struct {
 	// serial pipeline (useful for benchmarking and deterministic
 	// profiling).
 	Parallelism int
+	// Obs is the observability hook: stage spans, reason-coded counters,
+	// and duration histograms flow through it (see internal/obs and
+	// DESIGN.md "Observability"). Nil disables everything at zero cost;
+	// it is propagated into the ASP/MSP/PDE stage configs by
+	// NewLocalizer.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns a configuration for the given phone geometry.
@@ -104,6 +113,11 @@ func NewLocalizer(cfg Config) (*Localizer, error) {
 	if cfg.ASP.Parallelism == 0 {
 		cfg.ASP.Parallelism = cfg.Parallelism
 	}
+	// One hook drives every stage; set after defaulting so a zero stage
+	// config still compares equal to its zero value above.
+	cfg.ASP.Obs = cfg.Obs
+	cfg.MSP.Obs = cfg.Obs
+	cfg.PDE.Obs = cfg.Obs
 	asp, err := NewASP(cfg.Source, cfg.SampleRate, cfg.ASP)
 	if err != nil {
 		return nil, err
@@ -129,6 +143,11 @@ type Result2D struct {
 	// Movements are all PDE movement estimates (including rejected ones),
 	// for diagnostics.
 	Movements []SlideEstimate
+	// Diagnostics records, reason-coded, every movement that produced no
+	// fix (PDE gate rejections, missing anchor beacons, triangulation
+	// failures). Every accepted fix plus every Diagnostics entry plus
+	// every stature movement accounts for one element of Movements.
+	Diagnostics []SlideError
 	// ASP echoes the acoustic preprocessing result.
 	ASP *ASPResult
 }
@@ -152,6 +171,9 @@ type Result3D struct {
 	Fixes [2][]SlideFix
 	// Movements are all PDE movement estimates.
 	Movements []SlideEstimate
+	// Diagnostics records, reason-coded, every movement that produced no
+	// fix (see Result2D.Diagnostics).
+	Diagnostics []SlideError
 	// ASP echoes the acoustic preprocessing result.
 	ASP *ASPResult
 }
@@ -181,20 +203,23 @@ func (l *Localizer) analyzeSession(rec *mic.Recording, tr *imu.Trace) (*ASPResul
 	// Movement estimates are independent per segment (EstimateMovement only
 	// reads the shared MSPResult), so they fan out over the worker pool;
 	// results land at their segment index to keep the output order.
+	sp := l.cfg.Obs.Span("pde")
 	ests := make([]SlideEstimate, len(msp.Segments))
 	parallelFor(len(msp.Segments), l.cfg.Parallelism, func(i int) {
 		est := EstimateMovement(msp, msp.Segments[i], l.cfg.PDE)
 		if l.cfg.DisableDriftCorrection {
-			est = l.reestimateWithoutCorrection(msp, msp.Segments[i], est)
+			est = l.reestimateWithoutCorrection(msp, est)
 		}
 		ests[i] = est
 	})
+	sp.AttrInt("segments", len(msp.Segments))
+	sp.End()
 	return aspRes, msp, ests, nil
 }
 
 // reestimateWithoutCorrection replaces the drift-corrected displacement by
 // a raw double integration (the ablation baseline).
-func (l *Localizer) reestimateWithoutCorrection(m *MSPResult, seg Segment, est SlideEstimate) SlideEstimate {
+func (l *Localizer) reestimateWithoutCorrection(m *MSPResult, est SlideEstimate) SlideEstimate {
 	s := est.Segment
 	dt := 1 / m.Fs
 	raw := func(a []float64) float64 {
@@ -207,24 +232,75 @@ func (l *Localizer) reestimateWithoutCorrection(m *MSPResult, seg Segment, est S
 	}
 	est.DispY = raw(m.AccelY)
 	est.DispZ = raw(m.AccelZ)
-	_ = seg
 	return est
+}
+
+// SlideError records, reason-coded, why one segmented movement produced
+// no localization fix.
+type SlideError struct {
+	// Index is the movement's position in Result2D/Result3D.Movements.
+	Index int
+	// Reason is the machine-readable reason code (the Reason* constants).
+	Reason string
+	// Err is the underlying error, when one exists (anchor and
+	// triangulation failures); nil for PDE gate rejections.
+	Err error
+}
+
+// Error implements the error interface.
+func (e SlideError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("movement %d: %s: %v", e.Index, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("movement %d: %s", e.Index, e.Reason)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e SlideError) Unwrap() error { return e.Err }
+
+// noUsableSlides wraps ErrNoUsableSlides with the per-reason tally of a
+// fully rejected session, so the error itself says why every movement
+// was dropped.
+func noUsableSlides(nMovements int, diags []SlideError) error {
+	if len(diags) == 0 {
+		return fmt.Errorf("%w (%d movements, none was a usable slide)", ErrNoUsableSlides, nMovements)
+	}
+	tally := make(map[string]int)
+	for _, d := range diags {
+		tally[d.Reason]++
+	}
+	reasons := make([]string, 0, len(tally))
+	for r := range tally {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	parts := make([]string, len(reasons))
+	for i, r := range reasons {
+		parts[i] = fmt.Sprintf("%d×%s", tally[r], r)
+	}
+	return fmt.Errorf("%w (%d movements rejected: %s)", ErrNoUsableSlides, nMovements, strings.Join(parts, ", "))
 }
 
 // localizeSlides turns accepted slide movements into fixes, dead-reckoning
 // the phone's rest position along the body y axis across slides and
 // correcting each anchor's rotation-induced TDoA error from the gyro.
-func (l *Localizer) localizeSlides(aspRes *ASPResult, msp *MSPResult, ests []SlideEstimate) ([]SlideFix, []error) {
+// Every movement that yields no fix is recorded as a reason-coded
+// SlideError (stature changes excepted — they are not failures, only
+// tallied in the metrics), and the per-reason counters it emits account
+// for every element of ests exactly once.
+func (l *Localizer) localizeSlides(aspRes *ASPResult, msp *MSPResult, ests []SlideEstimate) ([]SlideFix, []SlideError) {
+	o := l.cfg.Obs
 	var fixes []SlideFix
-	var errs []error
+	var diags []SlideError
 	y := 0.0
 	gap := l.cfg.TTL.MaxAnchorGap
-	for _, est := range ests {
+	for i, est := range ests {
 		switch est.Kind {
 		case KindSlide:
 			before, after, err := anchorBeacons(aspRes.Beacons, est.StartTime, est.EndTime, gap, aspRes.PeriodEff)
 			if err != nil {
-				errs = append(errs, err)
+				diags = append(diags, SlideError{Index: i, Reason: ReasonNoAnchor, Err: err})
+				o.Inc(MSlideRejectedPrefix + ReasonNoAnchor)
 				y += est.DispY
 				continue
 			}
@@ -232,31 +308,50 @@ func (l *Localizer) localizeSlides(aspRes *ASPResult, msp *MSPResult, ests []Sli
 			yawA := msp.meanYawDev(est.EndTime, est.EndTime+gap)
 			fix, err := LocalizeSlide(before, after, aspRes.PeriodEff, est.DispY, y, yawB, yawA, l.cfg.TTL)
 			if err != nil {
-				errs = append(errs, err)
+				diags = append(diags, SlideError{Index: i, Reason: ReasonTriangulation, Err: err})
+				o.Inc(MSlideRejectedPrefix + ReasonTriangulation)
 			} else {
 				fixes = append(fixes, fix)
+				o.Inc(MSlideAccepted)
 			}
 			y += est.DispY
 		case KindStature:
 			// Vertical moves do not change the body-y dead reckoning.
+			o.Inc(MSlideRejectedPrefix + ReasonStature)
 		default:
 			// Rejected movements still move the phone.
+			reason := est.RejectCode
+			if reason == "" {
+				reason = ReasonPDEAmbiguous
+			}
+			diags = append(diags, SlideError{Index: i, Reason: reason})
+			o.Inc(MSlideRejectedPrefix + reason)
 			y += est.DispY
 		}
 	}
-	return fixes, errs
+	return fixes, diags
 }
 
 // Locate2D runs the pipeline on a single-stature session and returns the
 // aggregated 2D fix.
 func (l *Localizer) Locate2D(rec *mic.Recording, tr *imu.Trace) (*Result2D, error) {
+	sp := l.cfg.Obs.Span("locate2d")
+	defer sp.End()
 	aspRes, msp, ests, err := l.analyzeSession(rec, tr)
 	if err != nil {
+		sp.AttrStr("error", err.Error())
 		return nil, err
 	}
-	fixes, _ := l.localizeSlides(aspRes, msp, ests)
+	tsp := l.cfg.Obs.Span("ttl")
+	fixes, diags := l.localizeSlides(aspRes, msp, ests)
+	tsp.AttrInt("movements", len(ests))
+	tsp.AttrInt("fixes", len(fixes))
+	tsp.AttrInt("rejected", len(diags))
+	tsp.End()
 	if len(fixes) == 0 {
-		return nil, ErrNoUsableSlides
+		err := noUsableSlides(len(ests), diags)
+		sp.AttrStr("error", err.Error())
+		return nil, err
 	}
 	ls := make([]float64, len(fixes))
 	xs := make([]float64, len(fixes))
@@ -266,12 +361,15 @@ func (l *Localizer) Locate2D(rec *mic.Recording, tr *imu.Trace) (*Result2D, erro
 		xs[i] = f.Pos.X
 		ys[i] = f.Pos.Y
 	}
+	sp.AttrInt("fixes", len(fixes))
+	sp.Attr("distance_m", aggregate(ls))
 	return &Result2D{
-		Pos:       geom.Vec2{X: aggregate(xs), Y: aggregate(ys)},
-		L:         aggregate(ls),
-		Fixes:     fixes,
-		Movements: ests,
-		ASP:       aspRes,
+		Pos:         geom.Vec2{X: aggregate(xs), Y: aggregate(ys)},
+		L:           aggregate(ls),
+		Fixes:       fixes,
+		Movements:   ests,
+		Diagnostics: diags,
+		ASP:         aspRes,
 	}, nil
 }
 
@@ -279,8 +377,11 @@ func (l *Localizer) Locate2D(rec *mic.Recording, tr *imu.Trace) (*Result2D, erro
 // stature change give L1, slides after give L2, and the stature movement
 // itself gives H; eq. (7) projects the speaker onto the floor.
 func (l *Localizer) Locate3D(rec *mic.Recording, tr *imu.Trace) (*Result3D, error) {
+	sp := l.cfg.Obs.Span("locate3d")
+	defer sp.End()
 	aspRes, msp, ests, err := l.analyzeSession(rec, tr)
 	if err != nil {
+		sp.AttrStr("error", err.Error())
 		return nil, err
 	}
 	// Find the stature change.
@@ -297,9 +398,16 @@ func (l *Localizer) Locate3D(rec *mic.Recording, tr *imu.Trace) (*Result3D, erro
 		return nil, fmt.Errorf("core: no stature change detected in 3D session")
 	}
 
-	fixes, _ := l.localizeSlides(aspRes, msp, ests)
+	tsp := l.cfg.Obs.Span("ttl")
+	fixes, diags := l.localizeSlides(aspRes, msp, ests)
+	tsp.AttrInt("movements", len(ests))
+	tsp.AttrInt("fixes", len(fixes))
+	tsp.AttrInt("rejected", len(diags))
+	tsp.End()
 	if len(fixes) == 0 {
-		return nil, ErrNoUsableSlides
+		err := noUsableSlides(len(ests), diags)
+		sp.AttrStr("error", err.Error())
+		return nil, err
 	}
 	var parts [2][]SlideFix
 	var l1s, l2s, ys1 []float64
@@ -347,6 +455,8 @@ func (l *Localizer) Locate3D(rec *mic.Recording, tr *imu.Trace) (*Result3D, erro
 	// Projected position: keep the along-axis estimate from stature 1,
 	// scale the perpendicular axis to the projected distance.
 	pos := geom.Vec2{X: lStar, Y: aggregate(ys1)}
+	sp.AttrInt("fixes", len(fixes))
+	sp.Attr("distance_m", lStar)
 	return &Result3D{
 		ProjectedDist: lStar,
 		ProjectedPos:  pos,
@@ -356,6 +466,7 @@ func (l *Localizer) Locate3D(rec *mic.Recording, tr *imu.Trace) (*Result3D, erro
 		Beta:          betaOf(l1, l2, h),
 		Fixes:         parts,
 		Movements:     ests,
+		Diagnostics:   diags,
 		ASP:           aspRes,
 	}, nil
 }

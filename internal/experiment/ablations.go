@@ -36,7 +36,7 @@ func ablationSpec(mutate func(*trialSpec)) trialSpec {
 
 // runAblation evaluates one condition.
 func runAblation(opt Options, label, paper string, seedOff int64, mutate func(*trialSpec)) Condition {
-	errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+seedOff,
+	errs, failed := runTrials(opt, opt.Seed+seedOff,
 		func(_ int, rng *rand.Rand) (float64, error) {
 			return runTrial(ablationSpec(mutate), rng)
 		})

@@ -36,7 +36,7 @@ func RunBaselineComparison(opt Options) Figure {
 			Failed: naive.Failed,
 		})
 
-		errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+int64(r*17),
+		errs, failed := runTrials(opt, opt.Seed+int64(r*17),
 			func(_ int, rng *rand.Rand) (float64, error) {
 				spec := trialSpec{
 					env:      room.MeetingRoom(),

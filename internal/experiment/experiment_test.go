@@ -17,7 +17,7 @@ func quickOpt() Options {
 
 func TestRunTrialsParallelDeterminism(t *testing.T) {
 	run := func() ([]float64, int) {
-		return runTrials(8, 4, 7, func(trial int, rng *rand.Rand) (float64, error) {
+		return runTrials(Options{Trials: 8, Parallelism: 4}, 7, func(trial int, rng *rand.Rand) (float64, error) {
 			return float64(trial) + rng.Float64(), nil
 		})
 	}
@@ -34,7 +34,7 @@ func TestRunTrialsParallelDeterminism(t *testing.T) {
 }
 
 func TestRunTrialsCountsFailures(t *testing.T) {
-	errs, failed := runTrials(5, 2, 1, func(trial int, _ *rand.Rand) (float64, error) {
+	errs, failed := runTrials(Options{Trials: 5, Parallelism: 2}, 1, func(trial int, _ *rand.Rand) (float64, error) {
 		if trial%2 == 0 {
 			return 0, errFake
 		}

@@ -139,7 +139,7 @@ func RunFig14(opt Options) Figure {
 	}
 	for _, b := range buckets {
 		lo, hi := b.lo, b.hi
-		errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+int64(lo*1000),
+		errs, failed := runTrials(opt, opt.Seed+int64(lo*1000),
 			func(_ int, rng *rand.Rand) (float64, error) {
 				dist := lo + (hi-lo)*rng.Float64()
 				spec := trialSpec{
@@ -178,7 +178,7 @@ func distanceFigure(opt Options, id string, phone mic.Phone, paperAt map[float64
 	}
 	for _, r := range []float64{1, 2, 3, 5, 7} {
 		r := r
-		errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+int64(r*31),
+		errs, failed := runTrials(opt, opt.Seed+int64(r*31),
 			func(_ int, rng *rand.Rand) (float64, error) {
 				dist := 0.50 + 0.10*rng.Float64()
 				spec := trialSpec{
@@ -233,7 +233,7 @@ func threeDFigure(opt Options, id string, phone mic.Phone, paperAt map[float64]s
 	}
 	for _, r := range []float64{1, 2, 3, 5, 7} {
 		r := r
-		errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+int64(r*53),
+		errs, failed := runTrials(opt, opt.Seed+int64(r*53),
 			func(_ int, rng *rand.Rand) (float64, error) {
 				spec := trialSpec{
 					env:      room.MeetingRoom(),
@@ -299,7 +299,7 @@ func RunFig19(opt Options) Figure {
 	}
 	for _, rg := range regimes {
 		rg := rg
-		errs, failed := runTrials(opt.Trials, opt.workers(), opt.Seed+int64(rg.regime)*101,
+		errs, failed := runTrials(opt, opt.Seed+int64(rg.regime)*101,
 			func(_ int, rng *rand.Rand) (float64, error) {
 				spec := trialSpec{
 					env:      rg.env,

@@ -12,7 +12,14 @@ import (
 	"strings"
 	"sync"
 
+	"hyperear/internal/obs"
 	"hyperear/internal/stats"
+)
+
+// Counter names the per-session loop emits through Options.Obs.
+const (
+	MTrialsOK     = "experiment.trials.ok"
+	MTrialsFailed = "experiment.trials.failed"
 )
 
 // Options controls experiment size and reproducibility.
@@ -25,6 +32,10 @@ type Options struct {
 	Seed int64
 	// Parallelism bounds concurrent sessions (0 = GOMAXPROCS).
 	Parallelism int
+	// Obs is the observability hook for the per-session loop: every
+	// trial runs under an "experiment.trial" span and tallies into the
+	// experiment.trials.ok/failed counters. Nil disables at zero cost.
+	Obs *obs.Obs
 }
 
 // DefaultOptions returns a CLI-friendly configuration.
@@ -128,9 +139,11 @@ type trialResult struct {
 	failed bool
 }
 
-// runTrials executes fn for trial indices 0..n-1 in parallel, giving each
-// a dedicated deterministic RNG, and collects error samples.
-func runTrials(n, workers int, seed int64, fn func(trial int, rng *rand.Rand) (float64, error)) ([]float64, int) {
+// runTrials executes fn for trial indices 0..opt.Trials-1 in parallel,
+// giving each a dedicated deterministic RNG, and collects error samples.
+// Each trial runs under an "experiment.trial" span on opt.Obs.
+func runTrials(opt Options, seed int64, fn func(trial int, rng *rand.Rand) (float64, error)) ([]float64, int) {
+	n, workers := opt.Trials, opt.workers()
 	if workers < 1 {
 		workers = 1
 	}
@@ -144,11 +157,19 @@ func runTrials(n, workers int, seed int64, fn func(trial int, rng *rand.Rand) (f
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
+			sp := opt.Obs.Span("experiment.trial")
+			sp.AttrInt("trial", i)
 			e, err := fn(i, rng)
 			if err != nil {
+				sp.AttrStr("error", err.Error())
+				sp.End()
+				opt.Obs.Inc(MTrialsFailed)
 				results[i] = trialResult{failed: true}
 				return
 			}
+			sp.Attr("error_m", e)
+			sp.End()
+			opt.Obs.Inc(MTrialsOK)
 			results[i] = trialResult{err: e}
 		}(i)
 	}

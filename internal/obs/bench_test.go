@@ -1,0 +1,33 @@
+package obs
+
+import "testing"
+
+// BenchmarkDisabledSpan measures the disabled path that every pipeline
+// stage pays by default: it must report 0 B/op (see `make obs-check`).
+func BenchmarkDisabledSpan(b *testing.B) {
+	var o *Obs
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := o.Span("asp")
+		sp.Attr("v", 1.5)
+		sp.AttrInt("n", i)
+		sp.End()
+		o.Inc("c")
+		o.Observe("h", 0.5)
+	}
+}
+
+// BenchmarkEnabledSpan is the enabled-path comparator: a span with two
+// attributes into an in-memory registry (no sink).
+func BenchmarkEnabledSpan(b *testing.B) {
+	o := New(nil, NewRegistry())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := o.Span("asp")
+		sp.Attr("v", 1.5)
+		sp.AttrInt("n", i)
+		sp.End()
+		o.Inc("c")
+		o.Observe("h", 0.5)
+	}
+}

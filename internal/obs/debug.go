@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published maps expvar names to swappable registry holders. expvar
+// forbids re-Publish of a name, so each name is published once with a
+// Func that reads through the holder; publishing again under the same
+// name just swaps the holder's registry (which keeps tests and repeated
+// CLI runs in one process working).
+var (
+	pubMu     sync.Mutex
+	published = map[string]*registryHolder{}
+)
+
+type registryHolder struct {
+	mu  sync.Mutex
+	reg *Registry
+}
+
+// PublishExpvar exposes the registry's live snapshot as the named expvar
+// variable (visible at /debug/vars on any expvar-serving mux, including
+// the one ServeDebug starts).
+func (r *Registry) PublishExpvar(name string) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if h, ok := published[name]; ok {
+		h.mu.Lock()
+		h.reg = r
+		h.mu.Unlock()
+		return
+	}
+	h := &registryHolder{reg: r}
+	published[name] = h
+	expvar.Publish(name, expvar.Func(func() any {
+		h.mu.Lock()
+		reg := h.reg
+		h.mu.Unlock()
+		return reg.Snapshot()
+	}))
+}
+
+// ServeDebug starts an HTTP server on addr exposing the net/http/pprof
+// profiles under /debug/pprof/ and expvar (including registries published
+// with PublishExpvar) under /debug/vars. It returns the running server
+// and its bound address (useful with ":0"); the caller closes the server.
+// A dedicated mux — not http.DefaultServeMux — so importing this package
+// never widens the attack surface of an application's own server.
+func ServeDebug(addr string) (*http.Server, string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: debug server: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,161 @@
+// Package obs is the pipeline's observability core: stage-scoped spans
+// emitted to a pluggable Sink (JSONL trace files, in-memory test sinks),
+// atomic reason-coded counters and fixed-bucket histograms collected in a
+// Registry, and debug exports via expvar and net/http/pprof.
+//
+// The package is stdlib-only and designed around one invariant: the
+// disabled path is free. A nil *Obs is a valid receiver for every method,
+// performs no time lookups, takes no locks, and allocates nothing
+// (TestDisabledPathZeroAlloc pins 0 allocs; BenchmarkDisabledSpan shows
+// 0 B/op), so pipeline code calls the hooks unconditionally and the
+// default configuration pays nothing.
+//
+// Typical wiring (see core.Config.Obs and the locate/replay/hyperearsim
+// CLIs):
+//
+//	f, _ := os.Create("trace.jsonl")
+//	reg := obs.NewRegistry()
+//	o := obs.New(obs.NewJSONLSink(f), reg)
+//	cfg.Obs = o                       // pipeline emits spans + counters
+//	...
+//	fmt.Print(reg.Snapshot().String()) // reason-coded tallies
+package obs
+
+import "time"
+
+// Attr is one key/value annotation on a span event.
+type Attr struct {
+	Key string `json:"k"`
+	Val any    `json:"v"`
+}
+
+// Event is one completed span as delivered to a Sink.
+type Event struct {
+	// Stage is the span's stage name ("asp", "ttl", "experiment.trial").
+	Stage string `json:"stage"`
+	// StartNS is the span start in Unix nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the span's wall-clock duration in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+	// Attrs are the span's annotations in the order they were set.
+	Attrs []Attr `json:"attrs,omitempty"`
+}
+
+// Sink receives completed spans. Implementations must be safe for
+// concurrent use: the pipeline ends spans from worker goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// Obs bundles a trace sink and a metrics registry into the single hook
+// the pipeline threads through its stages. Either half may be nil; a nil
+// *Obs disables everything at zero cost.
+type Obs struct {
+	sink Sink
+	reg  *Registry
+}
+
+// New builds an Obs from a sink and/or registry. If both are nil it
+// returns nil, which keeps the caller on the free disabled path.
+func New(sink Sink, reg *Registry) *Obs {
+	if sink == nil && reg == nil {
+		return nil
+	}
+	return &Obs{sink: sink, reg: reg}
+}
+
+// Registry returns the metrics registry, or nil when metrics are
+// disabled. Safe on a nil receiver.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Span opens a stage span. On a nil receiver it returns an inert Span
+// without reading the clock. End the span with Span.End; attributes set
+// in between are attached to the emitted event.
+func (o *Obs) Span(stage string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return Span{o: o, stage: stage, start: time.Now()}
+}
+
+// Inc adds 1 to the named counter. Safe on a nil receiver.
+func (o *Obs) Inc(name string) { o.Add(name, 1) }
+
+// Add adds n to the named counter. Safe on a nil receiver.
+func (o *Obs) Add(name string, n uint64) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	o.reg.Add(name, n)
+}
+
+// Observe records v into the named histogram (created with DefaultBounds
+// on first use). Safe on a nil receiver.
+func (o *Obs) Observe(name string, v float64) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	o.reg.Observe(name, v)
+}
+
+// Span is one in-flight stage measurement. The zero value is inert:
+// every method is a no-op, so disabled pipelines pay only a nil check.
+type Span struct {
+	o     *Obs
+	stage string
+	start time.Time
+	attrs []Attr
+}
+
+// Attr attaches a numeric attribute. No-op on an inert span; the
+// float64 parameter (rather than any) keeps the disabled call site free
+// of interface boxing.
+func (s *Span) Attr(key string, v float64) {
+	if s.o == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+}
+
+// AttrInt attaches an integer attribute. No-op on an inert span.
+func (s *Span) AttrInt(key string, v int) {
+	if s.o == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+}
+
+// AttrStr attaches a string attribute. No-op on an inert span.
+func (s *Span) AttrStr(key, v string) {
+	if s.o == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: v})
+}
+
+// End closes the span, emitting it to the sink (if any) and recording
+// its duration into the registry's "span.<stage>" histogram (if any).
+// End is idempotent and a no-op on an inert span.
+func (s *Span) End() {
+	if s.o == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if s.o.sink != nil {
+		s.o.sink.Emit(Event{
+			Stage:   s.stage,
+			StartNS: s.start.UnixNano(),
+			DurNS:   d.Nanoseconds(),
+			Attrs:   s.attrs,
+		})
+	}
+	if s.o.reg != nil {
+		s.o.reg.ObserveDur("span."+s.stage, d)
+	}
+	s.o = nil
+}

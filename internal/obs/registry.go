@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBounds are the magnitude buckets used when a histogram is first
+// observed without explicit bounds — a 1/3/10 ladder spanning the
+// pipeline's physical quantities (drift slopes in m/s², displacements in
+// meters).
+var DefaultBounds = []float64{1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3, 10}
+
+// DurationBounds are the span-duration buckets in seconds (1 µs … 10 s,
+// decade steps).
+var DurationBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// Registry holds named atomic counters and histograms. All methods are
+// safe for concurrent use; reads on the hot path take only an RLock on
+// the name table plus atomic ops.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*atomic.Uint64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*atomic.Uint64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// counter returns the named counter, creating it on first use.
+func (r *Registry) counter(name string) *atomic.Uint64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = new(atomic.Uint64)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add adds n to the named counter.
+func (r *Registry) Add(name string, n uint64) { r.counter(name).Add(n) }
+
+// Inc adds 1 to the named counter.
+func (r *Registry) Inc(name string) { r.counter(name).Add(1) }
+
+// Get returns the named counter's current value (0 if never touched).
+func (r *Registry) Get(name string) uint64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// Hist returns the named histogram, creating it with the given bounds on
+// first use (bounds must be sorted ascending; nil selects DefaultBounds).
+// Bounds are fixed at creation; later calls ignore the argument.
+func (r *Registry) Hist(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Observe records v into the named histogram (DefaultBounds on first
+// use).
+func (r *Registry) Observe(name string, v float64) {
+	r.Hist(name, DefaultBounds).Observe(v)
+}
+
+// ObserveDur records a duration (in seconds) into the named histogram
+// (DurationBounds on first use).
+func (r *Registry) ObserveDur(name string, d time.Duration) {
+	r.Hist(name, DurationBounds).Observe(d.Seconds())
+}
+
+// Histogram is a fixed-bucket histogram with atomic counters. Bucket i
+// counts observations v <= Bounds[i]; the final implicit bucket counts
+// overflows.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last = overflow
+	n      atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultBounds
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = overflow
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h HistSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of a registry, suitable for JSON
+// encoding (it is what the expvar export publishes).
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies every counter and histogram.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{
+			Count:  h.n.Load(),
+			Sum:    math.Float64frombits(h.sum.Load()),
+			Bounds: h.bounds,
+			Counts: make([]uint64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// SumPrefix totals every counter whose name starts with prefix.
+func (s Snapshot) SumPrefix(prefix string) uint64 {
+	var total uint64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// String renders the snapshot as a sorted human-readable table: one line
+// per counter, then one summary line per histogram.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-44s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "%-44s n=%d mean=%.6g sum=%.6g\n", name, h.Count, h.Mean(), h.Sum)
+	}
+	return b.String()
+}
