@@ -41,12 +41,17 @@ obs-check:
 	$(GO) test -run NONE -bench 'Disabled|Locate2DObserved' -benchtime 1x -benchmem ./internal/obs/ ./
 
 # Real measurement run of the performance-critical benchmarks (see
-# DESIGN.md "Performance architecture").
+# DESIGN.md "Performance architecture"). FFTForward pairs the complex
+# and packed-real transforms; Detect/Stream cover the batch and
+# overlap-save detection hot paths.
+BENCH_RE := CrossCorrelate|Correlator|Envelope|FFTForward|Detect|Stream|PipelineLocate2D
+BENCH_PKGS := ./ ./internal/dsp/ ./internal/chirp/
+
 bench:
-	$(GO) test -run NONE -bench 'CrossCorrelate|Correlator|Envelope|PipelineLocate2D' -benchmem ./ ./internal/dsp/
+	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS)
 
 # Same measurement run, archived as a dated JSON snapshot (name, ns/op,
 # B/op, allocs/op per benchmark) for cross-commit comparison.
 bench-json:
-	$(GO) test -run NONE -bench 'CrossCorrelate|Correlator|Envelope|PipelineLocate2D' -benchmem ./ ./internal/dsp/ \
+	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json

@@ -356,7 +356,10 @@ func BenchmarkCrossCorrelateNoPlan(b *testing.B) {
 // BenchmarkCrossCorrelatePlan is the plan-cached, scratch-pooled path on
 // the same workload; with a reused destination it runs allocation-free in
 // steady state (see -benchmem, and TestPlanPathZeroAllocs in
-// internal/dsp).
+// internal/dsp). Since the real-input fast path landed this runs entirely
+// on packed half-size transforms — compare against
+// BenchmarkCrossCorrelateComplexFFT for the real-vs-complex speedup on the
+// identical workload.
 func BenchmarkCrossCorrelatePlan(b *testing.B) {
 	x, ref := benchCorrelateInput()
 	dst := dsp.CrossCorrelateInto(nil, x, ref)
@@ -364,6 +367,68 @@ func BenchmarkCrossCorrelatePlan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dst = dsp.CrossCorrelateInto(dst, x, ref)
+	}
+}
+
+// complexCrossCorrelate is the previous production matched filter: widen
+// both real operands to complex128, run full-size plan-cached transforms,
+// multiply by the conjugate, and invert. Buffers are caller-reused, so the
+// comparison against the real-input path isolates the transform and
+// memory-traffic win (half-size FFTs, half the bytes) rather than
+// allocator noise.
+func complexCrossCorrelate(dst []float64, fx, fr []complex128, x, ref []float64) {
+	n := len(fx)
+	for i, v := range x {
+		fx[i] = complex(v, 0)
+	}
+	for i := len(x); i < n; i++ {
+		fx[i] = 0
+	}
+	for i, v := range ref {
+		fr[i] = complex(v, 0)
+	}
+	for i := len(ref); i < n; i++ {
+		fr[i] = 0
+	}
+	if err := dsp.FFT(fx); err != nil {
+		panic(err)
+	}
+	if err := dsp.FFT(fr); err != nil {
+		panic(err)
+	}
+	for i, c := range fr {
+		fx[i] *= complex(real(c), -imag(c))
+	}
+	if err := dsp.IFFT(fx); err != nil {
+		panic(err)
+	}
+	for i := range dst {
+		dst[i] = real(fx[i])
+	}
+}
+
+// BenchmarkCrossCorrelateComplexFFT is the complex-transform baseline
+// paired with BenchmarkCrossCorrelatePlan: the same detector-sized
+// workload through full-size complex FFTs. The real-input path must beat
+// it by ≥1.8× (see DESIGN.md "Performance architecture").
+func BenchmarkCrossCorrelateComplexFFT(b *testing.B) {
+	x, ref := benchCorrelateInput()
+	n := dsp.NextPow2(len(x) + len(ref) - 1)
+	fx := make([]complex128, n)
+	fr := make([]complex128, n)
+	dst := make([]float64, len(x))
+	// Sanity-pin the baseline against the production path once.
+	complexCrossCorrelate(dst, fx, fr, x, ref)
+	want := dsp.CrossCorrelate(x, ref)
+	for i := range dst {
+		if math.Abs(dst[i]-want[i]) > 1e-6 {
+			b.Fatalf("complex baseline diverges at %d: %v vs %v", i, dst[i], want[i])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		complexCrossCorrelate(dst, fx, fr, x, ref)
 	}
 }
 

@@ -3,6 +3,7 @@ package chirp
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"hyperear/internal/dsp"
@@ -82,6 +83,28 @@ func (d *Detector) Reference() []float64 {
 	return out
 }
 
+// envCand is one envelope local maximum competing in non-maximum
+// suppression.
+type envCand struct {
+	idx int
+	val float64
+}
+
+// DetectScratch holds the reusable working set of one detection pass: the
+// matched-filter output, its Hilbert envelope, the floor-estimation sample,
+// and the candidate lists. A zero value is ready to use; after the first
+// call on a given input size every buffer is warm and DetectInto performs
+// no heap allocations. A DetectScratch must not be shared between
+// concurrent DetectInto calls (the Detector itself stays safe for
+// concurrent use — each goroutine brings its own scratch).
+type DetectScratch struct {
+	corr     []float64
+	env      []float64
+	absSamp  []float64
+	cands    []envCand
+	accepted []envCand
+}
+
 // Detect returns all chirp arrivals in x, sorted by time.
 //
 // Detection is two-stage: candidate peaks are found on the Hilbert
@@ -95,9 +118,36 @@ func (d *Detector) Detect(x []float64) []Detection {
 	if len(x) < len(d.ref) {
 		return nil
 	}
-	r := d.corr.CrossCorrelate(x)
-	env := dsp.Envelope(r)
-	floor := correlationFloor(env)
+	return d.DetectInto(nil, x, &DetectScratch{})
+}
+
+// DetectInto is Detect appending into dst (reset to length 0 first) with
+// caller-owned scratch. Hot loops — the streaming detector, the ASP
+// per-channel fan-out the experiment harness drives every trial — reuse
+// one scratch per worker and run the whole detection pass without heap
+// allocations once warm. A nil scratch is allowed and degrades to
+// per-call buffers.
+func (d *Detector) DetectInto(dst []Detection, x []float64, s *DetectScratch) []Detection {
+	dst = dst[:0]
+	if len(x) < len(d.ref) {
+		return dst
+	}
+	if s == nil {
+		s = &DetectScratch{}
+	}
+	s.corr = d.corr.CrossCorrelateInto(s.corr, x)
+	return d.detectFromCorr(dst, s.corr, s)
+}
+
+// detectFromCorr runs the envelope/threshold/NMS/timing stages on a
+// precomputed matched-filter output r (r[k] is the correlation at lag k).
+// The streaming detector calls it directly with correlation it maintains
+// incrementally via overlap-save.
+func (d *Detector) detectFromCorr(dst []Detection, r []float64, s *DetectScratch) []Detection {
+	s.env = dsp.EnvelopeInto(s.env, r)
+	env := s.env
+	var floor float64
+	floor, s.absSamp = correlationFloor(env, s.absSamp)
 	if floor == 0 {
 		floor = 1e-30
 	}
@@ -107,20 +157,25 @@ func (d *Detector) Detect(x []float64) []Detection {
 	}
 
 	// Collect envelope local maxima above the threshold.
-	type cand struct {
-		idx int
-		val float64
-	}
-	var cands []cand
+	cands := s.cands[:0]
 	thresh := d.Threshold * floor
 	for i := 1; i < len(env)-1; i++ {
 		if env[i] >= env[i-1] && env[i] > env[i+1] && env[i] > thresh {
-			cands = append(cands, cand{i, env[i]})
+			cands = append(cands, envCand{i, env[i]})
 		}
 	}
+	s.cands = cands
 	// Greedy non-maximum suppression: strongest first, enforce spacing.
-	sort.Slice(cands, func(i, j int) bool { return cands[i].val > cands[j].val })
-	var accepted []cand
+	slices.SortFunc(cands, func(a, b envCand) int {
+		switch {
+		case a.val > b.val:
+			return -1
+		case a.val < b.val:
+			return 1
+		}
+		return 0
+	})
+	accepted := s.accepted[:0]
 	for _, c := range cands {
 		ok := true
 		for _, a := range accepted {
@@ -133,7 +188,8 @@ func (d *Detector) Detect(x []float64) []Detection {
 			accepted = append(accepted, c)
 		}
 	}
-	sort.Slice(accepted, func(i, j int) bool { return accepted[i].idx < accepted[j].idx })
+	s.accepted = accepted
+	slices.SortFunc(accepted, func(a, b envCand) int { return a.idx - b.idx })
 
 	// Sub-sample timing. Two regimes, selected by the carrier-to-bandwidth
 	// ratio fc/B:
@@ -153,7 +209,6 @@ func (d *Detector) Detect(x []float64) []Detection {
 	wideband := carrier/bandwidth <= 2
 	half := int(d.fs/carrier) + 1
 
-	out := make([]Detection, 0, len(accepted))
 	for _, c := range accepted {
 		var t float64
 		var val float64
@@ -174,34 +229,44 @@ func (d *Detector) Detect(x []float64) []Detection {
 			t = (float64(c.idx) + off) / d.fs
 			val = v
 		}
-		out = append(out, Detection{
+		dst = append(dst, Detection{
 			Time:     t,
 			Index:    idx,
 			Strength: val,
 			SNR:      env[c.idx] / floor,
 		})
 	}
-	return out
+	return dst
 }
 
-// correlationFloor estimates the background correlation level as the median
-// absolute value, which is robust to the (sparse) chirp peaks themselves.
-func correlationFloor(r []float64) float64 {
+// floorQuantileNum/floorQuantileDen select the quantile of the sampled
+// |r| distribution used as the background level: the 90th percentile.
+// The matched-filter output under noise is roughly Gaussian, and
+// thresholding against the 90th percentile suppresses false peaks without
+// costing sensitivity (the median would sit lower and admit more of the
+// Gaussian tail).
+const (
+	floorQuantileNum = 9
+	floorQuantileDen = 10
+)
+
+// correlationFloor estimates the background correlation level as the 90th
+// percentile of the absolute value (floorQuantile*), sampled sparsely; the
+// (sparse) chirp peaks themselves barely shift that quantile. The sample
+// buffer is reused across calls via scratch and returned for the caller to
+// keep.
+func correlationFloor(r, scratch []float64) (float64, []float64) {
 	if len(r) == 0 {
-		return 0
+		return 0, scratch
 	}
 	// Sample up to 4096 points evenly to bound the sort cost.
 	step := len(r)/4096 + 1
-	abs := make([]float64, 0, len(r)/step+1)
+	abs := scratch[:0]
 	for i := 0; i < len(r); i += step {
 		abs = append(abs, math.Abs(r[i]))
 	}
 	sort.Float64s(abs)
-	// Use a high quantile of the absolute background rather than the
-	// median: the matched-filter output under noise is roughly Gaussian,
-	// and thresholding against the ~90th percentile suppresses false
-	// peaks without costing sensitivity.
-	return abs[len(abs)*9/10] + 1e-30
+	return abs[len(abs)*floorQuantileNum/floorQuantileDen] + 1e-30, abs
 }
 
 func abs(x int) int {

@@ -173,6 +173,70 @@ func TestReferenceReturnsCopy(t *testing.T) {
 	}
 }
 
+// TestDetectIntoMatchesDetect: the scratch-reusing variant must return the
+// same detections as Detect, across repeated calls on different inputs
+// sharing one scratch.
+func TestDetectIntoMatchesDetect(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch DetectScratch
+	var dst []Detection
+	for seed := int64(40); seed < 44; seed++ {
+		x := synth(p, fs, int(fs), 0.011+0.003*float64(seed), 0.3, seed)
+		want := d.Detect(x)
+		dst = d.DetectInto(dst, x, &scratch)
+		if len(dst) != len(want) {
+			t.Fatalf("seed %d: DetectInto found %d, Detect %d", seed, len(dst), len(want))
+		}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Errorf("seed %d detection %d: %+v vs %+v", seed, i, dst[i], want[i])
+			}
+		}
+	}
+	// Nil scratch degrades gracefully.
+	x := synth(p, fs, int(fs), 0.02, 0.1, 50)
+	got := d.DetectInto(nil, x, nil)
+	want := d.Detect(x)
+	if len(got) != len(want) {
+		t.Fatalf("nil scratch: %d vs %d detections", len(got), len(want))
+	}
+	// Short input resets dst to empty.
+	if got := d.DetectInto(dst, make([]float64, 5), &scratch); len(got) != 0 {
+		t.Errorf("short input: len %d, want 0", len(got))
+	}
+}
+
+// TestDetectIntoZeroAllocs pins the detection pass (matched filter,
+// envelope, floor, NMS, timing) at zero steady-state heap allocations with
+// warm scratch — the acceptance criterion for the streaming hot path.
+func TestDetectIntoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector")
+	}
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, int(fs), 0.02, 0.3, 6)
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch DetectScratch
+	dst := d.DetectInto(nil, x, &scratch)
+	if len(dst) == 0 {
+		t.Fatal("no detections in warm-up pass")
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		dst = d.DetectInto(dst, x, &scratch)
+	}); allocs > 0.5 {
+		t.Errorf("DetectInto: %.2f allocs/run, want 0 in steady state", allocs)
+	}
+}
+
 func BenchmarkDetectOneSecond(b *testing.B) {
 	p := Default()
 	fs := 44100.0
@@ -184,5 +248,24 @@ func BenchmarkDetectOneSecond(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d.Detect(x)
+	}
+}
+
+// BenchmarkDetectIntoOneSecond is BenchmarkDetectOneSecond on the
+// scratch-reusing path: same work, no per-call buffer churn.
+func BenchmarkDetectIntoOneSecond(b *testing.B) {
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, int(fs), 0.02, 0.3, 6)
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch DetectScratch
+	dst := d.DetectInto(nil, x, &scratch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = d.DetectInto(dst, x, &scratch)
 	}
 }

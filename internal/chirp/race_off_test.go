@@ -1,0 +1,5 @@
+//go:build !race
+
+package chirp
+
+const raceEnabled = false

@@ -3,6 +3,7 @@ package chirp
 import (
 	"math"
 
+	"hyperear/internal/dsp"
 	"hyperear/internal/obs"
 )
 
@@ -15,14 +16,29 @@ const (
 	MStreamWithheld = "chirp.stream.withheld"
 )
 
+// streamFFTMul sizes the stream's fixed overlap-save transform at
+// NextPow2(streamFFTMul·template) samples. Four template lengths keeps the
+// alias-free step (N - template + 1) at ≳3 templates per transform, so the
+// per-lag FFT cost is within ~35% of the asymptotic optimum while the
+// working set stays small enough for a phone's cache.
+const streamFFTMul = 4
+
 // StreamDetector is an incremental version of Detector for live capture:
 // audio arrives in arbitrary-size chunks (as from a phone's audio
 // callback) and detections are emitted with absolute timestamps as soon
 // as enough context exists to time them reliably. Internally it buffers,
-// runs the batch detector over a sliding block, and carries enough tail
-// across block boundaries that a chirp straddling two chunks is never
-// missed or double-reported, and that detections agree with a batch run
-// over the whole stream regardless of how the samples were chunked.
+// and carries enough tail across block boundaries that a chirp straddling
+// two chunks is never missed or double-reported, and that detections agree
+// with a batch run over the whole stream regardless of how the samples
+// were chunked.
+//
+// The matched filter is overlap-save: correlation lags, once complete (the
+// full template fit inside the buffer), never change when more audio
+// arrives, so each pass extends the cached correlation only over the new
+// samples with fixed-size FFT blocks against a template spectrum computed
+// once for the whole stream. Only the envelope/peak-picking stages rerun
+// over the sliding window; the per-pass transform cost is proportional to
+// the new audio, not the buffer.
 type StreamDetector struct {
 	det *Detector
 	fs  float64
@@ -47,6 +63,21 @@ type StreamDetector struct {
 	// a distinct later chirp must never be confused with a re-detection.
 	// Entries too old to ever match again are pruned.
 	emitted []float64
+	// fftSize is the fixed overlap-save transform length N; step is the
+	// alias-free lags each N-point block yields (N - template + 1).
+	fftSize int
+	step    int
+	// corr caches the matched-filter output aligned with buf: corr[k] is
+	// the correlation at lag buf[k]. The leading corrValid lags are
+	// complete (computed with the full template inside the buffer) and
+	// stay byte-identical forever; lags beyond that were computed against
+	// implicit zero padding — exactly what a batch run over the current
+	// buffer would produce — and are recomputed once more audio arrives.
+	corr      []float64
+	corrValid int
+	// scratch and dets are the detection pass's reusable working set.
+	scratch DetectScratch
+	dets    []Detection
 	// obs counts emissions, dedupe hits, and withheld detections; nil
 	// (the default) disables at zero cost.
 	obs *obs.Obs
@@ -74,12 +105,18 @@ func NewStreamDetector(p Params, fs float64) (*StreamDetector, error) {
 		// grow the block so every pass still makes progress.
 		blockSize = 2 * tailKeep
 	}
+	fftSize := dsp.NextPow2(streamFFTMul * refLen)
+	if fftSize < 2 {
+		fftSize = 2
+	}
 	return &StreamDetector{
 		det:           det,
 		fs:            fs,
 		blockSize:     blockSize,
 		tailKeep:      tailKeep,
 		minSepSamples: minSep,
+		fftSize:       fftSize,
+		step:          fftSize - refLen + 1,
 	}, nil
 }
 
@@ -115,14 +152,53 @@ func (s *StreamDetector) alreadyEmitted(abs float64) bool {
 	return false
 }
 
-// process runs the batch detector on the current buffer. Unless final,
+// extendCorr brings the cached matched-filter output up to date with the
+// buffer: overlap-save blocks starting at the first non-final lag, each
+// one fixed fftSize transform yielding up to step alias-free lags. Input
+// past the buffer end is implicit zero padding, which makes the trailing
+// template-length of lags equal what a batch correlation of exactly this
+// buffer would produce. Lags that were complete on a previous pass are
+// never touched.
+func (s *StreamDetector) extendCorr() {
+	n := len(s.buf)
+	if cap(s.corr) < n {
+		grown := make([]float64, n)
+		copy(grown, s.corr[:s.corrValid])
+		s.corr = grown
+	} else {
+		s.corr = s.corr[:n]
+	}
+	refLen := len(s.det.ref)
+	for at := s.corrValid; at < n; at += s.step {
+		end := at + s.step
+		if end > n {
+			end = n
+		}
+		in := at + s.fftSize
+		if in > n {
+			in = n
+		}
+		s.det.corr.CorrelateCircularInto(s.corr[at:end], s.buf[at:in], s.fftSize)
+	}
+	// Everything with the full template inside the buffer is final.
+	s.corrValid = n - refLen + 1
+	if s.corrValid < 0 {
+		s.corrValid = 0
+	}
+}
+
+// process runs one detection pass over the current buffer: the cached
+// overlap-save correlation is extended over the new samples, then the
+// envelope/threshold/NMS stages rerun over the window. Unless final,
 // detections too close to the buffer end are withheld and a tail is
 // carried over. The emission horizon leaves room for both the detection's
 // own template and a full minimum-separation window after it, so that any
 // stronger competitor the batch detector's non-maximum suppression would
 // have preferred is already visible before the detection is committed.
 func (s *StreamDetector) process(final bool) []Detection {
-	dets := s.det.Detect(s.buf)
+	s.extendCorr()
+	s.dets = s.det.detectFromCorr(s.dets[:0], s.corr, &s.scratch)
+	dets := s.dets
 	horizon := len(s.buf) - len(s.det.ref) - s.minSepSamples
 	if final {
 		horizon = len(s.buf)
@@ -148,6 +224,8 @@ func (s *StreamDetector) process(final bool) []Detection {
 	}
 	if final {
 		s.buf = nil
+		s.corr = nil
+		s.corrValid = 0
 		return out
 	}
 	// Keep the tail: at least tailKeep samples, and never drop samples
@@ -164,6 +242,14 @@ func (s *StreamDetector) process(final bool) []Detection {
 	remaining := len(s.buf) - keepFrom
 	copy(s.buf, s.buf[keepFrom:])
 	s.buf = s.buf[:remaining]
+	// The complete correlation lags shift with the buffer and stay valid;
+	// the zero-padded tail lags will be recomputed next pass.
+	s.corrValid -= keepFrom
+	if s.corrValid < 0 {
+		s.corrValid = 0
+	}
+	copy(s.corr, s.corr[keepFrom:])
+	s.corr = s.corr[:remaining]
 	// Prune emissions that can no longer collide with future detections:
 	// anything before the kept samples minus the dedupe window.
 	bufStart := float64(s.absOffset)/s.fs - s.det.MinSeparation

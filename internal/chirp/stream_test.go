@@ -262,3 +262,97 @@ func TestStreamFlushShortBuffer(t *testing.T) {
 		t.Errorf("flush of sub-template buffer = %v, want nil", got)
 	}
 }
+
+// TestStreamRandomChunkingFuzz is the fuzz-style chunking test: many
+// random chunk-size sequences (including pathological 1-sample and
+// larger-than-block chunks) over signals with noise, close pairs, and
+// boundary-straddling chirps must all reproduce the batch detection set.
+func TestStreamRandomChunkingFuzz(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	tpl := p.Reference(fs)
+	base := synth(p, fs, 3*int(fs), 0.0191, 0.15, 41)
+	// Salt in a close pair (NMS stress) and an extra off-period chirp.
+	placeChirp(base, tpl, int(1.23*fs), 0.5)
+	placeChirp(base, tpl, int(1.27*fs), 1.0)
+	placeChirp(base, tpl, int(2.51*fs), 0.8)
+
+	batchDet, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := batchDet.Detect(base)
+	if len(batch) < 10 {
+		t.Fatalf("batch detections = %d, want ≥ 10", len(batch))
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		s, err := NewStreamDetector(p, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Detection
+		pos := 0
+		for pos < len(base) {
+			var n int
+			switch rng.Intn(4) {
+			case 0:
+				n = 1 + rng.Intn(16) // tiny audio-callback dribbles
+			case 1:
+				n = 1 + rng.Intn(2048)
+			case 2:
+				n = 1 + rng.Intn(8192)
+			default:
+				n = 1 + rng.Intn(3*s.blockSize) // multi-block lumps
+			}
+			if pos+n > len(base) {
+				n = len(base) - pos
+			}
+			got = append(got, s.Push(base[pos:pos+n])...)
+			pos += n
+		}
+		got = append(got, s.Flush()...)
+
+		if len(got) != len(batch) {
+			t.Fatalf("trial %d: stream found %d detections, batch %d", trial, len(got), len(batch))
+		}
+		for i := range got {
+			if d := math.Abs(got[i].Time - batch[i].Time); d > 2e-6 {
+				t.Errorf("trial %d, detection %d: stream %.7f vs batch %.7f (Δ %.2f µs)",
+					trial, i, got[i].Time, batch[i].Time, d*1e6)
+			}
+		}
+	}
+}
+
+// BenchmarkStreamDetectorPush streams one minute of audio through the
+// overlap-save detector in audio-callback-sized chunks; ns/op here is the
+// continuous-listening cost a phone implementation pays. Compare against
+// BenchmarkDetectOneSecond×60 for the batch-equivalent cost.
+func BenchmarkStreamDetectorPush(b *testing.B) {
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, 60*int(fs), 0.0173, 0.2, 31)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewStreamDetector(p, fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		const chunk = 1024
+		for pos := 0; pos < len(x); pos += chunk {
+			end := pos + chunk
+			if end > len(x) {
+				end = len(x)
+			}
+			n += len(s.Push(x[pos:end]))
+		}
+		n += len(s.Flush())
+		if n < 250 {
+			b.Fatalf("stream found %d detections, want ≈300", n)
+		}
+	}
+}

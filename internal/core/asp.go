@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hyperear/internal/chirp"
 	"hyperear/internal/dsp"
@@ -105,6 +106,12 @@ type ASP struct {
 	fs     float64
 	bp     *dsp.FIR
 	det    *chirp.Detector
+	// scratch pools per-worker detection working sets (correlation,
+	// envelope, candidate buffers) so the per-channel fan-out — run once
+	// per experiment trial — reuses its big buffers instead of
+	// reallocating second-long float slices every call. A pool (rather
+	// than per-channel fields) keeps Process safe to call concurrently.
+	scratch sync.Pool
 }
 
 // NewASP builds the stage for a beacon waveform and sampling rate.
@@ -131,7 +138,9 @@ func NewASP(source chirp.Params, fs float64, cfg ASPConfig) (*ASP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: ASP detector: %w", err)
 	}
-	return &ASP{cfg: cfg, source: source, fs: fs, bp: bp, det: det}, nil
+	a := &ASP{cfg: cfg, source: source, fs: fs, bp: bp, det: det}
+	a.scratch.New = func() any { return new(chirp.DetectScratch) }
+	return a, nil
 }
 
 // Process filters both channels, detects and pairs beacons, and estimates
@@ -149,7 +158,9 @@ func (a *ASP) Process(rec *mic.Recording) (*ASPResult, error) {
 	chans := [2][]float64{rec.Mic1, rec.Mic2}
 	var dets [2][]chirp.Detection
 	parallelFor(2, a.cfg.Parallelism, func(i int) {
-		dets[i] = a.det.Detect(a.bp.Apply(chans[i]))
+		sc := a.scratch.Get().(*chirp.DetectScratch)
+		dets[i] = a.det.DetectInto(nil, a.bp.Apply(chans[i]), sc)
+		a.scratch.Put(sc)
 	})
 	d1, d2 := dets[0], dets[1]
 	a.cfg.Obs.Add(MASPDetections, uint64(len(d1)+len(d2)))

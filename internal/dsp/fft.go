@@ -47,14 +47,23 @@ func IFFT(x []complex128) error {
 }
 
 // FFTReal transforms a real signal, zero-padding to the next power of two,
-// and returns the complex spectrum (length NextPow2(len(x))).
+// and returns the complex spectrum (length NextPow2(len(x))). The transform
+// runs on the packed real-input path (one N/2 complex FFT, see RealPlan);
+// the negative-frequency half is filled in by Hermitian symmetry.
 func FFTReal(x []float64) []complex128 {
 	n := NextPow2(len(x))
 	c := make([]complex128, n)
-	for i, v := range x {
-		c[i] = complex(v, 0)
+	if n < 2 {
+		if len(x) == 1 {
+			c[0] = complex(x[0], 0)
+		}
+		return c
 	}
-	planFor(n).Forward(c)
+	p := realPlanFor(n)
+	p.ForwardReal(c[:p.SpectrumLen()], x)
+	for k := n/2 + 1; k < n; k++ {
+		c[k] = complex(real(c[n-k]), -imag(c[n-k]))
+	}
 	return c
 }
 

@@ -138,26 +138,18 @@ func directConvolve(x, h []float64) []float64 {
 }
 
 func fftConvolve(x, h []float64) []float64 {
-	n := NextPow2(len(x) + len(h) - 1)
-	p := planFor(n)
-	fx := getComplex(n)
-	fh := getComplex(n)
-	for i, v := range x {
-		(*fx)[i] = complex(v, 0)
-	}
-	for i, v := range h {
-		(*fh)[i] = complex(v, 0)
-	}
-	p.Forward(*fx)
-	p.Forward(*fh)
+	n := corrFFTSize(len(x), len(h))
+	p := realPlanFor(n)
+	hl := p.SpectrumLen()
+	fx := getComplexPrefix(hl, hl)
+	fh := getComplexPrefix(hl, hl)
+	p.ForwardReal(*fx, x)
+	p.ForwardReal(*fh, h)
 	for i, v := range *fh {
 		(*fx)[i] *= v
 	}
-	p.Inverse(*fx)
 	out := make([]float64, len(x)+len(h)-1)
-	for i := range out {
-		out[i] = real((*fx)[i])
-	}
+	p.InverseReal(out, *fx)
 	putComplex(fx)
 	putComplex(fh)
 	return out

@@ -120,20 +120,27 @@ func (p *Plan) transform(x []complex128, w []complex128) {
 }
 
 // Scratch pools. Buffers are handed out at the requested length (grown as
-// needed) and zero-filled, so callers can rely on zero padding. Returning
-// them keeps the steady state allocation-free.
+// needed) and zero-filled beyond the prefix the caller promises to write,
+// so callers can rely on zero padding without paying to clear regions they
+// overwrite anyway. Returning them keeps the steady state allocation-free.
 
 var complexPool = sync.Pool{New: func() any { s := make([]complex128, 0, 4096); return &s }}
 
-func getComplex(n int) *[]complex128 {
+func getComplex(n int) *[]complex128 { return getComplexPrefix(n, 0) }
+
+// getComplexPrefix returns a pooled buffer of length n whose elements from
+// written onward are zeroed. Callers that overwrite a known prefix [0,
+// written) pass it here so only the tail is cleared; written == n skips
+// clearing entirely (the real-FFT pack loops write every element).
+func getComplexPrefix(n, written int) *[]complex128 {
 	p := complexPool.Get().(*[]complex128)
 	if cap(*p) < n {
 		*p = make([]complex128, n)
-	} else {
-		*p = (*p)[:n]
-		for i := range *p {
-			(*p)[i] = 0
-		}
+		return p
+	}
+	*p = (*p)[:n]
+	for i := written; i < n; i++ {
+		(*p)[i] = 0
 	}
 	return p
 }
@@ -149,34 +156,42 @@ func resizeF64(dst []float64, n int) []float64 {
 	return dst[:n]
 }
 
+// corrFFTSize returns the real-FFT size for a linear correlation or
+// convolution of lx- and lr-sample operands: the result spans lx+lr-1
+// samples, so that is what must fit without circular wraparound. Rounding
+// up from lx+lr instead would double the transform whenever the sum lands
+// on an exact power of two.
+func corrFFTSize(lx, lr int) int {
+	n := NextPow2(lx + lr - 1)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
 // CrossCorrelateInto is CrossCorrelate writing its result into dst
 // (grown/reused as needed) and returning it. With a warm plan cache and a
-// caller-reused dst it performs zero heap allocations.
+// caller-reused dst it performs zero heap allocations. Both operands are
+// real, so the whole round trip runs on the packed half-spectrum path
+// (RealPlan): one N/2 complex transform per FFT and half the scratch bytes
+// of the complex path.
 func CrossCorrelateInto(dst, x, ref []float64) []float64 {
 	if len(x) == 0 || len(ref) == 0 {
 		return dst[:0]
 	}
-	n := NextPow2(len(x) + len(ref))
-	p := planFor(n)
-	fx := getComplex(n)
-	fr := getComplex(n)
-	for i, v := range x {
-		(*fx)[i] = complex(v, 0)
-	}
-	for i, v := range ref {
-		(*fr)[i] = complex(v, 0)
-	}
-	p.Forward(*fx)
-	p.Forward(*fr)
-	// Correlation: X(f)·conj(R(f)).
+	n := corrFFTSize(len(x), len(ref))
+	p := realPlanFor(n)
+	h := p.SpectrumLen()
+	fx := getComplexPrefix(h, h)
+	fr := getComplexPrefix(h, h)
+	p.ForwardReal(*fx, x)
+	p.ForwardReal(*fr, ref)
+	// Correlation: X(f)·conj(R(f)) over the half spectrum.
 	for i, c := range *fr {
 		(*fx)[i] *= complex(real(c), -imag(c))
 	}
-	p.Inverse(*fx)
 	dst = resizeF64(dst, len(x))
-	for i := range dst {
-		dst[i] = real((*fx)[i])
-	}
+	p.InverseReal(dst, *fx)
 	putComplex(fx)
 	putComplex(fr)
 	return dst
@@ -196,18 +211,15 @@ func GCCPhatInto(dst, x, ref []float64) []float64 {
 	if len(x) == 0 || len(ref) == 0 {
 		return dst[:0]
 	}
-	n := NextPow2(len(x) + len(ref))
-	p := planFor(n)
-	fx := getComplex(n)
-	fr := getComplex(n)
-	for i, v := range x {
-		(*fx)[i] = complex(v, 0)
-	}
-	for i, v := range ref {
-		(*fr)[i] = complex(v, 0)
-	}
-	p.Forward(*fx)
-	p.Forward(*fr)
+	n := corrFFTSize(len(x), len(ref))
+	p := realPlanFor(n)
+	h := p.SpectrumLen()
+	fx := getComplexPrefix(h, h)
+	fr := getComplexPrefix(h, h)
+	p.ForwardReal(*fx, x)
+	p.ForwardReal(*fr, ref)
+	// The cross-spectrum of two real signals is Hermitian, so the peak
+	// magnitude over the half spectrum is the peak over the full one.
 	maxMag := 0.0
 	for i, c := range *fr {
 		cs := (*fx)[i] * complex(real(c), -imag(c))
@@ -233,10 +245,7 @@ func GCCPhatInto(dst, x, ref []float64) []float64 {
 			(*fx)[i] = 0
 		}
 	}
-	p.Inverse(*fx)
-	for i := range dst {
-		dst[i] = real((*fx)[i])
-	}
+	p.InverseReal(dst, *fx)
 	putComplex(fx)
 	putComplex(fr)
 	return dst
@@ -248,13 +257,20 @@ func EnvelopeInto(dst, x []float64) []float64 {
 	if len(x) == 0 {
 		return dst[:0]
 	}
-	n := NextPow2(len(x))
-	p := planFor(n)
-	c := getComplex(n)
-	for i, v := range x {
-		(*c)[i] = complex(v, 0)
+	if len(x) == 1 {
+		dst = resizeF64(dst, 1)
+		dst[0] = math.Abs(x[0])
+		return dst
 	}
-	p.Forward(*c)
+	n := NextPow2(len(x))
+	// The forward transform runs on the packed real path (half the work);
+	// the inverse must stay full-size complex because the analytic signal
+	// itself is complex. The half spectrum is computed directly into the
+	// low bins of the full-size buffer, then expanded in place.
+	rp := realPlanFor(n)
+	h := rp.SpectrumLen()
+	c := getComplexPrefix(n, n)
+	rp.ForwardReal((*c)[:h], x)
 	// Analytic signal: keep DC and Nyquist, double positive frequencies,
 	// zero negatives.
 	for i := 1; i < n/2; i++ {
@@ -263,7 +279,7 @@ func EnvelopeInto(dst, x []float64) []float64 {
 	for i := n/2 + 1; i < n; i++ {
 		(*c)[i] = 0
 	}
-	p.Inverse(*c)
+	planFor(n).Inverse(*c)
 	dst = resizeF64(dst, len(x))
 	for i := range dst {
 		dst[i] = math.Hypot(real((*c)[i]), imag((*c)[i]))
@@ -273,15 +289,16 @@ func EnvelopeInto(dst, x []float64) []float64 {
 }
 
 // Correlator cross-correlates many signals against one fixed reference
-// template, caching the template's conjugated spectrum per transform size.
-// This is the matched-filter object a detector holds: signal lengths repeat
-// (stream blocks, fixed recording windows), so after warm-up each call runs
-// one forward FFT instead of two. Safe for concurrent use.
+// template, caching the template's conjugated half spectrum per transform
+// size. This is the matched-filter object a detector holds: signal lengths
+// repeat (stream blocks, fixed recording windows), so after warm-up each
+// call runs one forward real FFT instead of two, and the cached spectrum
+// occupies n/2+1 bins instead of n. Safe for concurrent use.
 type Correlator struct {
 	ref []float64
 
 	mu   sync.RWMutex
-	spec map[int][]complex128 // size -> conj(FFT(zero-padded ref))
+	spec map[int][]complex128 // size -> conj(RFFT(zero-padded ref)), n/2+1 bins
 }
 
 // NewCorrelator builds a Correlator for the given reference template. The
@@ -295,8 +312,8 @@ func NewCorrelator(ref []float64) *Correlator {
 // RefLen returns the template length.
 func (c *Correlator) RefLen() int { return len(c.ref) }
 
-// spectrum returns the cached conjugated reference spectrum at size n,
-// computing it on first use.
+// spectrum returns the cached conjugated reference half spectrum at real
+// transform size n, computing it on first use.
 func (c *Correlator) spectrum(n int) []complex128 {
 	c.mu.RLock()
 	s, ok := c.spec[n]
@@ -309,11 +326,9 @@ func (c *Correlator) spectrum(n int) []complex128 {
 	if s, ok := c.spec[n]; ok {
 		return s
 	}
-	s = make([]complex128, n)
-	for i, v := range c.ref {
-		s[i] = complex(v, 0)
-	}
-	planFor(n).Forward(s)
+	p := realPlanFor(n)
+	s = make([]complex128, p.SpectrumLen())
+	p.ForwardReal(s, c.ref)
 	for i, v := range s {
 		s[i] = complex(real(v), -imag(v))
 	}
@@ -327,24 +342,52 @@ func (c *Correlator) CrossCorrelateInto(dst, x []float64) []float64 {
 	if len(x) == 0 || len(c.ref) == 0 {
 		return dst[:0]
 	}
-	n := NextPow2(len(x) + len(c.ref))
-	p := planFor(n)
+	n := corrFFTSize(len(x), len(c.ref))
+	dst = resizeF64(dst, len(x))
+	c.correlateAt(dst, x, n)
+	return dst
+}
+
+// correlateAt runs one n-point circular matched-filter pass: the first
+// len(dst) lags of IFFT(RFFT(x)·conj(RFFT(ref))) at real transform size n.
+// When n ≥ len(x)+RefLen()-1 the circularity never wraps and the output is
+// the linear correlation (CrossCorrelateInto); overlap-save callers pick a
+// smaller fixed n and read only the alias-free prefix.
+func (c *Correlator) correlateAt(dst, x []float64, n int) {
+	p := realPlanFor(n)
 	spec := c.spectrum(n)
-	fx := getComplex(n)
-	for i, v := range x {
-		(*fx)[i] = complex(v, 0)
-	}
-	p.Forward(*fx)
+	h := p.SpectrumLen()
+	fx := getComplexPrefix(h, h)
+	p.ForwardReal(*fx, x)
 	for i, s := range spec {
 		(*fx)[i] *= s
 	}
-	p.Inverse(*fx)
-	dst = resizeF64(dst, len(x))
-	for i := range dst {
-		dst[i] = real((*fx)[i])
-	}
+	p.InverseReal(dst, *fx)
 	putComplex(fx)
-	return dst
+}
+
+// CorrelateCircularInto computes dst[i] = Σ_j x[i+j]·ref[j] for lags i in
+// [0, len(dst)) with one n-point circular correlation (n a power of two,
+// len(x) ≤ n). The lags are alias-free only while i+RefLen()-1 stays below
+// n, so len(dst) must not exceed n-RefLen()+1 — the overlap-save step. A
+// streaming matched filter slides x forward by that step between calls and
+// reuses one fixed transform size, so the template spectrum is computed
+// exactly once for the whole stream.
+func (c *Correlator) CorrelateCircularInto(dst, x []float64, n int) {
+	if len(dst) == 0 {
+		return
+	}
+	if !IsPow2(n) || n < 2 {
+		panic(fmt.Sprintf("dsp: circular correlation size %d is not a power of two ≥ 2", n))
+	}
+	if len(x) > n {
+		panic(fmt.Sprintf("dsp: circular correlation input %d exceeds transform size %d", len(x), n))
+	}
+	if step := n - len(c.ref) + 1; len(dst) > step {
+		panic(fmt.Sprintf("dsp: circular correlation output %d exceeds alias-free step %d (n=%d, ref=%d)",
+			len(dst), step, n, len(c.ref)))
+	}
+	c.correlateAt(dst, x, n)
 }
 
 // CrossCorrelate computes CrossCorrelate(x, ref) using the cached

@@ -1,0 +1,168 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// RealPlan is the real-input fast path of the FFT layer: an N-point
+// transform of real samples computed with a single N/2-point complex FFT
+// plus an O(N) split/merge pass. Every hot DSP kernel in this package
+// (matched filter, GCC-PHAT, Hilbert envelope, FFT convolution) consumes
+// real audio, so packing adjacent sample pairs x[2k], x[2k+1] into one
+// complex value halves both the transform work and the bytes moved
+// through the butterflies.
+//
+// The spectrum of a real signal is Hermitian (X[N-k] = conj(X[k])), so
+// only the half spectrum X[0..N/2] — SpectrumLen() == N/2+1 bins — is
+// ever materialized. X[0] (DC) and X[N/2] (Nyquist) are real.
+//
+// Like Plan, a RealPlan is immutable after construction, cached per size,
+// and safe for concurrent use.
+type RealPlan struct {
+	n    int   // real transform length (power of two, ≥ 2)
+	half *Plan // complex plan of size n/2
+	// w[k] = exp(-2πik/n) for k in [0, n/4]: the post-FFT merge twiddles.
+	// Only the first quadrant is stored; the pair loop walks k and n/2-k
+	// together and derives the mirrored twiddle by symmetry.
+	w []complex128
+}
+
+// realPlanCache maps real transform size -> *RealPlan (same rationale as
+// planCache: sizes repeat per template/recording length).
+var realPlanCache sync.Map
+
+// RealPlanFor returns the shared real-FFT plan for size n (a power of two,
+// at least 2).
+func RealPlanFor(n int) (*RealPlan, error) {
+	if !IsPow2(n) || n < 2 {
+		return nil, fmt.Errorf("dsp: real FFT plan size %d is not a power of two ≥ 2", n)
+	}
+	if v, ok := realPlanCache.Load(n); ok {
+		return v.(*RealPlan), nil
+	}
+	v, _ := realPlanCache.LoadOrStore(n, newRealPlan(n))
+	return v.(*RealPlan), nil
+}
+
+// realPlanFor is RealPlanFor for callers that have already validated n.
+func realPlanFor(n int) *RealPlan {
+	p, err := RealPlanFor(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func newRealPlan(n int) *RealPlan {
+	m := n / 2
+	p := &RealPlan{n: n, half: planFor(m)}
+	p.w = make([]complex128, m/2+1)
+	for k := range p.w {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		p.w[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return p
+}
+
+// Size returns the real transform length the plan was built for.
+func (p *RealPlan) Size() int { return p.n }
+
+// SpectrumLen returns the half-spectrum length n/2+1 (bins 0..Nyquist).
+func (p *RealPlan) SpectrumLen() int { return p.n/2 + 1 }
+
+// ForwardReal computes the half spectrum of the real signal x into spec.
+// len(spec) must be SpectrumLen(); len(x) may be at most Size() — shorter
+// inputs are implicitly zero-padded, so callers never materialize a padded
+// copy. spec[0] and spec[n/2] come out with zero imaginary parts.
+func (p *RealPlan) ForwardReal(spec []complex128, x []float64) {
+	m := p.n / 2
+	if len(spec) != m+1 {
+		panic(fmt.Sprintf("dsp: real plan size %d needs a %d-bin spectrum, got %d", p.n, m+1, len(spec)))
+	}
+	if len(x) > p.n {
+		panic(fmt.Sprintf("dsp: real plan size %d applied to %d samples", p.n, len(x)))
+	}
+	// Pack x[2k] + i·x[2k+1] into spec[0:m]. Full pairs first, then the
+	// straddling pair and the zero tail, so every element is written and
+	// the buffer needs no pre-clearing.
+	full := len(x) / 2
+	for k := 0; k < full; k++ {
+		spec[k] = complex(x[2*k], x[2*k+1])
+	}
+	tail := full
+	if len(x)%2 == 1 {
+		spec[full] = complex(x[len(x)-1], 0)
+		tail++
+	}
+	for k := tail; k < m; k++ {
+		spec[k] = 0
+	}
+	p.half.Forward(spec[:m])
+
+	// Split Z[k] = FFT(z) into the even/odd-sample spectra and merge:
+	//   E[k] = (Z[k] + conj(Z[m-k]))/2
+	//   O[k] = (Z[k] - conj(Z[m-k]))/(2i)
+	//   X[k]   = E[k] + W^k·O[k]
+	//   X[m-k] = conj(E[k] - W^k·O[k])      (W = exp(-2πi/n))
+	z0 := spec[0]
+	spec[0] = complex(real(z0)+imag(z0), 0)
+	spec[m] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k <= m/2; k++ {
+		j := m - k
+		a, b := spec[k], spec[j]
+		er := 0.5 * (real(a) + real(b))
+		ei := 0.5 * (imag(a) - imag(b))
+		or := 0.5 * (imag(a) + imag(b))
+		oi := 0.5 * (real(b) - real(a))
+		wr, wi := real(p.w[k]), imag(p.w[k])
+		tr := wr*or - wi*oi
+		ti := wr*oi + wi*or
+		spec[k] = complex(er+tr, ei+ti)
+		spec[j] = complex(er-tr, ti-ei)
+	}
+}
+
+// InverseReal reconstructs the leading len(dst) samples of the real signal
+// whose half spectrum is spec (len SpectrumLen()), including the 1/N
+// scaling. len(dst) may be at most Size(); correlation callers only ever
+// need the first len(x) lags, so the trailing zero-padding region is never
+// written. spec is used as scratch and destroyed.
+func (p *RealPlan) InverseReal(dst []float64, spec []complex128) {
+	m := p.n / 2
+	if len(spec) != m+1 {
+		panic(fmt.Sprintf("dsp: real plan size %d needs a %d-bin spectrum, got %d", p.n, m+1, len(spec)))
+	}
+	if len(dst) > p.n {
+		panic(fmt.Sprintf("dsp: real plan size %d asked for %d samples", p.n, len(dst)))
+	}
+	// Merge the half spectrum back into the packed form Z[k] = E[k]+i·O[k]
+	// (the exact inverse of the ForwardReal split):
+	//   E[k]     = (X[k] + conj(X[m-k]))/2
+	//   W^k·O[k] = (X[k] - conj(X[m-k]))/2
+	x0, xm := real(spec[0]), real(spec[m])
+	spec[0] = complex(0.5*(x0+xm), 0.5*(x0-xm))
+	for k := 1; k <= m/2; k++ {
+		j := m - k
+		a, b := spec[k], spec[j]
+		er := 0.5 * (real(a) + real(b))
+		ei := 0.5 * (imag(a) - imag(b))
+		tr := 0.5 * (real(a) - real(b))
+		ti := 0.5 * (imag(a) + imag(b))
+		// O[k] = conj(W^k)·(W^k·O[k])
+		wr, wi := real(p.w[k]), imag(p.w[k])
+		or := wr*tr + wi*ti
+		oi := wr*ti - wi*tr
+		// Z[k] = E + i·O; Z[m-k] = conj(E) + i·conj(O).
+		spec[k] = complex(er-oi, ei+or)
+		spec[j] = complex(er+oi, or-ei)
+	}
+	p.half.Inverse(spec[:m])
+	for k := 0; 2*k < len(dst); k++ {
+		dst[2*k] = real(spec[k])
+		if 2*k+1 < len(dst) {
+			dst[2*k+1] = imag(spec[k])
+		}
+	}
+}
