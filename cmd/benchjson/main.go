@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -121,7 +122,9 @@ func parseBenchLine(line string) (Result, bool) {
 	seen := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
+		if err != nil || math.IsNaN(val) || math.IsInf(val, 0) {
+			// A non-finite measurement would round-trip through the
+			// JSON snapshot as an unmarshalable token; drop the line.
 			return Result{}, false
 		}
 		switch unit := fields[i+1]; unit {

@@ -1,0 +1,202 @@
+// Command hyperearvet is the repo's domain-specific vet: a
+// multichecker of five analyzers guarding invariants go vet cannot see
+// (see DESIGN.md "Static analysis").
+//
+//	poolleak   pooled scratch must not escape its borrowing function
+//	obsnil     obs handles only via the nil-safe wrapper API
+//	unitmix    no samples/seconds/Hz/meters arithmetic without conversion
+//	floatguard no float ==/!= outside epsilon helpers; NaN/Inf rejected at ingestion
+//	detrand    simulation packages use injected seeded randomness only
+//
+// Standalone (what `make lint` runs):
+//
+//	hyperearvet ./...
+//
+// It also speaks the go vet driver protocol, so after `go build -o
+// $GOBIN/hyperearvet ./cmd/hyperearvet` it can run as
+//
+//	go vet -vettool=$(which hyperearvet) ./...
+//
+// Findings are suppressed by an inline annotation on the offending
+// line or the line above, justification mandatory:
+//
+//	//hyperearvet:allow <rule> <justification>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"hyperear/internal/analysis"
+	"hyperear/internal/analysis/detrand"
+	"hyperear/internal/analysis/floatguard"
+	"hyperear/internal/analysis/obsnil"
+	"hyperear/internal/analysis/poolleak"
+	"hyperear/internal/analysis/unitmix"
+)
+
+var all = []*analysis.Analyzer{
+	detrand.Analyzer,
+	floatguard.Analyzer,
+	obsnil.Analyzer,
+	poolleak.Analyzer,
+	unitmix.Analyzer,
+}
+
+const version = "hyperearvet version v1.0.0"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hyperearvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	vFlag := fs.String("V", "", "print version and exit (go vet driver handshake)")
+	flagsDump := fs.Bool("flags", false, "print the tool's flag definitions as JSON (go vet driver handshake)")
+	tests := fs.Bool("tests", true, "also lint _test.go files")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	dir := fs.String("C", ".", "module directory to analyze from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *vFlag != "" {
+		// `go vet -vettool` probes the tool with -V=full and caches on
+		// the reply before handing it package configs.
+		fmt.Fprintln(stdout, version)
+		return 0
+	}
+	if *flagsDump {
+		// The driver also asks which analyzer flags the tool exposes;
+		// none are forwarded, so reply with an empty set.
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetTool(rest[0], stderr)
+	}
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, *dir, *tests, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "hyperearvet:", err)
+		return 2
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(stderr, "hyperearvet: warning: %s: %v\n", p.PkgPath, terr)
+		}
+	}
+	findings, err := analysis.Run(fset, pkgs, all)
+	if err != nil {
+		fmt.Fprintln(stderr, "hyperearvet:", err)
+		return 2
+	}
+	return report(findings, *jsonOut, stdout)
+}
+
+func report(findings []analysis.Finding, asJSON bool, out io.Writer) int {
+	if asJSON {
+		type jf struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		}
+		var js []jf
+		for _, f := range findings {
+			js = append(js, jf{f.Position.Filename, f.Position.Line, f.Position.Column, f.Rule, f.Message})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		enc.Encode(js)
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the per-package JSON config the go vet driver hands a
+// -vettool (the same schema x/tools/go/analysis/unitchecker consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes the single package described by cfgPath. The
+// driver expects a facts file at VetxOutput (we keep no cross-package
+// facts, so it is empty), diagnostics on stderr, and a non-zero exit
+// when any are found.
+func runVetTool(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "hyperearvet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "hyperearvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(stderr, "hyperearvet:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	pkg, err := analysis.CheckVetPackage(fset, cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "hyperearvet: %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	findings, err := analysis.Run(fset, []*analysis.Package{pkg}, all)
+	if err != nil {
+		fmt.Fprintln(stderr, "hyperearvet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

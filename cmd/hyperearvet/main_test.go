@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestStandaloneFindsSeededViolations runs the multichecker over the
+// fixture module and checks both rules fire with exit code 1.
+func TestStandaloneFindsSeededViolations(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "vetmod"), "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	for _, wantSub := range []string{
+		"[floatguard] == on floating-point operands",
+		"[unitmix] durSamples (samples) + durSec (sec) mixes unit families",
+	} {
+		if !strings.Contains(got, wantSub) {
+			t.Errorf("output missing %q:\n%s", wantSub, got)
+		}
+	}
+	if n := strings.Count(got, "\n"); n != 2 {
+		t.Errorf("want exactly 2 findings, got %d:\n%s", n, got)
+	}
+}
+
+// TestStandaloneCleanTree asserts the repo itself lints clean — the
+// same gate `make lint` enforces, kept inside the test suite so plain
+// `go test ./...` catches new violations too.
+func TestStandaloneCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-C", filepath.Join("..", ".."), "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-V=full"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.HasPrefix(out.String(), "hyperearvet version ") {
+		t.Fatalf("handshake reply %q lacks 'hyperearvet version ' prefix", out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"poolleak", "obsnil", "unitmix", "floatguard", "detrand"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestGoVetVettool builds the binary and drives it through the real
+// `go vet -vettool=` protocol against the fixture module.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and runs go vet")
+	}
+	bin := filepath.Join(t.TempDir(), "hyperearvet")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building hyperearvet: %v\n%s", err, out)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = filepath.Join("testdata", "vetmod")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool succeeded on a dirty module\n%s", out)
+	}
+	for _, wantSub := range []string{"[floatguard]", "[unitmix]"} {
+		if !strings.Contains(string(out), wantSub) {
+			t.Errorf("go vet output missing %q:\n%s", wantSub, out)
+		}
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}

@@ -1,0 +1,12 @@
+// Package vetmod is a fixture module with one deliberate violation per
+// quick-to-trigger rule, driven by hyperearvet's own end-to-end test.
+package vetmod
+
+// FloatEq trips floatguard.
+func FloatEq(x, y float64) bool { return x == y }
+
+// MixUnits trips unitmix.
+func MixUnits(durSamples, durSec float64) float64 { return durSamples + durSec }
+
+// Clean is fine and must produce no findings.
+func Clean(n int) int { return n * 2 }

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"hyperear"
@@ -45,6 +46,9 @@ func run(args []string) error {
 	metrics := fs.Bool("metrics", false, "print the metrics snapshot (reason-coded counters, stage timings) after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !(*dist > 0) || math.IsInf(*dist, 0) {
+		return fmt.Errorf("-dist must be a positive finite distance, got %v", *dist)
 	}
 
 	var phone hyperear.Phone

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"hyperear"
@@ -42,6 +43,12 @@ func run(args []string) error {
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")
+	}
+	if !(*dist > 0) || math.IsInf(*dist, 0) {
+		return fmt.Errorf("-dist must be a positive finite distance, got %v", *dist)
+	}
+	if math.IsNaN(*snr) || math.IsInf(*snr, 0) {
+		return fmt.Errorf("-snr must be finite, got %v", *snr)
 	}
 
 	var phone hyperear.Phone

@@ -1,0 +1,108 @@
+// Package analysis is a stdlib-only reimplementation of the slice of
+// golang.org/x/tools/go/analysis that the hyperearvet lint suite needs:
+// an Analyzer value (name, doc, Run func), a per-package Pass carrying
+// parsed files plus full go/types information, and plain Diagnostics.
+//
+// The x/tools module is deliberately not a dependency: the build
+// environment is offline, so the loader (load.go) recovers type
+// information from the toolchain's own export data via
+// `go list -export` and go/importer instead of go/packages.
+//
+// Analyzer authors get the same shape they would upstream: walk
+// pass.Files, consult pass.TypesInfo, call pass.Reportf. Suppression
+// comments (suppress.go) are applied centrally by Run (run.go), never
+// by individual analyzers.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one named invariant check.
+type Analyzer struct {
+	// Name is the short rule name used in diagnostics
+	// ("poolleak") and in hyperearvet:allow suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and types to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package object.
+	Pkg *types.Package
+	// TypesInfo has Types, Defs, Uses and Selections filled in.
+	TypesInfo *types.Info
+	// PkgPath is the package's import path. Test variants keep the
+	// plain path ("hyperear/internal/obs", not the bracketed go list
+	// display form).
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Rule    string
+	Message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Rule: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// FuncHasDirective reports whether the function declaration's doc
+// comment carries the given //hyperearvet:<name> marker directive
+// (e.g. "pooled", "epsilon").
+func (p *Pass) FuncHasDirective(fn *ast.FuncDecl, name string) bool {
+	if fn == nil || fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if directiveName(c.Text) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgHasDirective reports whether any file in the package carries a
+// package-scoped //hyperearvet:<name> directive in its package doc or
+// as a standalone comment.
+func (p *Pass) PkgHasDirective(name string) bool {
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if directiveName(c.Text) == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// directiveName extracts "<name>" from a "//hyperearvet:<name> ..."
+// comment, or returns "".
+func directiveName(text string) string {
+	rest, ok := strings.CutPrefix(text, "//"+directivePrefix)
+	if !ok {
+		return ""
+	}
+	name, _, _ := strings.Cut(rest, " ")
+	return strings.TrimSpace(name)
+}
+
+const directivePrefix = "hyperearvet:"

@@ -1,0 +1,262 @@
+// Package analysistest runs an analyzer over self-contained testdata
+// packages and checks its diagnostics against // want comments, the
+// same contract as golang.org/x/tools/go/analysis/analysistest:
+//
+//	testdata/src/<pkgpath>/*.go
+//
+// A line expecting diagnostics carries one or more quoted regexps:
+//
+//	x := durSamples + durSec // want `mixes unit families`
+//
+// Every diagnostic must be matched by a want on its line, and every
+// want must be matched by a diagnostic; suppression comments
+// (//hyperearvet:allow) are honored before matching so suppressed
+// negatives can be tested.
+//
+// Imports inside testdata resolve first against sibling testdata
+// packages (so stubs like hyperear/internal/obs can be provided) and
+// then against the real toolchain's export data via `go list -export`.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hyperear/internal/analysis"
+)
+
+// Run analyzes each named package under dir/src and reports mismatches
+// against its // want comments via t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		srcRoot: filepath.Join(dir, "src"),
+		local:   map[string]*localPkg{},
+		exports: map[string]string{},
+	}
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading testdata package %s: %v", path, err)
+		}
+		for _, err := range pkg.typeErrs {
+			t.Errorf("testdata package %s: type error: %v", path, err)
+		}
+		findings, err := analysis.Run(fset, []*analysis.Package{{
+			PkgPath:   path,
+			Dir:       filepath.Join(ld.srcRoot, path),
+			Files:     pkg.files,
+			Pkg:       pkg.pkg,
+			TypesInfo: pkg.info,
+		}}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkWants(t, fset, pkg.files, findings)
+	}
+}
+
+// want is one expectation parsed from a // want comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	met  bool
+}
+
+var wantRe = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(c.Text[idx+len("// want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: pat})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == f.Position.Filename && w.line == f.Position.Line && w.re.MatchString(f.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}
+
+// loader resolves testdata packages and their stdlib dependencies.
+type loader struct {
+	fset    *token.FileSet
+	srcRoot string
+	local   map[string]*localPkg
+	exports map[string]string
+}
+
+type localPkg struct {
+	files    []*ast.File
+	pkg      *types.Package
+	info     *types.Info
+	typeErrs []error
+}
+
+func (l *loader) load(path string) (*localPkg, error) {
+	if p, ok := l.local[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var imports []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports = append(imports, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	// Resolve stdlib imports (anything not present under srcRoot) to
+	// export data in one go list call per package set.
+	var std []string
+	for _, imp := range imports {
+		if _, err := os.Stat(filepath.Join(l.srcRoot, imp)); err != nil {
+			if _, ok := l.exports[imp]; !ok {
+				std = append(std, imp)
+			}
+		}
+	}
+	if len(std) > 0 {
+		if err := l.loadExports(std); err != nil {
+			return nil, err
+		}
+	}
+
+	p := &localPkg{info: &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}}
+	l.local[path] = p // pre-register to tolerate accidental cycles
+	conf := types.Config{
+		Importer: &testImporter{l: l},
+		Error:    func(err error) { p.typeErrs = append(p.typeErrs, err) },
+	}
+	p.pkg, _ = conf.Check(path, l.fset, files, p.info)
+	p.files = files
+	return p, nil
+}
+
+// loadExports fills l.exports for the given stdlib import paths and
+// their dependencies.
+func (l *loader) loadExports(paths []string) error {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list %v: %v\n%s", paths, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// testImporter resolves imports against testdata siblings first, then
+// toolchain export data.
+type testImporter struct {
+	l  *loader
+	gc types.Importer
+}
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(ti.l.srcRoot, path)); err == nil {
+		p, err := ti.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p.pkg == nil {
+			return nil, fmt.Errorf("testdata package %s failed to type-check", path)
+		}
+		return p.pkg, nil
+	}
+	if ti.gc == nil {
+		ti.gc = importer.ForCompiler(ti.l.fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := ti.l.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		})
+	}
+	return ti.gc.Import(path)
+}

@@ -1,0 +1,166 @@
+// Package detrand defines an analyzer keeping the simulation packages
+// deterministic: experiments must replay bit-for-bit from a scenario
+// seed, so internal/sim, internal/room, internal/imu and internal/mic
+// (plus any package opting in with a //hyperearvet:deterministic
+// comment) may only draw randomness from an injected *rand.Rand.
+//
+// Inside the deterministic scope the analyzer flags:
+//
+//   - math/rand (and math/rand/v2) package-level convenience functions
+//     (rand.Float64, rand.Intn, rand.Shuffle, ...): they read the
+//     global, process-wide source;
+//   - rand.Seed: mutates global state;
+//   - crypto/rand: never deterministic;
+//   - time-seeded sources: time.Now / os.Getpid inside rand.New or
+//     rand.NewSource arguments.
+//
+// Constructing a seeded generator (rand.New(rand.NewSource(seed))) is
+// the approved pattern and passes.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hyperear/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "simulation packages draw randomness only from injected, seed-constructed sources",
+	Run:  run,
+}
+
+// scopeSuffixes are the import-path suffixes of the packages under the
+// determinism contract.
+var scopeSuffixes = []string{
+	"internal/sim",
+	"internal/room",
+	"internal/imu",
+	"internal/mic",
+}
+
+// globalFns are math/rand package-level functions that read or mutate
+// the shared global source. New/NewSource/NewZipf construct explicit
+// sources and are allowed.
+var globalFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true,
+	"ExpFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "UintN": true,
+	"Uint": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Resolve which local names refer to the rand packages in this
+		// file (imports may be renamed).
+		randNames, cryptoPos := randImports(f)
+		if cryptoPos != token.NoPos {
+			pass.Reportf(cryptoPos, "crypto/rand in a deterministic simulation package; inject a seeded *rand.Rand instead")
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || !randNames[pkgID.Name] {
+				return true
+			}
+			// Confirm the identifier really is the package import, not
+			// a shadowing local (e.g. a *rand.Rand named "rand").
+			if _, isPkg := pass.TypesInfo.Uses[pkgID].(*types.PkgName); !isPkg {
+				return true
+			}
+			name := sel.Sel.Name
+			if globalFns[name] {
+				pass.Reportf(call.Pos(), "%s.%s uses the global math/rand source; inject a seeded *rand.Rand for reproducibility", pkgID.Name, name)
+				return true
+			}
+			if name == "New" || name == "NewSource" || name == "NewPCG" || name == "NewChaCha8" {
+				for _, arg := range call.Args {
+					if pos := nondeterministicSeed(arg); pos != token.NoPos {
+						pass.Reportf(pos, "time/process-seeded randomness breaks scenario replay; derive the seed from the scenario instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func inScope(pass *analysis.Pass) bool {
+	for _, s := range scopeSuffixes {
+		if strings.HasSuffix(pass.PkgPath, s) || strings.HasSuffix(pass.PkgPath, s+"_test") {
+			return true
+		}
+	}
+	return pass.PkgHasDirective("deterministic")
+}
+
+// randImports returns the local names bound to math/rand and
+// math/rand/v2 in the file, and the position of a crypto/rand import
+// if present (token.NoPos otherwise).
+func randImports(f *ast.File) (names map[string]bool, cryptoPos token.Pos) {
+	names = map[string]bool{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		local := ""
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		switch path {
+		case "math/rand", "math/rand/v2":
+			if local == "" {
+				local = "rand"
+			}
+			names[local] = true
+		case "crypto/rand":
+			cryptoPos = imp.Path.Pos()
+		}
+	}
+	return names, cryptoPos
+}
+
+// nondeterministicSeed returns the position of a call to time.Now,
+// os.Getpid or similar wall-clock/process state inside the seed
+// expression, or token.NoPos.
+func nondeterministicSeed(e ast.Expr) token.Pos {
+	found := token.NoPos
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch pkg.Name + "." + sel.Sel.Name {
+		case "time.Now", "os.Getpid", "os.Getppid":
+			found = call.Pos()
+			return false
+		}
+		return true
+	})
+	return found
+}

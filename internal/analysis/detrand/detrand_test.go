@@ -1,0 +1,20 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"hyperear/internal/analysis/analysistest"
+	"hyperear/internal/analysis/detrand"
+)
+
+func TestDetrandScoped(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "hyperear/internal/sim")
+}
+
+func TestDetrandOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "a")
+}
+
+func TestDetrandDirectiveOptIn(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "d")
+}

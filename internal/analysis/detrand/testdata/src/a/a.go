@@ -1,0 +1,7 @@
+// Package a is outside the deterministic scope: global rand is allowed
+// here and detrand must stay silent.
+package a
+
+import "math/rand"
+
+func draw() float64 { return rand.Float64() }

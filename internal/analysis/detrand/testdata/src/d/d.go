@@ -1,0 +1,11 @@
+// Package d opts into the determinism contract by directive rather
+// than by import path.
+//
+//hyperearvet:deterministic
+package d
+
+import "math/rand"
+
+func draw() float64 {
+	return rand.Float64() // want `rand.Float64 uses the global math/rand source`
+}

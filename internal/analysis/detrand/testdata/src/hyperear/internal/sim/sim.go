@@ -1,0 +1,39 @@
+// Package sim stands in for the real simulation package: its import
+// path suffix puts it inside detrand's deterministic scope.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Scenario carries the seed every random draw must derive from.
+type Scenario struct{ Seed int64 }
+
+// ok: the approved pattern — a generator built from the scenario seed.
+func seeded(sc Scenario) *rand.Rand {
+	return rand.New(rand.NewSource(sc.Seed))
+}
+
+// ok: drawing from an injected generator.
+func jitter(rng *rand.Rand) float64 {
+	return rng.Float64()
+}
+
+func globalDraw() float64 {
+	return rand.Float64() // want `rand.Float64 uses the global math/rand source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the global math/rand source`
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `time/process-seeded randomness breaks scenario replay`
+}
+
+// suppressed: a documented escape hatch.
+func suppressedDraw() float64 {
+	//hyperearvet:allow detrand load-shedding jitter outside the replayed physics; never feeds the scenario
+	return rand.Float64()
+}

@@ -1,0 +1,196 @@
+// Package floatguard defines an analyzer policing float equality and
+// float ingestion.
+//
+// Rule 1 — equality: == and != on floating-point (or float-bearing
+// struct) operands is flagged, with three documented exemptions that
+// cover the repo's deliberate exact comparisons:
+//
+//   - zero sentinels: `x == 0` and `cfg == (Config{})` test "unset" or
+//     guard a division, and comparing against exact zero is
+//     well-defined in IEEE 754;
+//   - self-comparison: `x != x` is the NaN idiom;
+//   - epsilon helpers: functions marked //hyperearvet:epsilon (the
+//     approved approximate comparators) may compare however they like.
+//
+// Test files are skipped: determinism regression tests compare exact
+// float outputs on purpose.
+//
+// Rule 2 — ingestion: a package that reads floats from the outside
+// world (flag.Float64, Float64Var, strconv.ParseFloat) must mention
+// math.IsNaN or math.IsInf somewhere in its non-test files, extending
+// the NewLocalizer validation convention: `-dist NaN` must die at the
+// flag boundary, not propagate into the pipeline.
+package floatguard
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hyperear/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatguard",
+	Doc:  "no ==/!= on computed floats outside epsilon helpers; float ingestion must reject NaN/Inf",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	ingest := checkEquality(pass)
+	checkIngestion(pass, ingest)
+	return nil
+}
+
+// checkEquality walks non-test files flagging float equality, and
+// collects float-ingestion call sites for the package-level NaN/Inf
+// check on the way (they share the file walk). It returns the
+// ingestion sites unless the package already guards with
+// math.IsNaN/IsInf, in which case it returns nil.
+func checkEquality(pass *analysis.Pass) []ingestion {
+	var sites []ingestion
+	guarded := false
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, isFunc := d.(*ast.FuncDecl)
+			if isFunc && pass.FuncHasDirective(fn, "epsilon") {
+				continue
+			}
+			ast.Inspect(d, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.BinaryExpr:
+					checkCmp(pass, e)
+				case *ast.CallExpr:
+					if name, ok := ingestionCall(pass, e); ok {
+						sites = append(sites, ingestion{pos: e.Pos(), name: name})
+					}
+					if isNaNGuard(pass, e) {
+						guarded = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if guarded {
+		return nil
+	}
+	return sites
+}
+
+func checkCmp(pass *analysis.Pass, e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	tx := pass.TypesInfo.Types[e.X]
+	ty := pass.TypesInfo.Types[e.Y]
+	if !floatBearing(tx.Type) && !floatBearing(ty.Type) {
+		return
+	}
+	if isZero(tx) || isZero(ty) || isZeroComposite(e.X) || isZeroComposite(e.Y) {
+		return
+	}
+	if types.ExprString(e.X) == types.ExprString(e.Y) {
+		return // x != x NaN idiom
+	}
+	pass.Reportf(e.OpPos, "%s on floating-point operands; use an epsilon comparison (//hyperearvet:epsilon helper) or annotate the exact compare", e.Op)
+}
+
+// floatBearing reports whether t is a float/complex scalar, or a
+// struct/array whose comparison would compare floats memberwise.
+func floatBearing(t types.Type) bool {
+	return floatBearingDepth(t, 0)
+}
+
+func floatBearingDepth(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if floatBearingDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return floatBearingDepth(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// isZero reports whether the operand is a compile-time numeric zero.
+func isZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float, constant.Complex:
+		v, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+		return ok && v == 0
+	}
+	return false
+}
+
+// isZeroComposite reports whether the operand is an empty composite
+// literal `T{}`, the zero-value sentinel for struct comparisons.
+func isZeroComposite(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.CompositeLit)
+	return ok && len(lit.Elts) == 0
+}
+
+type ingestion struct {
+	pos  token.Pos
+	name string
+}
+
+// ingestionCall matches flag.Float64 / (*flag.FlagSet).Float64 /
+// ...Float64Var and strconv.ParseFloat.
+func ingestionCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	pkg := calleePkgPath(pass, sel)
+	switch {
+	case pkg == "flag" && (name == "Float64" || name == "Float64Var"):
+		return "flag." + name, true
+	case pkg == "strconv" && name == "ParseFloat":
+		return "strconv.ParseFloat", true
+	}
+	return "", false
+}
+
+// isNaNGuard matches math.IsNaN / math.IsInf calls.
+func isNaNGuard(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	return calleePkgPath(pass, sel) == "math" && (name == "IsNaN" || name == "IsInf")
+}
+
+// calleePkgPath resolves the defining package path of a selector's
+// method or function, covering both pkg.Func and value.Method forms.
+func calleePkgPath(pass *analysis.Pass, sel *ast.SelectorExpr) string {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+func checkIngestion(pass *analysis.Pass, sites []ingestion) {
+	for _, s := range sites {
+		pass.Reportf(s.pos, "%s ingests a float but package %s never calls math.IsNaN/math.IsInf; reject NaN/Inf at the boundary", s.name, pass.Pkg.Name())
+	}
+}

@@ -1,0 +1,16 @@
+package floatguard_test
+
+import (
+	"testing"
+
+	"hyperear/internal/analysis/analysistest"
+	"hyperear/internal/analysis/floatguard"
+)
+
+func TestFloatguardEquality(t *testing.T) {
+	analysistest.Run(t, "testdata", floatguard.Analyzer, "a")
+}
+
+func TestFloatguardIngestion(t *testing.T) {
+	analysistest.Run(t, "testdata", floatguard.Analyzer, "b", "c")
+}

@@ -1,0 +1,45 @@
+// Package a exercises floatguard's equality rule.
+package a
+
+// Peak is a float-bearing struct, so == compares floats memberwise.
+type Peak struct {
+	Lag  int
+	Corr float64
+}
+
+func compare(x, y float64, a, b Peak) {
+	_ = x == y // want `== on floating-point operands`
+	_ = x != y // want `!= on floating-point operands`
+	_ = a == b // want `== on floating-point operands`
+
+	// ok: zero sentinels are exact in IEEE 754.
+	_ = x == 0
+	_ = y != 0.0
+	_ = a == Peak{}
+
+	// ok: the NaN self-comparison idiom.
+	_ = x != x
+
+	// ok: integers.
+	_ = a.Lag == b.Lag
+}
+
+// approxEqual is the approved comparator; it may compare exactly to
+// short-circuit.
+//
+//hyperearvet:epsilon
+func approxEqual(x, y, tol float64) bool {
+	if x == y {
+		return true
+	}
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	return d < tol
+}
+
+func suppressedCompare(x, y float64) bool {
+	//hyperearvet:allow floatguard bit-exact golden comparison against a stored reference output
+	return x == y
+}

@@ -1,0 +1,8 @@
+// Package b ingests floats from flags without ever rejecting NaN/Inf.
+package b
+
+import "flag"
+
+func parseFlags(fs *flag.FlagSet) *float64 {
+	return fs.Float64("dist", 5, "distance") // want `flag.Float64 ingests a float but package b never calls math.IsNaN/math.IsInf`
+}

@@ -1,0 +1,20 @@
+// Package c ingests floats and rejects NaN/Inf at the boundary, so the
+// ingestion rule stays quiet.
+package c
+
+import (
+	"errors"
+	"math"
+	"strconv"
+)
+
+func parse(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, errors.New("non-finite input")
+	}
+	return v, nil
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// TypeErrors are non-fatal problems from go/types. The tree is
+	// expected to compile, so these normally indicate a loader gap;
+	// the driver surfaces them as warnings rather than findings.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	ForTest    string
+	Module     *struct{ Path string }
+}
+
+// Load enumerates, parses and type-checks the packages matched by
+// patterns (e.g. "./...") inside moduleDir. It shells out to
+// `go list -export -deps -json`, which both resolves build constraints
+// exactly as the toolchain does and compiles fresh export data for
+// every dependency, letting go/importer recover full type information
+// without a network or golang.org/x/tools.
+//
+// With includeTests set, test variants replace their plain package (the
+// variant's file list is a superset) and external _test packages are
+// loaded as their own entries, so *_test.go files are linted too.
+func Load(fset *token.FileSet, moduleDir string, includeTests bool, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, "-json=ImportPath,Dir,Name,Export,GoFiles,ImportMap,Standard,ForTest,Module")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var module []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module == nil || strings.HasSuffix(p.ImportPath, ".test") {
+			continue // stdlib dep or synthesized test main
+		}
+		q := p
+		module = append(module, &q)
+	}
+
+	// A test variant ("pkg [pkg.test]") compiles the plain package's
+	// files plus its _test.go files; analyzing both would duplicate
+	// every finding in the shared files, so the variant wins.
+	hasVariant := map[string]bool{}
+	for _, p := range module {
+		if p.ForTest != "" && basePath(p.ImportPath) == p.ForTest {
+			hasVariant[p.ForTest] = true
+		}
+	}
+
+	var pkgs []*Package
+	for _, p := range module {
+		if p.ForTest == "" && hasVariant[p.ImportPath] {
+			continue
+		}
+		pkg, err := check(fset, p, exports)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %v", p.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckVetPackage type-checks one package from the file lists a go vet
+// driver config provides (absolute GoFiles, ImportMap for test-variant
+// redirection, PackageFile mapping resolved import paths to export
+// data). It is the loading half of the -vettool protocol; Load is the
+// standalone equivalent.
+func CheckVetPackage(fset *token.FileSet, importPath string, goFiles []string, importMap, packageFile map[string]string) (*Package, error) {
+	p := &listPkg{
+		ImportPath: importPath,
+		GoFiles:    goFiles,
+		ImportMap:  importMap,
+	}
+	pkg, err := check(fset, p, packageFile)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return nil, pkg.TypeErrors[0]
+	}
+	return pkg, nil
+}
+
+// basePath strips go list's " [pkg.test]" display suffix.
+func basePath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// check parses and type-checks one package against the export data of
+// its dependencies.
+func check(fset *token.FileSet, p *listPkg, exports map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// The lookup func sees import paths as written in source; the
+	// package's ImportMap redirects them to test variants where the
+	// build graph demands it (an external _test package importing the
+	// package under test gets its test variant's export data).
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    importer.ForCompiler(fset, "gc", lookup),
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+		FakeImportC: true,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tpkg, _ := conf.Check(basePath(p.ImportPath), fset, files, info)
+	return &Package{
+		PkgPath:    basePath(p.ImportPath),
+		Dir:        p.Dir,
+		Files:      files,
+		Pkg:        tpkg,
+		TypesInfo:  info,
+		TypeErrors: typeErrs,
+	}, nil
+}

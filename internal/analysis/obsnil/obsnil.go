@@ -1,0 +1,249 @@
+// Package obsnil defines an analyzer guarding the observability layer's
+// core invariant: a nil *obs.Obs is a valid, zero-cost hook, and every
+// consumer must go through the nil-safe wrapper API.
+//
+// Outside the obs package it flags constructions and accesses that
+// bypass the wrappers:
+//
+//   - composite literals (obs.Obs{}, obs.Span{}, obs.Registry{}) and
+//     new(obs.Obs): obs.New normalizes both-nil to nil so the disabled
+//     path stays free, and NewRegistry allocates the counter tables;
+//     literal construction skips both;
+//   - dereferencing or copying an *obs.Obs value (*o): a copy's methods
+//     no longer see the nil receiver;
+//   - direct field access on Obs, Span or Registry values: fields are
+//     an implementation detail of the nil-guarded methods.
+//
+// Inside the obs package it enforces the discipline that makes the
+// wrapper API safe in the first place: every exported method on *Obs or
+// Span must begin with a nil-receiver guard, or delegate in a single
+// statement to a method that does.
+package obsnil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hyperear/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnil",
+	Doc:  "obs handles are used only via the nil-safe wrapper API; obs methods keep their nil guards",
+	Run:  run,
+}
+
+// obsPathSuffix identifies the observability package by import path
+// suffix so the analyzer works on both the real tree and testdata.
+const obsPathSuffix = "internal/obs"
+
+// guardedTypes are the obs types whose construction and field layout
+// are private to the wrapper API.
+var guardedTypes = map[string]bool{"Obs": true, "Span": true, "Registry": true}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.PkgPath, obsPathSuffix) {
+		return runInside(pass)
+	}
+	return runOutside(pass)
+}
+
+func runOutside(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CompositeLit:
+				if name, ok := guardedObsType(pass.TypesInfo.Types[e].Type); ok {
+					pass.Reportf(e.Pos(), "obs.%s composite literal bypasses the nil-safe constructors; use obs.New / obs.NewRegistry / Obs.Span", name)
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" && len(e.Args) == 1 {
+					if pass.TypesInfo.Uses[id] == types.Universe.Lookup("new") {
+						if name, ok := guardedObsType(pass.TypesInfo.Types[e.Args[0]].Type); ok {
+							pass.Reportf(e.Pos(), "new(obs.%s) bypasses the nil-safe constructors; use obs.New / obs.NewRegistry", name)
+						}
+					}
+				}
+			case *ast.StarExpr:
+				// A unary * on an *obs.Obs value copies the struct out
+				// from behind the nil-checked pointer.
+				if t := pass.TypesInfo.Types[e.X].Type; t != nil {
+					if p, ok := t.(*types.Pointer); ok {
+						if name, ok := guardedObsType(p.Elem()); ok && name == "Obs" {
+							pass.Reportf(e.Pos(), "dereferencing *obs.Obs copies the handle and defeats nil-receiver safety")
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				sel, ok := pass.TypesInfo.Selections[e]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				if name, ok := guardedObsType(sel.Recv()); ok {
+					pass.Reportf(e.Sel.Pos(), "direct field access on obs.%s; use the nil-safe wrapper API", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedObsType reports whether t (pointers stripped) is one of the
+// obs package's guarded named types, returning its name.
+func guardedObsType(t types.Type) (string, bool) {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), obsPathSuffix) {
+		return "", false
+	}
+	if !guardedTypes[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// runInside checks that every exported method on *Obs or Span starts
+// with a nil guard or is a single-statement delegation to the same
+// receiver (Inc -> Add). Registry is exempt: it is only reachable
+// through already-guarded wrappers and Obs.Registry's documented
+// nil return.
+func runInside(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			recvName, typeName := receiver(fn)
+			if typeName != "Obs" && typeName != "Span" {
+				continue
+			}
+			if len(fn.Body.List) == 0 {
+				continue
+			}
+			if hasNilGuard(fn.Body.List[0], recvName) {
+				continue
+			}
+			if len(fn.Body.List) == 1 && delegatesToReceiver(pass, fn.Body.List[0], recvName) {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(), "exported obs method %s.%s must start with a nil-receiver guard or delegate to a guarded method", typeName, fn.Name.Name)
+		}
+	}
+	return nil
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// receiver returns the receiver's identifier name and base type name.
+func receiver(fn *ast.FuncDecl) (recvName, typeName string) {
+	if len(fn.Recv.List) == 0 {
+		return "", ""
+	}
+	field := fn.Recv.List[0]
+	if len(field.Names) > 0 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recvName, typeName
+}
+
+// hasNilGuard reports whether stmt is `if <recv> == nil ...` or
+// `if <recv>.<field> == nil ...` (possibly ||-joined with more
+// conditions), the shape every nil-safe obs method opens with.
+func hasNilGuard(stmt ast.Stmt, recvName string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	return condMentionsRecvNil(ifs.Cond, recvName)
+}
+
+func condMentionsRecvNil(e ast.Expr, recvName string) bool {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		if e.Op.String() == "||" || e.Op.String() == "&&" {
+			return condMentionsRecvNil(e.X, recvName) || condMentionsRecvNil(e.Y, recvName)
+		}
+		if e.Op.String() != "==" {
+			return false
+		}
+		return isNilIdent(e.Y) && rootIdent(e.X) == recvName || isNilIdent(e.X) && rootIdent(e.Y) == recvName
+	case *ast.ParenExpr:
+		return condMentionsRecvNil(e.X, recvName)
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// rootIdent returns the leftmost identifier of an ident/selector chain.
+func rootIdent(e ast.Expr) string {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.SelectorExpr:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}
+
+// delegatesToReceiver reports whether stmt is a lone `recv.Method(...)`
+// call or `return recv.Method(...)`. It must be a genuine method call
+// (types.MethodVal): invoking a func-valued field would dereference a
+// nil receiver, which is exactly what the guard rule exists to prevent.
+func delegatesToReceiver(pass *analysis.Pass, stmt ast.Stmt, recvName string) bool {
+	var call ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call = s.X
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		call = s.Results[0]
+	default:
+		return false
+	}
+	c, ok := ast.Unparen(call).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	return rootIdent(sel.X) == recvName
+}

@@ -1,0 +1,16 @@
+package obsnil_test
+
+import (
+	"testing"
+
+	"hyperear/internal/analysis/analysistest"
+	"hyperear/internal/analysis/obsnil"
+)
+
+func TestObsnilConsumers(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnil.Analyzer, "a")
+}
+
+func TestObsnilInsideObs(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnil.Analyzer, "hyperear/internal/obs")
+}

@@ -1,0 +1,41 @@
+// Package a exercises the obsnil consumer rules against the obs stub.
+package a
+
+import "hyperear/internal/obs"
+
+func wire(sink func(string)) *obs.Obs {
+	return obs.New(sink) // ok: the nil-safe constructor
+}
+
+func useWrappers(o *obs.Obs) {
+	sp := o.Span("stage") // ok: wrapper API
+	o.Inc("count")        // ok
+	sp.End()              // ok
+}
+
+func construct() *obs.Obs {
+	return &obs.Obs{} // want `composite literal bypasses the nil-safe constructors`
+}
+
+func constructRegistry() *obs.Registry {
+	return &obs.Registry{} // want `composite literal bypasses the nil-safe constructors`
+}
+
+func allocate() *obs.Obs {
+	return new(obs.Obs) // want `new\(obs.Obs\) bypasses the nil-safe constructors`
+}
+
+func copyHandle(o *obs.Obs) obs.Obs {
+	return *o // want `dereferencing \*obs.Obs copies the handle`
+}
+
+func peekField(o *obs.Obs) int {
+	return o.Raw // want `direct field access on obs.Obs`
+}
+
+// suppressed: a migration shim may construct directly, with the
+// justification recorded inline.
+func legacyConstruct() *obs.Obs {
+	//hyperearvet:allow obsnil migration shim constructs directly until the legacy probe API is deleted
+	return &obs.Obs{}
+}

@@ -1,0 +1,70 @@
+// Package obs is a reduced stub of the real observability package,
+// used both as an import target for the outside-consumer cases and as
+// a direct subject for the inside-the-package nil-guard rule.
+package obs
+
+// Obs is the nil-safe observability hook. Raw is an exported field the
+// real package does not have; it exists so the field-access rule has
+// something that compiles from outside.
+type Obs struct {
+	Raw  int
+	sink func(string)
+}
+
+// Registry collects counters.
+type Registry struct{ n int }
+
+// Span is one in-flight measurement.
+type Span struct{ o *Obs }
+
+// New returns nil when there is nothing to observe, keeping callers on
+// the free disabled path.
+func New(sink func(string)) *Obs {
+	if sink == nil {
+		return nil
+	}
+	return &Obs{sink: sink}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Span opens a span; guarded, so fine.
+func (o *Obs) Span(stage string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return Span{o: o}
+}
+
+// Inc delegates to a guarded method in a single statement; fine.
+func (o *Obs) Inc(name string) { o.Add(name, 1) }
+
+// Add is guarded with a joined condition; fine.
+func (o *Obs) Add(name string, n int) {
+	if o == nil || o.sink == nil {
+		return
+	}
+	o.sink(name)
+}
+
+// End is guarded through the receiver's field; fine.
+func (s Span) End() {
+	if s.o == nil {
+		return
+	}
+	s.o.sink("end")
+}
+
+// Emit reads the receiver before any guard, breaking the nil-safety
+// contract every other method upholds.
+func (o *Obs) Emit(name string) { // want `exported obs method Obs.Emit must start with a nil-receiver guard`
+	o.sink(name)
+}
+
+// Flush is deliberately unguarded but annotated.
+//
+//hyperearvet:allow obsnil Flush is documented panic-on-nil and only reachable from guarded wrappers
+func (o *Obs) Flush() {
+	o.sink("flush")
+}

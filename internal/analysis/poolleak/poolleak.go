@@ -1,0 +1,248 @@
+// Package poolleak defines an analyzer enforcing that pooled scratch
+// memory never escapes the call that borrowed it.
+//
+// The DSP hot path leans on sync.Pool (internal/dsp's complexPool,
+// internal/core's DetectScratch pool): a value handed out by Pool.Get —
+// or by a helper marked //hyperearvet:pooled, such as getComplexPrefix —
+// is only on loan. Returning it to a caller, storing it in a struct
+// field, map, slice or global, sending it on a channel, or capturing it
+// in a `go` statement lets it outlive the borrow and alias a buffer
+// that the pool will hand to a concurrent user.
+//
+// Functions that deliberately transfer ownership of a pooled value to
+// their caller (the pool wrappers themselves) carry the
+// //hyperearvet:pooled directive, which both exempts their returns and
+// marks their call sites as new borrow points.
+package poolleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hyperear/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolleak",
+	Doc:  "pooled scratch (sync.Pool.Get, //hyperearvet:pooled helpers) must not escape the borrowing function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Map function objects declared in this package to their decl so
+	// call sites can see the pooled directive.
+	pooledFuncs := map[types.Object]bool{}
+	decls := map[*ast.FuncDecl]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			marked := pass.FuncHasDirective(fn, "pooled")
+			decls[fn] = marked
+			if marked {
+				if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+					pooledFuncs[obj] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFunc(pass, fn, decls[fn], pooledFuncs)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc flags escapes of pooled values within one function body.
+// Tracking is flow-insensitive: any local ever assigned from a pooled
+// source (or derived from one by deref, slicing or aliasing) is pooled
+// for the whole body. That is deliberately conservative in the
+// direction of no false negatives on the patterns the repo uses.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, returnsPooled bool, pooledFuncs map[types.Object]bool) {
+	pooled := map[types.Object]bool{}
+
+	// Fixpoint over assignments: v := pooledSource, v := alias/deref/
+	// slice of a pooled local.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					// v, ok := pool.Get().(*T) style is not used for
+					// pooled sources here; multi-value RHS is a call
+					// whose results we don't track.
+					if len(st.Rhs) == 1 && len(st.Lhs) == 2 {
+						if isPooledExpr(pass, st.Rhs[0], pooled, pooledFuncs) {
+							changed = markIdent(pass, st.Lhs[0], pooled) || changed
+						}
+					}
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					if isPooledExpr(pass, rhs, pooled, pooledFuncs) {
+						changed = markIdent(pass, st.Lhs[i], pooled) || changed
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Names) == len(st.Values) {
+					for i, rhs := range st.Values {
+						if isPooledExpr(pass, rhs, pooled, pooledFuncs) {
+							obj := pass.TypesInfo.Defs[st.Names[i]]
+							if obj != nil && !pooled[obj] {
+								pooled[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			if returnsPooled {
+				return true
+			}
+			for _, res := range st.Results {
+				if isPooledExpr(pass, res, pooled, pooledFuncs) {
+					pass.Reportf(res.Pos(), "pooled scratch returned from %s; mark the function //hyperearvet:pooled if it transfers ownership", fn.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) {
+					break
+				}
+				if !isPooledExpr(pass, st.Rhs[i], pooled, pooledFuncs) {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(st.Pos(), "pooled scratch stored in field %s; it outlives the borrow", l.Sel.Name)
+				case *ast.IndexExpr:
+					pass.Reportf(st.Pos(), "pooled scratch stored in a container; it outlives the borrow")
+				case *ast.Ident:
+					if obj := pass.TypesInfo.Uses[l]; obj != nil && isGlobal(obj) {
+						pass.Reportf(st.Pos(), "pooled scratch stored in package variable %s", l.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if isPooledExpr(pass, st.Value, pooled, pooledFuncs) {
+				pass.Reportf(st.Pos(), "pooled scratch sent on a channel; the receiver outlives the borrow")
+			}
+		case *ast.GoStmt:
+			for _, arg := range st.Call.Args {
+				if isPooledExpr(pass, arg, pooled, pooledFuncs) {
+					pass.Reportf(arg.Pos(), "pooled scratch passed to a goroutine that may outlive the borrow")
+				}
+			}
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && pooled[obj] {
+						pass.Reportf(id.Pos(), "pooled scratch %s captured by a goroutine that may outlive the borrow", id.Name)
+						return false
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// markIdent marks the object defined or used by lhs as pooled,
+// reporting whether the set changed.
+func markIdent(pass *analysis.Pass, lhs ast.Expr, pooled map[types.Object]bool) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil || pooled[obj] {
+		return false
+	}
+	pooled[obj] = true
+	return true
+}
+
+// isPooledExpr reports whether e yields a pooled value: a call to a
+// pooled source, a reference to a local already marked pooled, or a
+// deref/slice/paren/type-assert wrapper around either.
+func isPooledExpr(pass *analysis.Pass, e ast.Expr, pooled map[types.Object]bool, pooledFuncs map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		return obj != nil && pooled[obj]
+	case *ast.ParenExpr:
+		return isPooledExpr(pass, e.X, pooled, pooledFuncs)
+	case *ast.StarExpr:
+		return isPooledExpr(pass, e.X, pooled, pooledFuncs)
+	case *ast.UnaryExpr:
+		return isPooledExpr(pass, e.X, pooled, pooledFuncs)
+	case *ast.TypeAssertExpr:
+		return isPooledExpr(pass, e.X, pooled, pooledFuncs)
+	case *ast.SliceExpr:
+		return isPooledExpr(pass, e.X, pooled, pooledFuncs)
+	case *ast.CallExpr:
+		return isPooledSource(pass, e, pooledFuncs)
+	}
+	return false
+}
+
+// isPooledSource reports whether the call borrows from a pool:
+// (*sync.Pool).Get, or a function marked //hyperearvet:pooled.
+func isPooledSource(pass *analysis.Pass, call *ast.CallExpr, pooledFuncs map[types.Object]bool) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Get" {
+			if sel, ok := pass.TypesInfo.Selections[fun]; ok {
+				if named := typeName(sel.Recv()); strings.HasSuffix(named, "sync.Pool") {
+					return true
+				}
+			}
+		}
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil && pooledFuncs[obj] {
+			return true
+		}
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil && pooledFuncs[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// typeName renders t with pointers stripped.
+func typeName(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	return t.String()
+}
+
+// isGlobal reports whether obj is declared at package scope.
+func isGlobal(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Parent().Parent() == types.Universe
+}

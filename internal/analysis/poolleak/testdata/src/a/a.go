@@ -1,0 +1,93 @@
+// Package a exercises the poolleak analyzer: borrows from sync.Pool
+// and from //hyperearvet:pooled helpers must not escape.
+package a
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
+
+var global *[]float64
+
+// getBuf transfers ownership to the caller, which is what the
+// directive declares.
+//
+//hyperearvet:pooled
+func getBuf(n int) *[]float64 {
+	p := bufPool.Get().(*[]float64)
+	*p = (*p)[:0]
+	return p
+}
+
+func putBuf(p *[]float64) { bufPool.Put(p) }
+
+// ok: the borrow stays local and is returned to the pool.
+func sumLocal(xs []float64) float64 {
+	p := getBuf(len(xs))
+	defer putBuf(p)
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// leakReturn returns a borrow without declaring ownership transfer.
+func leakReturn() *[]float64 {
+	p := bufPool.Get().(*[]float64)
+	return p // want `pooled scratch returned from leakReturn`
+}
+
+// leakReturnHelper leaks a helper borrow the same way.
+func leakReturnHelper() *[]float64 {
+	q := getBuf(8)
+	return q // want `pooled scratch returned from leakReturnHelper`
+}
+
+type holder struct {
+	buf *[]float64
+}
+
+func leakField(h *holder) {
+	p := getBuf(8)
+	h.buf = p // want `pooled scratch stored in field buf`
+}
+
+func leakDerived(h *holder) {
+	p := bufPool.Get().(*[]float64)
+	alias := p
+	h.buf = alias // want `pooled scratch stored in field buf`
+}
+
+func leakChannel(ch chan *[]float64) {
+	p := getBuf(8)
+	ch <- p // want `pooled scratch sent on a channel`
+}
+
+func leakGoroutine() {
+	p := getBuf(8)
+	go func() {
+		_ = p // want `pooled scratch p captured by a goroutine`
+	}()
+}
+
+func leakGoArg(f func(*[]float64)) {
+	p := getBuf(8)
+	go f(p) // want `pooled scratch passed to a goroutine`
+}
+
+func leakContainer(m map[string]*[]float64) {
+	p := getBuf(8)
+	m["k"] = p // want `pooled scratch stored in a container`
+}
+
+func leakGlobal() {
+	p := getBuf(8)
+	global = p // want `pooled scratch stored in package variable global`
+}
+
+// suppressedLeak documents a deliberate single-owner cache handoff.
+func suppressedLeak(h *holder) {
+	p := getBuf(8)
+	//hyperearvet:allow poolleak handoff to a single-owner cache that puts the buffer back on eviction
+	h.buf = p
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one post-suppression diagnostic with its resolved position.
+type Finding struct {
+	Position token.Position
+	Rule     string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Position.Filename, f.Position.Line, f.Position.Column, f.Rule, f.Message)
+}
+
+// Run applies every analyzer to every package, filters the diagnostics
+// through the packages' //hyperearvet:allow suppressions, and reports
+// suppressions that matched nothing (rule "suppress") so stale
+// annotations cannot accumulate. Unused-suppression checking only
+// considers rules that actually ran, letting a single analyzer be
+// exercised in isolation (analysistest) without noise.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		report := func(d Diagnostic) { diags = append(diags, d) }
+		sups := collectSuppressions(fset, pkg.Files, report)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				PkgPath:   pkg.PkgPath,
+				report:    report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		for _, d := range diags {
+			if suppressed(fset, d, sups) {
+				continue
+			}
+			findings = append(findings, Finding{Position: fset.Position(d.Pos), Rule: d.Rule, Message: d.Message})
+		}
+		for _, s := range sups {
+			if !s.used && ran[s.rule] {
+				findings = append(findings, Finding{
+					Position: fset.Position(s.pos),
+					Rule:     "suppress",
+					Message:  fmt.Sprintf("unused suppression for rule %s", s.rule),
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+	// A package and its external _test package share suppression
+	// scanning per package, but the same non-test file is never loaded
+	// twice (test variants replace plain packages), so duplicates only
+	// arise from analyzer bugs; drop them defensively all the same.
+	dedup := findings[:0]
+	var prev Finding
+	for i, f := range findings {
+		if i > 0 && f == prev {
+			continue
+		}
+		dedup = append(dedup, f)
+		prev = f
+	}
+	return dedup, nil
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A suppression is one parsed "//hyperearvet:allow <rule> <justification>"
+// comment. It silences findings of the named rule on its own line or on
+// the line directly below it (so it can ride at the end of the offending
+// line or sit on its own line above it).
+type suppression struct {
+	pos           token.Pos
+	file          string
+	line          int
+	rule          string
+	justification string
+	used          bool
+}
+
+// collectSuppressions parses every allow directive in the files.
+// Malformed directives (no rule, or no justification) are reported as
+// findings themselves via report, so a suppression can never silently
+// rot into a no-op.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, report func(Diagnostic)) []*suppression {
+	var out []*suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//"+directivePrefix+"allow")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rule, just, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				just = strings.TrimSpace(just)
+				if rule == "" || just == "" {
+					report(Diagnostic{
+						Pos:     c.Pos(),
+						Rule:    "suppress",
+						Message: "malformed suppression: want //hyperearvet:allow <rule> <justification>",
+					})
+					continue
+				}
+				out = append(out, &suppression{
+					pos:           c.Pos(),
+					file:          pos.Filename,
+					line:          pos.Line,
+					rule:          rule,
+					justification: just,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by one of the suppressions,
+// marking the matching suppression used.
+func suppressed(fset *token.FileSet, d Diagnostic, sups []*suppression) bool {
+	pos := fset.Position(d.Pos)
+	for _, s := range sups {
+		if s.rule != d.Rule || s.file != pos.Filename {
+			continue
+		}
+		if s.line == pos.Line || s.line == pos.Line-1 {
+			s.used = true
+			return true
+		}
+	}
+	return false
+}

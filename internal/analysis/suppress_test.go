@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestSuppressionCoversSameAndPreviousLine(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+func f() {
+	_ = 1 //hyperearvet:allow demo inline justification
+	//hyperearvet:allow demo line-above justification
+	_ = 2
+}
+`)
+	var malformed []Diagnostic
+	sups := collectSuppressions(fset, []*ast.File{f}, func(d Diagnostic) { malformed = append(malformed, d) })
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed diagnostics: %v", malformed)
+	}
+	if len(sups) != 2 {
+		t.Fatalf("got %d suppressions, want 2", len(sups))
+	}
+	// Line 4 carries the inline suppression; line 6 sits under the
+	// line-above suppression on line 5.
+	for _, line := range []int{4, 6} {
+		d := Diagnostic{Pos: posOnLine(fset, f, line), Rule: "demo"}
+		if !suppressed(fset, d, sups) {
+			t.Errorf("diagnostic on line %d not suppressed", line)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			t.Errorf("suppression on line %d not marked used", s.line)
+		}
+	}
+	// A different rule on the same line is not covered.
+	d := Diagnostic{Pos: posOnLine(fset, f, 4), Rule: "other"}
+	if suppressed(fset, d, sups) {
+		t.Error("suppression leaked across rules")
+	}
+}
+
+func TestMalformedSuppressionReported(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+//hyperearvet:allow demo
+func f() {}
+
+//hyperearvet:allow
+func g() {}
+`)
+	var malformed []Diagnostic
+	sups := collectSuppressions(fset, []*ast.File{f}, func(d Diagnostic) { malformed = append(malformed, d) })
+	if len(sups) != 0 {
+		t.Fatalf("malformed directives must not register suppressions, got %d", len(sups))
+	}
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed diagnostics, want 2", len(malformed))
+	}
+	for _, d := range malformed {
+		if d.Rule != "suppress" || !strings.Contains(d.Message, "malformed suppression") {
+			t.Errorf("unexpected diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestDirectiveName(t *testing.T) {
+	cases := map[string]string{
+		"//hyperearvet:pooled":                "pooled",
+		"//hyperearvet:epsilon trailing note": "epsilon",
+		"// hyperearvet:pooled":               "", // directives are unspaced, like //go:build
+		"//hyperearvet:":                      "",
+		"// ordinary comment":                 "",
+	}
+	for text, want := range cases {
+		if got := directiveName(text); got != want {
+			t.Errorf("directiveName(%q) = %q, want %q", text, got, want)
+		}
+	}
+}
+
+// posOnLine returns some token.Pos on the given line of the file.
+func posOnLine(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	tf := fset.File(f.Pos())
+	return tf.LineStart(line)
+}

@@ -1,0 +1,57 @@
+// Package a exercises the unitmix analyzer: additive/comparison
+// arithmetic between identifiers of different unit families.
+package a
+
+// Config carries the usual suffix conventions.
+type Config struct {
+	SampleRate   float64
+	WindowSec    float64
+	BandMarginHz float64
+	RangeM       float64
+}
+
+func mixes(cfg Config) {
+	durSamples := 441.0
+	durSec := 0.01
+	offsetHz := 100.0
+	distM := 1.5
+	speedMps := 0.2
+	latencyNS := int64(100)
+	budgetMs := int64(3)
+
+	_ = durSamples + durSec  // want `durSamples \(samples\) \+ durSec \(sec\) mixes unit families`
+	_ = distM - speedMps     // want `distM \(m\) - speedMps \(m/s\) mixes unit families`
+	_ = offsetHz + distM     // want `offsetHz \(hz\) \+ distM \(m\) mixes unit families`
+	_ = latencyNS + budgetMs // want `latencyNS \(ns\) \+ budgetMs \(ms\) mixes unit families`
+
+	if durSamples > durSec { // want `durSamples \(samples\) > durSec \(sec\) mixes unit families`
+		_ = durSamples
+	}
+	if cfg.WindowSec == durSamples { // want `WindowSec \(sec\) == durSamples \(samples\) mixes unit families`
+		_ = durSec
+	}
+
+	durSamples = durSec // want `assigning durSec \(sec\) to durSamples \(samples\) mixes unit families`
+
+	// ok: same family.
+	_ = durSamples + 2*cfg.SampleRate*durSec // ok: conversion expression is not a bare identifier
+	_ = cfg.WindowSec + durSec
+	_ = cfg.BandMarginHz + offsetHz
+
+	// ok: converting through SampleRate takes the operand out of
+	// bare-identifier form.
+	converted := durSec * cfg.SampleRate
+	_ = durSamples + converted
+
+	// ok: acronyms and unsuffixed names carry no unit.
+	nPCM := 4.0
+	total := 1.0
+	_ = nPCM + total
+	_ = nPCM + durSamples
+
+	//hyperearvet:allow unitmix score accumulates weighted samples and seconds on purpose in this heuristic
+	_ = durSamples + durSec
+
+	//hyperearvet:allow unitmix this suppression never fires and must be reported stale // want `unused suppression for rule unitmix`
+	_ = distM
+}

@@ -1,0 +1,120 @@
+// Package unitmix defines an analyzer that catches arithmetic mixing
+// the pipeline's unit families. HyperEar's bookkeeping moves between
+// sample counts, seconds, Hertz, meters and angles constantly (ASP
+// detects in samples, MSP segments in seconds, PDE/TTL reason in
+// meters); the repo's convention is that unit-bearing identifiers carry
+// a suffix (DurSamples, BandMarginHz, TrueDistanceM, YawErrDeg, DurNS).
+//
+// The analyzer flags additive (+, -) and comparison operators whose two
+// operands are plain identifiers or selector chains carrying different
+// unit suffixes, plus direct assignments between them. Any expression
+// that converts — a multiply/divide by SampleRate and friends, or a
+// helper call — is structurally exempt because its operand is no longer
+// a bare identifier. That keeps the rule quiet on legitimate code and
+// loud exactly where samples meet seconds without a conversion.
+package unitmix
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+
+	"hyperear/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unitmix",
+	Doc:  "no additive or comparison arithmetic between identifiers of different unit families (Samples/Sec/Hz/M/Mps/Deg/Rad/NS/PPM/DB)",
+	Run:  run,
+}
+
+// families maps identifier suffixes to unit families, tried
+// longest-first so "Samples" wins over a bare trailing "s" and
+// "DBPerM" over "M". Same-dimension-different-scale suffixes (Sec vs
+// Ms vs NS) are distinct families on purpose: adding seconds to
+// nanoseconds is exactly the class of bug this guards.
+var families = []struct{ suffix, family string }{
+	{"Samples", "samples"},
+	{"Seconds", "sec"},
+	{"Meters", "m"},
+	{"DBPerM", "db/m"},
+	{"Samp", "samples"},
+	{"Secs", "sec"},
+	{"Sec", "sec"},
+	{"Mps", "m/s"},
+	{"PPM", "ppm"},
+	{"Deg", "deg"},
+	{"Rad", "rad"},
+	{"Hz", "hz"},
+	{"NS", "ns"},
+	{"Ms", "ms"},
+	{"DB", "db"},
+	{"M", "m"},
+}
+
+// unitOf classifies an identifier name, returning "" when no suffix
+// matches. The character before the suffix must be a lowercase letter
+// or digit, so acronyms like PCM and INFOCOM stay unitless.
+func unitOf(name string) string {
+	for _, f := range families {
+		if !strings.HasSuffix(name, f.suffix) || len(name) <= len(f.suffix) {
+			continue
+		}
+		prev := rune(name[len(name)-len(f.suffix)-1])
+		if unicode.IsLower(prev) || unicode.IsDigit(prev) {
+			return f.family
+		}
+	}
+	return ""
+}
+
+// unitOfExpr classifies a bare operand: an identifier or a selector
+// chain (cfg.BandMarginHz). Anything else — calls, arithmetic, index
+// expressions — is treated as a conversion site and returns "".
+func unitOfExpr(e ast.Expr) (string, string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return unitOf(e.Name), e.Name
+	case *ast.SelectorExpr:
+		return unitOf(e.Sel.Name), e.Sel.Name
+	}
+	return "", ""
+}
+
+var flaggedOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if !flaggedOps[e.Op] {
+					return true
+				}
+				ux, nx := unitOfExpr(e.X)
+				uy, ny := unitOfExpr(e.Y)
+				if ux != "" && uy != "" && ux != uy {
+					pass.Reportf(e.OpPos, "%s (%s) %s %s (%s) mixes unit families without a conversion", nx, ux, e.Op, ny, uy)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range e.Lhs {
+					if i >= len(e.Rhs) {
+						break
+					}
+					ul, nl := unitOfExpr(lhs)
+					ur, nr := unitOfExpr(e.Rhs[i])
+					if ul != "" && ur != "" && ul != ur {
+						pass.Reportf(e.Pos(), "assigning %s (%s) to %s (%s) mixes unit families without a conversion", nr, ur, nl, ul)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

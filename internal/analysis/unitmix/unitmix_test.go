@@ -1,0 +1,12 @@
+package unitmix_test
+
+import (
+	"testing"
+
+	"hyperear/internal/analysis/analysistest"
+	"hyperear/internal/analysis/unitmix"
+)
+
+func TestUnitmix(t *testing.T) {
+	analysistest.Run(t, "testdata", unitmix.Analyzer, "a")
+}

@@ -126,12 +126,18 @@ func (p *Plan) transform(x []complex128, w []complex128) {
 
 var complexPool = sync.Pool{New: func() any { s := make([]complex128, 0, 4096); return &s }}
 
+// getComplex transfers ownership of a pooled buffer to its caller, who
+// must putComplex it back.
+//
+//hyperearvet:pooled
 func getComplex(n int) *[]complex128 { return getComplexPrefix(n, 0) }
 
 // getComplexPrefix returns a pooled buffer of length n whose elements from
 // written onward are zeroed. Callers that overwrite a known prefix [0,
 // written) pass it here so only the tail is cleared; written == n skips
 // clearing entirely (the real-FFT pack loops write every element).
+//
+//hyperearvet:pooled
 func getComplexPrefix(n, written int) *[]complex128 {
 	p := complexPool.Get().(*[]complex128)
 	if cap(*p) < n {

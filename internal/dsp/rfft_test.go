@@ -163,8 +163,8 @@ func TestRealPlanImpulseSpectra(t *testing.T) {
 // old NextPow2(lx+lr) sizing did).
 func TestCorrFFTSizeExactFit(t *testing.T) {
 	cases := []struct{ lx, lr, want int }{
-		{1, 1, 2},  // degenerate: single-sample operands still get a 2-point plan
-		{5, 4, 8},  // lx+lr-1 = 8 exactly: must stay at 8, not 16
+		{1, 1, 2}, // degenerate: single-sample operands still get a 2-point plan
+		{5, 4, 8}, // lx+lr-1 = 8 exactly: must stay at 8, not 16
 		{100, 29, 128},
 		{44100, 1764, 65536},
 		{3, 3, 8}, // lx+lr-1 = 5 rounds up to 8

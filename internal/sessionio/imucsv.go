@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -46,7 +47,9 @@ func ReadIMU(r io.Reader) (*imu.Trace, error) {
 		return nil, fmt.Errorf("sessionio: missing '# fs=' preamble (got %q)", first)
 	}
 	fs, err := strconv.ParseFloat(strings.TrimPrefix(first, "# fs="), 64)
-	if err != nil || fs <= 0 {
+	// !(fs > 0) rather than fs <= 0: ParseFloat accepts "NaN", and NaN
+	// fails every ordered comparison, so it would slip past fs <= 0.
+	if err != nil || !(fs > 0) || math.IsInf(fs, 0) {
 		return nil, fmt.Errorf("sessionio: bad sample rate in preamble %q", first)
 	}
 	if !sc.Scan() {
@@ -72,6 +75,9 @@ func ReadIMU(r io.Reader) (*imu.Trace, error) {
 			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 			if err != nil {
 				return nil, fmt.Errorf("sessionio: line %d field %d: %w", line, i+1, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("sessionio: line %d field %d: non-finite sample %v", line, i+1, v)
 			}
 			vals[i] = v
 		}

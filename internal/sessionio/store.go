@@ -116,6 +116,9 @@ func Load(dir string) (*Bundle, error) {
 	if err := json.Unmarshal(raw, &meta); err != nil {
 		return nil, fmt.Errorf("sessionio: parse meta: %w", err)
 	}
+	// The WAV header rate is an integer the store wrote itself, so a
+	// mismatch is exact, never a rounding artifact.
+	//hyperearvet:allow floatguard exact compare of an integral WAV header rate against its own meta echo
 	if meta.SampleRate != 0 && meta.SampleRate != rec.Fs {
 		return nil, fmt.Errorf("sessionio: meta sample rate %v != WAV rate %v",
 			meta.SampleRate, rec.Fs)
