@@ -1,15 +1,16 @@
-# Developer entry points. `make check` is the CI gate: vet, the custom
-# lint suite, build, the full test suite under the race detector, and a
-# one-iteration benchmark smoke run so the benchmark harness itself
-# cannot rot.
+# Developer entry points. `make check` is the local CI gate: vet, the
+# custom lint suite, gofmt drift, build, the full test suite under the
+# race detector, and a one-iteration benchmark smoke run so the benchmark
+# harness itself cannot rot. CI (.github/workflows/check.yml) runs the
+# same targets split into parallel jobs; keep the two in sync.
 
 GO ?= go
 
-.PHONY: all check vet lint build test race bench-smoke bench bench-json obs-check
+.PHONY: all check vet lint fmt-check build test race bench-smoke bench bench-json bench-compare obs-check serve server-soak
 
 all: check
 
-check: vet lint build race obs-check bench-smoke
+check: vet lint fmt-check build race obs-check bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +22,14 @@ vet:
 lint:
 	$(GO) run ./cmd/hyperearvet ./...
 
+# Formatting gate: list every tracked Go file gofmt would rewrite and
+# fail if there are any. (gofmt -l alone exits 0 even with findings.)
+fmt-check:
+	@drift="$$(gofmt -l $$(git ls-files '*.go'))"; \
+	if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; \
+	fi
+
 build:
 	$(GO) build ./...
 
@@ -29,12 +38,15 @@ test:
 
 # Full-tree race gate. The race detector is a ~10× slowdown and the
 # experiment suite renders minutes of audio; the default 10m per-package
-# timeout is not enough on small machines. A few allocation-count
-# assertions skip themselves under the detector via the raceEnabled
-# //go:build race/!race constant pairs (internal/dsp, internal/chirp):
-# the detector makes sync.Pool drop Puts at random, so pool-reuse
-# accounting is only meaningful in non-race builds. Those skips are
-# narrow and annotated at each site; everything else runs here.
+# timeout is not enough on small machines, so this target allows 45m.
+# CI budget: the test-race job's timeout-minutes is 55 — the 45m go-test
+# ceiling plus module download/build headroom; if you raise one, raise
+# the other (.github/workflows/check.yml documents the same pairing).
+# A few allocation-count assertions skip themselves under the detector
+# via the raceEnabled //go:build race/!race constant pairs (internal/dsp,
+# internal/chirp): the detector makes sync.Pool drop Puts at random, so
+# pool-reuse accounting is only meaningful in non-race builds. Those
+# skips are narrow and annotated at each site; everything else runs here.
 race:
 	$(GO) test -race -timeout 45m ./...
 
@@ -53,6 +65,16 @@ obs-check:
 	$(GO) test -race -run 'Obs|Trace|Concurrent' ./internal/obs/ ./
 	$(GO) test -run NONE -bench 'Disabled|Locate2DObserved' -benchtime 1x -benchmem ./internal/obs/ ./
 
+# Run the localization service locally (README "Service quick start").
+serve:
+	$(GO) run ./cmd/hyperearservd -addr :8787 -debug-addr :6060
+
+# Service load/fault gate: the ≥32-client soak plus the full server and
+# daemon test suites under the race detector. CI runs this as its own
+# parallel job; locally it is also covered by `make race`.
+server-soak:
+	$(GO) test -race -timeout 15m -run 'Soak|Drain|Pool|Session|SIGTERM' ./internal/server/ ./cmd/hyperearservd/
+
 # Real measurement run of the performance-critical benchmarks (see
 # DESIGN.md "Performance architecture"). FFTForward pairs the complex
 # and packed-real transforms; Detect/Stream cover the batch and
@@ -68,3 +90,14 @@ bench:
 bench-json:
 	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
+
+# Regression guard: fresh measurement vs the latest committed BENCH_*.json
+# snapshot, failing on >30% ns/op slowdowns (see cmd/benchjson -compare).
+# CI's bench-regression job runs exactly this.
+bench-compare:
+	@baseline="$$(ls BENCH_*.json | sort | tail -1)"; \
+	if [ -z "$$baseline" ]; then echo "no committed BENCH_*.json baseline"; exit 1; fi; \
+	echo "baseline: $$baseline"; \
+	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -out /tmp/bench-fresh.json; \
+	$(GO) run ./cmd/benchjson -compare "$$baseline" -new /tmp/bench-fresh.json -tolerance 0.30

@@ -1,15 +1,27 @@
 // Command benchjson converts `go test -bench -benchmem` output into a
-// JSON benchmark report. It reads the benchmark run from stdin, echoes
-// every line to stdout (so the run stays visible in the terminal), and
-// writes the parsed results to -out.
+// JSON benchmark report, and compares two reports for regressions.
 //
-// Usage:
+// Capture mode reads the benchmark run from stdin, echoes every line to
+// stdout (so the run stays visible in the terminal), and writes the
+// parsed results to -out:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -out BENCH_2026-08-05.json
 //
+// Compare mode is the CI regression guard: it reads a baseline report
+// and a fresh one and exits non-zero when any benchmark present in both
+// slowed down (ns/op) by more than -tolerance:
+//
+//	benchjson -compare BENCH_2026-08-05.json -new fresh.json -tolerance 0.30
+//
+// Names are matched with the -GOMAXPROCS suffix stripped, so a baseline
+// captured on an 8-core machine still matches a 4-core CI runner; the
+// generous default tolerance absorbs machine-to-machine noise while
+// still catching algorithmic regressions. Benchmarks that appear in
+// only one report are listed but never fail the run.
+//
 // Each result records the benchmark name, iteration count, ns/op, B/op,
 // allocs/op, and any custom go-bench metrics (MB/s etc.) under "extra".
-// The Makefile's bench-json target wraps this into a dated snapshot.
+// The Makefile's bench-json and bench-compare targets wrap both modes.
 package main
 
 import (
@@ -17,8 +29,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -49,11 +63,23 @@ func main() {
 	}
 }
 
-func run(args []string, in *os.File, out *os.File) error {
+func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
-	outPath := fs.String("out", "", "JSON report path (required)")
+	outPath := fs.String("out", "", "JSON report path (capture mode)")
+	baseline := fs.String("compare", "", "baseline JSON report (compare mode)")
+	fresh := fs.String("new", "", "fresh JSON report to compare against -compare")
+	tolerance := fs.Float64("tolerance", 0.30, "allowed fractional ns/op slowdown before failing (compare mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *baseline != "" {
+		if *fresh == "" {
+			return fmt.Errorf("-compare requires -new")
+		}
+		if math.IsNaN(*tolerance) || math.IsInf(*tolerance, 0) || *tolerance < 0 {
+			return fmt.Errorf("-tolerance must be a finite fraction >= 0, got %v", *tolerance)
+		}
+		return compare(*baseline, *fresh, *tolerance, out)
 	}
 	if *outPath == "" {
 		return fmt.Errorf("-out is required")
@@ -103,6 +129,99 @@ func run(args []string, in *os.File, out *os.File) error {
 		return err
 	}
 	fmt.Fprintf(out, "benchjson: %d results -> %s\n", len(rep.Results), *outPath)
+	return nil
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names, so reports from machines with different core counts
+// compare by benchmark identity.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("%s: no results", path)
+	}
+	return rep, nil
+}
+
+// compare is the regression gate: every benchmark present in both
+// reports must not have slowed down by more than tolerance (fractional
+// ns/op increase). Returns an error listing every offender.
+func compare(basePath, freshPath string, tolerance float64, out io.Writer) error {
+	base, err := loadReport(basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := loadReport(freshPath)
+	if err != nil {
+		return err
+	}
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[stripProcs(r.Name)] = r
+	}
+	var regressions []string
+	matched := 0
+	names := make([]string, 0, len(fresh.Results))
+	freshBy := make(map[string]Result, len(fresh.Results))
+	for _, r := range fresh.Results {
+		key := stripProcs(r.Name)
+		names = append(names, key)
+		freshBy[key] = r
+	}
+	sort.Strings(names)
+	for _, key := range names {
+		nr := freshBy[key]
+		br, ok := baseBy[key]
+		if !ok {
+			fmt.Fprintf(out, "  new       %-50s %14.0f ns/op (no baseline)\n", key, nr.NsPerOp)
+			continue
+		}
+		matched++
+		delta := math.Inf(1)
+		if br.NsPerOp > 0 {
+			delta = nr.NsPerOp/br.NsPerOp - 1
+		}
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %+.0f%%)",
+					key, br.NsPerOp, nr.NsPerOp, 100*delta, 100*tolerance))
+		}
+		fmt.Fprintf(out, "  %-9s %-50s %14.0f -> %.0f ns/op (%+.1f%%)\n",
+			verdict, key, br.NsPerOp, nr.NsPerOp, 100*delta)
+	}
+	for name := range baseBy {
+		if _, ok := freshBy[name]; !ok {
+			fmt.Fprintf(out, "  missing   %-50s (in baseline only)\n", name)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmarks in common between %s and %s", basePath, freshPath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%% tolerance:\n  %s",
+			len(regressions), 100*tolerance, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(out, "benchjson: %d benchmarks within %.0f%% of baseline\n", matched, 100*tolerance)
 	return nil
 }
 

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	r, ok := parseBenchLine("BenchmarkPipelineLocate2D-8   \t      12\t  95123456 ns/op\t 8123456 B/op\t   40321 allocs/op")
@@ -22,6 +29,105 @@ func TestParseBenchLineCustomMetric(t *testing.T) {
 	}
 	if r.Extra["MB/s"] != 812.5 {
 		t.Fatalf("extra = %v", r.Extra)
+	}
+}
+
+func writeReport(t *testing.T, path string, results []Result) {
+	t.Helper()
+	raw, err := json.Marshal(Report{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	fresh := filepath.Join(dir, "fresh.json")
+	writeReport(t, base, []Result{
+		{Name: "BenchmarkPipelineLocate2D-8", NsPerOp: 100_000_000, Iterations: 10},
+		{Name: "BenchmarkDetect-8", NsPerOp: 1_000_000, Iterations: 100},
+	})
+	// Seeded >30% slowdown on one hot path; the other within tolerance
+	// (different -procs suffix must still match).
+	writeReport(t, fresh, []Result{
+		{Name: "BenchmarkPipelineLocate2D-4", NsPerOp: 140_000_000, Iterations: 10},
+		{Name: "BenchmarkDetect-4", NsPerOp: 1_200_000, Iterations: 100},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-compare", base, "-new", fresh, "-tolerance", "0.30"}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatalf("seeded 40%% regression must fail the compare; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkPipelineLocate2D") {
+		t.Errorf("error must name the regressed benchmark: %v", err)
+	}
+	if strings.Contains(err.Error(), "BenchmarkDetect") {
+		t.Errorf("in-tolerance benchmark must not be listed as a regression: %v", err)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	fresh := filepath.Join(dir, "fresh.json")
+	writeReport(t, base, []Result{
+		{Name: "BenchmarkDetect-8", NsPerOp: 1_000_000, Iterations: 100},
+		{Name: "BenchmarkOnlyInBaseline-8", NsPerOp: 5, Iterations: 1},
+	})
+	writeReport(t, fresh, []Result{
+		{Name: "BenchmarkDetect-8", NsPerOp: 1_290_000, Iterations: 100},
+		{Name: "BenchmarkOnlyInFresh-8", NsPerOp: 7, Iterations: 1},
+	})
+	var out bytes.Buffer
+	if err := run([]string{"-compare", base, "-new", fresh}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("29%% slowdown within default 30%% tolerance must pass: %v\n%s", err, out.String())
+	}
+	// Unmatched benchmarks are reported, never fatal.
+	if !strings.Contains(out.String(), "BenchmarkOnlyInFresh") || !strings.Contains(out.String(), "BenchmarkOnlyInBaseline") {
+		t.Errorf("unmatched benchmarks must be listed:\n%s", out.String())
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeReport(t, base, []Result{{Name: "BenchmarkA-8", NsPerOp: 1, Iterations: 1}})
+	other := filepath.Join(dir, "other.json")
+	writeReport(t, other, []Result{{Name: "BenchmarkB-8", NsPerOp: 1, Iterations: 1}})
+
+	if err := run([]string{"-compare", base}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("-compare without -new must error")
+	}
+	if err := run([]string{"-compare", base, "-new", filepath.Join(dir, "missing.json")},
+		strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("missing fresh report must error")
+	}
+	if err := run([]string{"-compare", base, "-new", other}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("zero benchmarks in common must error")
+	}
+	if err := run([]string{"-compare", base, "-new", base, "-tolerance", "NaN"},
+		strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("NaN tolerance must be rejected")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkDetect-8":      "BenchmarkDetect",
+		"BenchmarkDetect-16":     "BenchmarkDetect",
+		"BenchmarkDetect":        "BenchmarkDetect",
+		"BenchmarkFFT/n=1024-8":  "BenchmarkFFT/n=1024",
+		"BenchmarkOdd-name":      "BenchmarkOdd-name",
+		"BenchmarkTrailingDash-": "BenchmarkTrailingDash-",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,163 @@
+// Command hyperearservd serves the HyperEar localization pipeline over
+// HTTP: POST a recorded session bundle to /v1/locate, or stream audio
+// chunk by chunk through /v1/sessions for live beacon-detection feedback
+// before the final localization. See DESIGN.md "Service architecture"
+// for the endpoint table, admission model and shutdown sequence.
+//
+// Usage:
+//
+//	hyperearservd [-addr :8787] [-phone s4|note3] [-workers N] [-queue N]
+//	              [-timeout 30s] [-max-body 64MiB-as-bytes]
+//	              [-session-idle 2m] [-max-sessions 64]
+//	              [-trace out.jsonl] [-debug-addr :6060]
+//
+// The server sheds load instead of queueing unboundedly: past
+// workers+queue admitted localizations, requests get 429 with
+// Retry-After. SIGINT/SIGTERM triggers a graceful drain: readiness
+// flips to 503, in-flight work finishes (bounded by -drain-timeout),
+// then sessions are evicted and the trace sink is flushed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hyperear"
+	"hyperear/internal/core"
+	"hyperear/internal/obs"
+	"hyperear/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hyperearservd:", err)
+		os.Exit(1)
+	}
+}
+
+// onListen, when non-nil, receives the bound listen address once the
+// socket is open and signals are being handled — the hook the SIGTERM
+// drain test synchronizes on.
+var onListen func(addr net.Addr)
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hyperearservd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8787", "listen address")
+	phoneName := fs.String("phone", "s4", "default phone profile: s4 or note3 (per-request meta may override geometry)")
+	workers := fs.Int("workers", 0, "concurrent localizations (0 = pipeline parallelism default)")
+	queue := fs.Int("queue", 0, "admitted-but-waiting requests beyond workers (0 = 2×workers)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request pipeline deadline")
+	maxBody := fs.Int64("max-body", 64<<20, "max request body bytes")
+	sessionIdle := fs.Duration("session-idle", 2*time.Minute, "evict streaming sessions idle this long")
+	maxSessions := fs.Int("max-sessions", 64, "max live streaming sessions")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	trace := fs.String("trace", "", "write a JSONL stage-span trace to this file")
+	debugAddr := fs.String("debug-addr", "", "serve pprof + expvar on this address (e.g. :6060)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var phone hyperear.Phone
+	switch *phoneName {
+	case "s4":
+		phone = hyperear.GalaxyS4()
+	case "note3":
+		phone = hyperear.GalaxyNote3()
+	default:
+		return fmt.Errorf("unknown -phone %q (want s4 or note3)", *phoneName)
+	}
+
+	reg := obs.NewRegistry()
+	var sink obs.Sink
+	var traceFile *os.File
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			return err
+		}
+		traceFile = f
+		sink = obs.NewJSONLSink(f)
+	}
+	o := obs.New(sink, reg)
+
+	pipeCfg := core.DefaultConfig(hyperear.DefaultBeacon(), phone.SampleRate, phone.MicSeparation)
+	pipeCfg.Obs = o
+	srv := server.New(server.Config{
+		Workers:            *workers,
+		Queue:              *queue,
+		RequestTimeout:     *timeout,
+		MaxBodyBytes:       *maxBody,
+		SessionIdleTimeout: *sessionIdle,
+		MaxSessions:        *maxSessions,
+		Pipeline:           pipeCfg,
+		Obs:                o,
+	})
+
+	if *debugAddr != "" {
+		reg.PublishExpvar("hyperear")
+		dbg, bound, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "hyperearservd: debug (pprof, expvar) on %s\n", bound)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hyperearservd: listening on %s\n", ln.Addr())
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain sequence: stop admitting (readyz 503, queued waiters shed),
+	// let in-flight handlers finish within the drain budget, then evict
+	// the remaining sessions and flush the trace sink.
+	fmt.Fprintln(os.Stderr, "hyperearservd: draining")
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err = hs.Shutdown(dctx)
+	srv.FinishShutdown()
+	if traceFile != nil {
+		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	fmt.Fprintf(os.Stderr, "hyperearservd: stopped\n%s", reg.Snapshot().String())
+	return err
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-phone", "pixel"}); err == nil || !strings.Contains(err.Error(), "unknown -phone") {
+		t.Fatalf("bad phone: got %v", err)
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}
+
+// TestSIGTERMDrains boots the daemon on an ephemeral port, verifies it
+// serves, sends the process SIGTERM (the handler is installed before the
+// listener opens, so self-signaling is safe), and requires run to return
+// cleanly within the drain budget.
+func TestSIGTERMDrains(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	defer func() { onListen = nil }()
+
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s", "-trace", trace})
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+
+	base := fmt.Sprintf("http://%s", addr)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz: status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Errorf("trace file not written: %v", err)
+	}
+}

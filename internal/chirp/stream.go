@@ -120,6 +120,30 @@ func NewStreamDetector(p Params, fs float64) (*StreamDetector, error) {
 	}, nil
 }
 
+// Buffered reports how many samples are currently held in the detector's
+// carry buffer — the per-session memory cost a long-running service
+// accounts for when deciding what to evict.
+func (s *StreamDetector) Buffered() int { return len(s.buf) }
+
+// Consumed reports the total number of samples pushed since the start of
+// the stream (or the last Reset), including samples already processed and
+// dropped from the buffer.
+func (s *StreamDetector) Consumed() int { return s.absOffset + len(s.buf) }
+
+// Reset returns the detector to its start-of-stream state while keeping
+// the expensive immutable setup (template, spectrum cache, FFT sizing),
+// so a service can pool one detector per session slot instead of
+// rebuilding it per connection. Buffers are retained at capacity and
+// timestamps restart at zero.
+func (s *StreamDetector) Reset() {
+	s.buf = s.buf[:0]
+	s.absOffset = 0
+	s.emitted = s.emitted[:0]
+	s.corr = s.corr[:0]
+	s.corrValid = 0
+	s.dets = s.dets[:0]
+}
+
 // Push appends a chunk of samples and returns any newly confirmed
 // detections, in time order, with absolute stream timestamps.
 func (s *StreamDetector) Push(chunk []float64) []Detection {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -146,6 +147,14 @@ func NewASP(source chirp.Params, fs float64, cfg ASPConfig) (*ASP, error) {
 // Process filters both channels, detects and pairs beacons, and estimates
 // the received beacon period from the calibration window.
 func (a *ASP) Process(rec *mic.Recording) (*ASPResult, error) {
+	return a.ProcessContext(context.Background(), rec)
+}
+
+// ProcessContext is Process with cancellation: the per-channel
+// filter+detect fan-out — the pipeline's dominant CPU cost — is skipped
+// for channels not yet started when ctx is done, and the stage returns
+// ctx's error instead of pairing partial results.
+func (a *ASP) ProcessContext(ctx context.Context, rec *mic.Recording) (*ASPResult, error) {
 	sp := a.cfg.Obs.Span("asp")
 	defer sp.End()
 	if rec == nil || len(rec.Mic1) == 0 || len(rec.Mic2) == 0 {
@@ -158,10 +167,17 @@ func (a *ASP) Process(rec *mic.Recording) (*ASPResult, error) {
 	chans := [2][]float64{rec.Mic1, rec.Mic2}
 	var dets [2][]chirp.Detection
 	parallelFor(2, a.cfg.Parallelism, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		sc := a.scratch.Get().(*chirp.DetectScratch)
 		dets[i] = a.det.DetectInto(nil, a.bp.Apply(chans[i]), sc)
 		a.scratch.Put(sc)
 	})
+	if err := ctxErr(ctx); err != nil {
+		sp.AttrStr("error", err.Error())
+		return nil, err
+	}
 	d1, d2 := dets[0], dets[1]
 	a.cfg.Obs.Add(MASPDetections, uint64(len(d1)+len(d2)))
 	sp.AttrInt("detections_mic1", len(d1))

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"hyperear/internal/sim"
+)
+
+// ctxSession lazily renders one small session shared by the cancellation
+// tests (rendering dominates test time; the pipeline itself is fast).
+var ctxSession = sync.OnceValues(func() (*sim.Session, error) {
+	sc := ruler2DScenario(4, 7)
+	sc.Protocol.Slides = 2
+	return sim.Run(sc)
+})
+
+func ctxLocalizer(t *testing.T) (*Localizer, *sim.Session) {
+	t.Helper()
+	s, err := ctxSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := ruler2DScenario(4, 7)
+	loc, err := NewLocalizer(DefaultConfig(sc.Source, sc.Phone.SampleRate, sc.Phone.MicSeparation))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loc, s
+}
+
+func TestLocate2DContextCanceled(t *testing.T) {
+	loc, s := ctxLocalizer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := loc.Locate2DContext(ctx, s.Recording, s.IMU); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled context: got %v, want context.Canceled", err)
+	}
+}
+
+func TestLocate2DContextDeadline(t *testing.T) {
+	loc, s := ctxLocalizer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	if _, err := loc.Locate2DContext(ctx, s.Recording, s.IMU); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestLocate2DContextBackground(t *testing.T) {
+	loc, s := ctxLocalizer(t)
+	res, err := loc.Locate2DContext(context.Background(), s.Recording, s.IMU)
+	if err != nil {
+		t.Fatalf("background context should behave like Locate2D: %v", err)
+	}
+	plain, err := loc.Locate2D(s.Recording, s.IMU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same localizer, same session, deterministic pipeline: the two runs
+	// must agree bit-for-bit, so an exact compare is the right assertion.
+	if res.L != plain.L || len(res.Fixes) != len(plain.Fixes) {
+		t.Fatalf("context and plain results diverge: L %v vs %v, fixes %d vs %d",
+			res.L, plain.L, len(res.Fixes), len(plain.Fixes))
+	}
+}
+
+func TestASPProcessContextCanceled(t *testing.T) {
+	loc, s := ctxLocalizer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := loc.asp.ProcessContext(ctx, s.Recording); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ASP with pre-canceled context: got %v, want context.Canceled", err)
+	}
+}
+
+func TestLocateFull3DContextCanceled(t *testing.T) {
+	loc, s := ctxLocalizer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := loc.LocateFull3DContext(ctx, s.Recording, s.IMU); !errors.Is(err, context.Canceled) {
+		t.Fatalf("full3D with pre-canceled context: got %v, want context.Canceled", err)
+	}
+}

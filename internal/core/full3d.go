@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -159,7 +160,13 @@ type ResultFull3D struct {
 // two-stature projection is involved: the speaker's complete relative 3D
 // position falls out of the joint solve.
 func (l *Localizer) LocateFull3D(rec *mic.Recording, tr *imu.Trace) (*ResultFull3D, error) {
-	aspRes, msp, ests, err := l.analyzeSession(rec, tr)
+	return l.LocateFull3DContext(context.Background(), rec, tr)
+}
+
+// LocateFull3DContext is LocateFull3D with cancellation (see
+// Locate2DContext).
+func (l *Localizer) LocateFull3DContext(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*ResultFull3D, error) {
+	aspRes, msp, ests, err := l.analyzeSession(ctx, rec, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +234,7 @@ func (l *Localizer) LocateFull3D(rec *mic.Recording, tr *imu.Trace) (*ResultFull
 	// basin. The 2D stage is immune to that ambiguity (it intersects the
 	// branches directly).
 	guess := geom.Vec3{X: l.cfg.TTL.InitialRange}
-	if fixes, _ := l.localizeSlides(aspRes, msp, ests); len(fixes) > 0 {
+	if fixes, _, serr := l.localizeSlides(ctx, aspRes, msp, ests); serr == nil && len(fixes) > 0 {
 		ls := make([]float64, len(fixes))
 		ys := make([]float64, len(fixes))
 		for i, f := range fixes {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -17,6 +18,19 @@ import (
 // ErrNoUsableSlides is returned when every segmented movement was rejected
 // by the PDE quality gates or failed triangulation.
 var ErrNoUsableSlides = errors.New("core: no usable slides in session")
+
+// ctxErr returns a wrapped cancellation error when ctx is done, nil
+// otherwise. The wrap keeps errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) working for callers (a server
+// shedding a dead client distinguishes them from pipeline failures).
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("core: pipeline canceled: %w", context.Cause(ctx))
+	default:
+		return nil
+	}
+}
 
 // Config configures a Localizer.
 type Config struct {
@@ -190,10 +204,16 @@ func (l *Localizer) MicSeparation() float64 { return l.cfg.MicSeparation }
 // SpeedOfSound returns the configured sound speed.
 func (l *Localizer) SpeedOfSound() float64 { return l.cfg.SpeedOfSound }
 
-// analyzeSession runs ASP, MSP, and PDE over one session.
-func (l *Localizer) analyzeSession(rec *mic.Recording, tr *imu.Trace) (*ASPResult, *MSPResult, []SlideEstimate, error) {
-	aspRes, err := l.asp.Process(rec)
+// analyzeSession runs ASP, MSP, and PDE over one session. Cancellation is
+// checked between stages and inside the PDE fan-out so an abandoned
+// request (dead client, expired deadline) stops burning CPU mid-pipeline
+// instead of completing a result nobody will read.
+func (l *Localizer) analyzeSession(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*ASPResult, *MSPResult, []SlideEstimate, error) {
+	aspRes, err := l.asp.ProcessContext(ctx, rec)
 	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, nil, nil, err
 	}
 	msp, err := PreprocessIMU(tr, l.cfg.MSP)
@@ -202,10 +222,15 @@ func (l *Localizer) analyzeSession(rec *mic.Recording, tr *imu.Trace) (*ASPResul
 	}
 	// Movement estimates are independent per segment (EstimateMovement only
 	// reads the shared MSPResult), so they fan out over the worker pool;
-	// results land at their segment index to keep the output order.
+	// results land at their segment index to keep the output order. A
+	// canceled context turns the remaining iterations into no-ops — the
+	// pool drains quickly rather than finishing every estimate.
 	sp := l.cfg.Obs.Span("pde")
 	ests := make([]SlideEstimate, len(msp.Segments))
 	parallelFor(len(msp.Segments), l.cfg.Parallelism, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		est := EstimateMovement(msp, msp.Segments[i], l.cfg.PDE)
 		if l.cfg.DisableDriftCorrection {
 			est = l.reestimateWithoutCorrection(msp, est)
@@ -214,6 +239,9 @@ func (l *Localizer) analyzeSession(rec *mic.Recording, tr *imu.Trace) (*ASPResul
 	})
 	sp.AttrInt("segments", len(msp.Segments))
 	sp.End()
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, nil, err
+	}
 	return aspRes, msp, ests, nil
 }
 
@@ -287,14 +315,18 @@ func noUsableSlides(nMovements int, diags []SlideError) error {
 // Every movement that yields no fix is recorded as a reason-coded
 // SlideError (stature changes excepted — they are not failures, only
 // tallied in the metrics), and the per-reason counters it emits account
-// for every element of ests exactly once.
-func (l *Localizer) localizeSlides(aspRes *ASPResult, msp *MSPResult, ests []SlideEstimate) ([]SlideFix, []SlideError) {
+// for every element of ests exactly once. A canceled context aborts the
+// loop between movements with a non-nil error.
+func (l *Localizer) localizeSlides(ctx context.Context, aspRes *ASPResult, msp *MSPResult, ests []SlideEstimate) ([]SlideFix, []SlideError, error) {
 	o := l.cfg.Obs
 	var fixes []SlideFix
 	var diags []SlideError
 	y := 0.0
 	gap := l.cfg.TTL.MaxAnchorGap
 	for i, est := range ests {
+		if err := ctxErr(ctx); err != nil {
+			return nil, nil, err
+		}
 		switch est.Kind {
 		case KindSlide:
 			before, after, err := anchorBeacons(aspRes.Beacons, est.StartTime, est.EndTime, gap, aspRes.PeriodEff)
@@ -329,21 +361,34 @@ func (l *Localizer) localizeSlides(aspRes *ASPResult, msp *MSPResult, ests []Sli
 			y += est.DispY
 		}
 	}
-	return fixes, diags
+	return fixes, diags, nil
 }
 
 // Locate2D runs the pipeline on a single-stature session and returns the
 // aggregated 2D fix.
 func (l *Localizer) Locate2D(rec *mic.Recording, tr *imu.Trace) (*Result2D, error) {
+	return l.Locate2DContext(context.Background(), rec, tr)
+}
+
+// Locate2DContext is Locate2D with cancellation: when ctx is canceled or
+// its deadline passes, the pipeline aborts at the next stage boundary
+// (and inside the heavy ASP/PDE fan-outs) and returns an error wrapping
+// ctx's cause.
+func (l *Localizer) Locate2DContext(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*Result2D, error) {
 	sp := l.cfg.Obs.Span("locate2d")
 	defer sp.End()
-	aspRes, msp, ests, err := l.analyzeSession(rec, tr)
+	aspRes, msp, ests, err := l.analyzeSession(ctx, rec, tr)
 	if err != nil {
 		sp.AttrStr("error", err.Error())
 		return nil, err
 	}
 	tsp := l.cfg.Obs.Span("ttl")
-	fixes, diags := l.localizeSlides(aspRes, msp, ests)
+	fixes, diags, err := l.localizeSlides(ctx, aspRes, msp, ests)
+	if err != nil {
+		tsp.End()
+		sp.AttrStr("error", err.Error())
+		return nil, err
+	}
 	tsp.AttrInt("movements", len(ests))
 	tsp.AttrInt("fixes", len(fixes))
 	tsp.AttrInt("rejected", len(diags))
@@ -377,9 +422,14 @@ func (l *Localizer) Locate2D(rec *mic.Recording, tr *imu.Trace) (*Result2D, erro
 // stature change give L1, slides after give L2, and the stature movement
 // itself gives H; eq. (7) projects the speaker onto the floor.
 func (l *Localizer) Locate3D(rec *mic.Recording, tr *imu.Trace) (*Result3D, error) {
+	return l.Locate3DContext(context.Background(), rec, tr)
+}
+
+// Locate3DContext is Locate3D with cancellation (see Locate2DContext).
+func (l *Localizer) Locate3DContext(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*Result3D, error) {
 	sp := l.cfg.Obs.Span("locate3d")
 	defer sp.End()
-	aspRes, msp, ests, err := l.analyzeSession(rec, tr)
+	aspRes, msp, ests, err := l.analyzeSession(ctx, rec, tr)
 	if err != nil {
 		sp.AttrStr("error", err.Error())
 		return nil, err
@@ -399,7 +449,12 @@ func (l *Localizer) Locate3D(rec *mic.Recording, tr *imu.Trace) (*Result3D, erro
 	}
 
 	tsp := l.cfg.Obs.Span("ttl")
-	fixes, diags := l.localizeSlides(aspRes, msp, ests)
+	fixes, diags, err := l.localizeSlides(ctx, aspRes, msp, ests)
+	if err != nil {
+		tsp.End()
+		sp.AttrStr("error", err.Error())
+		return nil, err
+	}
 	tsp.AttrInt("movements", len(ests))
 	tsp.AttrInt("fixes", len(fixes))
 	tsp.AttrInt("rejected", len(diags))

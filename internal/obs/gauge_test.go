@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("queue.depth")
+	if g.Value() != 0 || g.Max() != 0 {
+		t.Fatalf("fresh gauge = %d/%d, want 0/0", g.Value(), g.Max())
+	}
+	if got := g.Add(3); got != 3 {
+		t.Fatalf("Add(3) = %d, want 3", got)
+	}
+	g.Add(-2)
+	if g.Value() != 1 {
+		t.Fatalf("after +3-2: %d, want 1", g.Value())
+	}
+	if g.Max() != 3 {
+		t.Fatalf("max = %d, want 3", g.Max())
+	}
+	g.Set(-5)
+	if g.Value() != -5 || g.Max() != 3 {
+		t.Fatalf("after Set(-5): %d/%d, want -5/3", g.Value(), g.Max())
+	}
+	if r.Gauge("queue.depth") != g {
+		t.Fatal("same name must return the same gauge")
+	}
+}
+
+func TestGaugeNilSafe(t *testing.T) {
+	var g *Gauge
+	g.Set(7)
+	if g.Add(1) != 0 || g.Value() != 0 || g.Max() != 0 {
+		t.Fatal("nil gauge methods must be no-ops")
+	}
+	var o *Obs
+	if o.Gauge("x") != nil {
+		t.Fatal("nil Obs must return a nil gauge")
+	}
+	o.Gauge("x").Add(1) // must not panic
+}
+
+// TestGaugeConcurrent drives one gauge from many goroutines and checks
+// the level and high-watermark stay consistent; run under -race via the
+// obs-check gate's Concurrent pattern.
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("balanced adds left level %d, want 0", g.Value())
+	}
+	if m := g.Max(); m < 1 || m > workers {
+		t.Fatalf("max %d outside [1,%d]", m, workers)
+	}
+}
+
+func TestSnapshotIncludesGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("sessions.active").Add(4)
+	r.Gauge("sessions.active").Add(-1)
+	snap := r.Snapshot()
+	gs, ok := snap.Gauges["sessions.active"]
+	if !ok {
+		t.Fatal("snapshot missing gauge")
+	}
+	if gs.Value != 3 || gs.Max != 4 {
+		t.Fatalf("snapshot gauge = %+v, want value 3 max 4", gs)
+	}
+	if !strings.Contains(snap.String(), "sessions.active") {
+		t.Fatal("String() must render gauges")
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"sessions.active"`) {
+		t.Fatalf("JSON snapshot missing gauge: %s", raw)
+	}
+}

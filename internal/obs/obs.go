@@ -94,6 +94,17 @@ func (o *Obs) Add(name string, n uint64) {
 	o.reg.Add(name, n)
 }
 
+// Gauge returns the named gauge from the registry, or nil when metrics
+// are disabled. A nil *Gauge is itself a safe no-op receiver, so callers
+// chain unconditionally: o.Gauge("queue.depth").Add(1). Safe on a nil
+// receiver.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil || o.reg == nil {
+		return nil
+	}
+	return o.reg.Gauge(name)
+}
+
 // Observe records v into the named histogram (created with DefaultBounds
 // on first use). Safe on a nil receiver.
 func (o *Obs) Observe(name string, v float64) {

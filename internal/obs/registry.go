@@ -27,6 +27,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*atomic.Uint64
 	hists    map[string]*Histogram
+	gauges   map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
@@ -34,6 +35,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*atomic.Uint64),
 		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]*Gauge),
 	}
 }
 
@@ -69,6 +71,80 @@ func (r *Registry) Get(name string) uint64 {
 		return 0
 	}
 	return c.Load()
+}
+
+// Gauge returns the named gauge, creating it on first use. Unlike
+// counters, gauges are signed point-in-time levels (queue depth, live
+// sessions) and track their own high-watermark.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Gauge is a signed point-in-time level with a monotone high-watermark,
+// safe for concurrent use. A nil *Gauge is a valid receiver: every method
+// is a no-op (reads return 0), mirroring the package's nil-disabled
+// convention.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set stores the level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	g.bump(v)
+}
+
+// Add adjusts the level by d (negative to decrement) and returns the new
+// level.
+func (g *Gauge) Add(d int64) int64 {
+	if g == nil {
+		return 0
+	}
+	v := g.v.Add(d)
+	g.bump(v)
+	return v
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max returns the highest level ever observed (never below 0: the
+// watermark starts at the zero level).
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+func (g *Gauge) bump(v int64) {
+	for {
+		m := g.max.Load()
+		if v <= m || g.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
 }
 
 // Hist returns the named histogram, creating it with the given bounds on
@@ -151,23 +227,34 @@ func (h HistSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// GaugeSnapshot is a point-in-time copy of a gauge.
+type GaugeSnapshot struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
 // Snapshot is a point-in-time copy of a registry, suitable for JSON
 // encoding (it is what the expvar export publishes).
 type Snapshot struct {
-	Counters   map[string]uint64       `json:"counters"`
-	Histograms map[string]HistSnapshot `json:"histograms"`
+	Counters   map[string]uint64        `json:"counters"`
+	Histograms map[string]HistSnapshot  `json:"histograms"`
+	Gauges     map[string]GaugeSnapshot `json:"gauges,omitempty"`
 }
 
-// Snapshot copies every counter and histogram.
+// Snapshot copies every counter, histogram, and gauge.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
 		Counters:   make(map[string]uint64, len(r.counters)),
 		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+		Gauges:     make(map[string]GaugeSnapshot, len(r.gauges)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Max: g.Max()}
 	}
 	for name, h := range r.hists {
 		hs := HistSnapshot{
@@ -206,6 +293,15 @@ func (s Snapshot) String() string {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(&b, "%-44s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := s.Gauges[name]
+		fmt.Fprintf(&b, "%-44s %d (max %d)\n", name, g.Value, g.Max)
 	}
 	names = names[:0]
 	for name := range s.Histograms {

@@ -1,0 +1,44 @@
+package server
+
+// Metric names the service emits into its obs.Registry, alongside the
+// pipeline's own asp./msp./pde./pipeline. counters (one registry serves
+// both). Gauges carry live levels with high-watermarks; everything else
+// is a monotone counter. DESIGN.md "Service architecture" documents the
+// accounting identities the soak test asserts.
+const (
+	// MReqAdmitted counts requests that won a pool ticket.
+	MReqAdmitted = "server.requests.admitted"
+	// MReqCompleted counts admitted requests that finished the pipeline
+	// (successfully or with a pipeline error — the work ran to an answer).
+	MReqCompleted = "server.requests.completed"
+	// MReqCanceled counts admitted requests abandoned mid-pipeline
+	// (client gone, deadline hit).
+	MReqCanceled = "server.requests.canceled"
+	// MReqShedPrefix + reason counts requests refused admission:
+	// "queue_full" (429) or "draining" (503). admitted + shed.* accounts
+	// for every localization request exactly once.
+	MReqShedPrefix = "server.requests.shed."
+	// MReqRejected counts requests refused before admission for malformed
+	// input (bad content type, oversized body, undecodable bundle).
+	MReqRejected = "server.requests.rejected"
+
+	// GQueueDepth is the admitted-work level (running + queued); its Max
+	// must never exceed workers + queue bound.
+	GQueueDepth = "server.queue.depth"
+	// GSessionsActive is the live streaming-session count.
+	GSessionsActive = "server.sessions.active"
+
+	// MSessCreated / MSessEvicted account for every streaming session:
+	// created == evicted.idle + evicted.capacity + evicted.explicit +
+	// evicted.shutdown + active.
+	MSessCreated       = "server.sessions.created"
+	MSessEvictedPrefix = "server.sessions.evicted."
+)
+
+// Eviction reason codes appended to MSessEvictedPrefix.
+const (
+	EvictIdle     = "idle"
+	EvictCapacity = "capacity"
+	EvictExplicit = "explicit"
+	EvictShutdown = "shutdown"
+)

@@ -1,0 +1,687 @@
+// Package server exposes the HyperEar localization pipeline as an HTTP
+// service. The routing is thin; the substance is the robustness layer:
+// a bounded admission pool sized off core.Config.Parallelism, per-request
+// deadlines propagated via context into the pipeline's stage loops,
+// load-shedding with Retry-After when the queue is full, per-session idle
+// eviction for the streaming-ingest path, request-size limits, and a
+// graceful drain sequence. DESIGN.md "Service architecture" has the
+// diagrams and accounting identities.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/core"
+	"hyperear/internal/geom"
+	"hyperear/internal/obs"
+	"hyperear/internal/sessionio"
+)
+
+// Config sizes the service. Zero values select the documented defaults;
+// Normalize applies them.
+type Config struct {
+	// Workers bounds concurrently running localizations. 0 uses the
+	// pipeline config's Parallelism (itself defaulting to GOMAXPROCS-ish
+	// behavior inside the pipeline), floored at 1.
+	Workers int
+	// Queue bounds admitted-but-waiting localizations beyond Workers.
+	// Requests past workers+queue are shed with 429.
+	Queue int
+	// RequestTimeout is the per-request pipeline deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps any single request body (multipart bundle or
+	// audio chunk).
+	MaxBodyBytes int64
+	// MaxSessionSamples caps the per-channel audio a streaming session
+	// may accumulate.
+	MaxSessionSamples int
+	// MaxSessions caps live streaming sessions; at capacity the stalest
+	// is evicted to admit a new one.
+	MaxSessions int
+	// SessionIdleTimeout evicts sessions with no activity for this long.
+	SessionIdleTimeout time.Duration
+	// SweepInterval is how often the idle janitor runs.
+	SweepInterval time.Duration
+	// Pipeline is the default localization config (beacon parameters,
+	// geometry, stage tuning). Per-request meta may override Source,
+	// SampleRate and MicSeparation.
+	Pipeline core.Config
+	// Obs receives the server.* counters and gauges alongside the
+	// pipeline's own metrics; nil disables accounting.
+	Obs *obs.Obs
+}
+
+// Normalize fills zero fields with defaults and returns the result.
+func (c Config) Normalize() Config {
+	if c.Workers <= 0 {
+		c.Workers = c.Pipeline.Parallelism
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	} else if c.Queue == 0 {
+		c.Queue = 2 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxSessionSamples <= 0 {
+		c.MaxSessionSamples = 48000 * 120 // two minutes at 48 kHz
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionIdleTimeout <= 0 {
+		c.SessionIdleTimeout = 2 * time.Minute
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = 15 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP front end. Construct with New, serve via Handler,
+// shut down with BeginDrain + (http.Server).Shutdown + FinishShutdown.
+type Server struct {
+	cfg      Config
+	o        *obs.Obs
+	pool     *pool
+	sessions *sessionTable
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	// clock is swapped by tests driving idle eviction.
+	clock func() time.Time
+
+	// locMu guards the localizer cache: building a Localizer renders the
+	// beacon template and FFT plans, so sessions sharing parameters share
+	// the instance (Localizer is safe for concurrent use).
+	locMu sync.Mutex
+	locs  map[locKey]*core.Localizer
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// locKey identifies a localizer by the per-request-overridable pipeline
+// parameters. chirp.Params is an all-float64 struct, so the key is
+// comparable.
+type locKey struct {
+	src    chirp.Params
+	fs     float64
+	micSep float64
+}
+
+// New builds a Server and starts its idle-eviction janitor.
+func New(cfg Config) *Server {
+	cfg = cfg.Normalize()
+	s := &Server{
+		cfg:         cfg,
+		o:           cfg.Obs,
+		pool:        newPool(cfg.Workers, cfg.Queue, cfg.Obs.Gauge(GQueueDepth)),
+		sessions:    newSessionTable(cfg.MaxSessions, cfg.SessionIdleTimeout, cfg.Obs),
+		clock:       time.Now,
+		locs:        make(map[locKey]*core.Localizer),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.mux = s.buildMux()
+	go s.janitor()
+	return s
+}
+
+// Handler returns the root handler (mount at /).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// QueueBound returns the admission bound (workers + queue), the level
+// the queue-depth gauge's high-watermark must never exceed.
+func (s *Server) QueueBound() int { return s.pool.bound() }
+
+// BeginDrain starts graceful shutdown: readiness flips to 503, queued
+// waiters are shed with 503, and no new work is admitted. Work already
+// running is unaffected — the caller's http.Server.Shutdown waits for
+// those handlers. Idempotent.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.pool.drain()
+}
+
+// FinishShutdown completes the drain after the HTTP listener has
+// stopped: every remaining streaming session is evicted and the janitor
+// exits. Call after http.Server.Shutdown returns.
+func (s *Server) FinishShutdown() {
+	s.BeginDrain()
+	select {
+	case <-s.janitorStop:
+	default:
+		close(s.janitorStop)
+	}
+	<-s.janitorDone
+	s.sessions.shutdown()
+}
+
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sessions.sweepIdle(s.clock())
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/locate", s.handleLocate)
+	mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	mux.HandleFunc("POST /v1/sessions/{id}/audio", s.handleSessionAudio)
+	mux.HandleFunc("POST /v1/sessions/{id}/imu", s.handleSessionIMU)
+	mux.HandleFunc("POST /v1/sessions/{id}/locate", s.handleSessionLocate)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// --- error / JSON plumbing ---
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// reject tallies and writes a pre-admission client error.
+func (s *Server) reject(w http.ResponseWriter, code int, msg string) {
+	s.o.Inc(MReqRejected)
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// shed writes an admission refusal with Retry-After.
+func (s *Server) shed(w http.ResponseWriter, err error) {
+	if errors.Is(err, errDraining) {
+		s.o.Inc(MReqShedPrefix + "draining")
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	s.o.Inc(MReqShedPrefix + "queue_full")
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, errorBody{Error: errQueueFull.Error()})
+}
+
+// readBody drains the (already size-limited) body, mapping the
+// over-limit error to 413.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.reject(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", mbe.Limit))
+		} else {
+			s.reject(w, http.StatusBadRequest, "reading body: "+err.Error())
+		}
+		return nil, false
+	}
+	return raw, true
+}
+
+// --- localizer cache ---
+
+// localizerFor returns the shared Localizer for the request's effective
+// parameters: the server's pipeline defaults with any nonzero meta
+// overrides applied.
+func (s *Server) localizerFor(meta sessionio.Meta) (*core.Localizer, error) {
+	cfg := s.cfg.Pipeline
+	if meta.SampleRate > 0 {
+		cfg.SampleRate = meta.SampleRate
+	}
+	if meta.MicSeparation > 0 {
+		cfg.MicSeparation = meta.MicSeparation
+	}
+	if meta.ChirpLowHz > 0 {
+		cfg.Source.Low = meta.ChirpLowHz
+	}
+	if meta.ChirpHighHz > 0 {
+		cfg.Source.High = meta.ChirpHighHz
+	}
+	if meta.ChirpDurS > 0 {
+		cfg.Source.Duration = meta.ChirpDurS
+	}
+	if meta.ChirpPeriodS > 0 {
+		cfg.Source.Period = meta.ChirpPeriodS
+	}
+	key := locKey{src: cfg.Source, fs: cfg.SampleRate, micSep: cfg.MicSeparation}
+	s.locMu.Lock()
+	defer s.locMu.Unlock()
+	if l, ok := s.locs[key]; ok {
+		return l, nil
+	}
+	l, err := core.NewLocalizer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.locs[key] = l
+	return l, nil
+}
+
+// --- locate responses ---
+
+type diagJSON struct {
+	Index  int    `json:"index"`
+	Reason string `json:"reason"`
+	Error  string `json:"error,omitempty"`
+}
+
+func diagsJSON(ds []core.SlideError) []diagJSON {
+	out := make([]diagJSON, 0, len(ds))
+	for _, d := range ds {
+		j := diagJSON{Index: d.Index, Reason: d.Reason}
+		if d.Err != nil {
+			j.Error = d.Err.Error()
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+type locate2DResponse struct {
+	Mode        string     `json:"mode"`
+	Pos         geom.Vec2  `json:"pos"`
+	L           float64    `json:"l"`
+	Fixes       int        `json:"fixes"`
+	Movements   int        `json:"movements"`
+	Beacons     int        `json:"beacons"`
+	SFOPPM      float64    `json:"sfoPPM"`
+	Diagnostics []diagJSON `json:"diagnostics"`
+}
+
+type locate3DResponse struct {
+	Mode          string     `json:"mode"`
+	ProjectedDist float64    `json:"projectedDist"`
+	ProjectedPos  geom.Vec2  `json:"projectedPos"`
+	L1            float64    `json:"l1"`
+	L2            float64    `json:"l2"`
+	H             float64    `json:"h"`
+	BetaRad       float64    `json:"betaRad"`
+	Fixes         [2]int     `json:"fixes"`
+	Movements     int        `json:"movements"`
+	Beacons       int        `json:"beacons"`
+	SFOPPM        float64    `json:"sfoPPM"`
+	Diagnostics   []diagJSON `json:"diagnostics"`
+}
+
+// runLocate admits, runs and renders one localization over a decoded
+// bundle. mode is "2d" or "3d" (validated by the caller).
+func (s *Server) runLocate(w http.ResponseWriter, r *http.Request, b *sessionio.Bundle, mode string) {
+	release, err := s.pool.acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, errQueueFull) || errors.Is(err, errDraining) {
+			s.shed(w, err)
+			return
+		}
+		// Client gave up while queued.
+		s.o.Inc(MReqCanceled)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	defer release()
+	s.o.Inc(MReqAdmitted)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	loc, err := s.localizerFor(b.Meta)
+	if err != nil {
+		s.o.Inc(MReqCompleted)
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: "pipeline config: " + err.Error()})
+		return
+	}
+
+	switch mode {
+	case "2d":
+		res, err := loc.Locate2DContext(ctx, b.Recording, b.IMU)
+		if err != nil {
+			s.writePipelineError(w, err)
+			return
+		}
+		s.o.Inc(MReqCompleted)
+		writeJSON(w, http.StatusOK, locate2DResponse{
+			Mode: "2d", Pos: res.Pos, L: res.L,
+			Fixes: len(res.Fixes), Movements: len(res.Movements),
+			Beacons: len(res.ASP.Beacons), SFOPPM: res.ASP.SFOPPM,
+			Diagnostics: diagsJSON(res.Diagnostics),
+		})
+	case "3d":
+		res, err := loc.Locate3DContext(ctx, b.Recording, b.IMU)
+		if err != nil {
+			s.writePipelineError(w, err)
+			return
+		}
+		s.o.Inc(MReqCompleted)
+		writeJSON(w, http.StatusOK, locate3DResponse{
+			Mode: "3d", ProjectedDist: res.ProjectedDist, ProjectedPos: res.ProjectedPos,
+			L1: res.L1, L2: res.L2, H: res.H, BetaRad: res.Beta,
+			Fixes:     [2]int{len(res.Fixes[0]), len(res.Fixes[1])},
+			Movements: len(res.Movements),
+			Beacons:   len(res.ASP.Beacons), SFOPPM: res.ASP.SFOPPM,
+			Diagnostics: diagsJSON(res.Diagnostics),
+		})
+	}
+}
+
+// writePipelineError maps a pipeline failure: cancellations and
+// deadlines are 503 (the work was shed mid-flight, safe to retry);
+// everything else is 422 (the input ran the pipeline and produced no
+// answer — retrying the same bytes will not help).
+func (s *Server) writePipelineError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.o.Inc(MReqCanceled)
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	s.o.Inc(MReqCompleted)
+	writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+}
+
+func parseMode(r *http.Request) (string, error) {
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "2d"
+	}
+	if mode != "2d" && mode != "3d" {
+		return "", fmt.Errorf("unknown mode %q (want 2d or 3d)", mode)
+	}
+	return mode, nil
+}
+
+// --- batch endpoint ---
+
+// handleLocate is the batch path: one multipart bundle (audio WAV + IMU
+// CSV + optional meta JSON) in, one localization out.
+func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
+	mode, err := parseMode(r)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	mt, params, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if err != nil || mt != "multipart/form-data" || params["boundary"] == "" {
+		s.reject(w, http.StatusUnsupportedMediaType,
+			"want multipart/form-data with parts audio (WAV), imu (CSV), meta (JSON)")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	b, err := sessionio.ReadBundleMultipart(multipart.NewReader(bytes.NewReader(raw), params["boundary"]))
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "decoding bundle: "+err.Error())
+		return
+	}
+	s.runLocate(w, r, b, mode)
+}
+
+// --- streaming session endpoints ---
+
+type sessionCreateResponse struct {
+	ID string `json:"id"`
+}
+
+// handleSessionCreate opens a streaming session. The optional JSON body
+// is a sessionio.Meta; its beacon parameters configure the session's
+// stream detectors.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.o.Inc(MReqShedPrefix + "draining")
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: errDraining.Error()})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var meta sessionio.Meta
+	if len(raw) > 0 {
+		meta, ok = s.parseMetaBody(w, raw)
+		if !ok {
+			return
+		}
+	}
+	src := s.cfg.Pipeline.Source
+	if meta.ChirpLowHz > 0 {
+		src.Low = meta.ChirpLowHz
+	}
+	if meta.ChirpHighHz > 0 {
+		src.High = meta.ChirpHighHz
+	}
+	if meta.ChirpDurS > 0 {
+		src.Duration = meta.ChirpDurS
+	}
+	if meta.ChirpPeriodS > 0 {
+		src.Period = meta.ChirpPeriodS
+	}
+	fs := s.cfg.Pipeline.SampleRate
+	if meta.SampleRate > 0 {
+		fs = meta.SampleRate
+	}
+	sess, err := s.sessions.create(meta, src, fs, s.clock())
+	if err != nil {
+		if errors.Is(err, errTableFull) {
+			s.shed(w, errQueueFull)
+			return
+		}
+		s.reject(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionCreateResponse{ID: sess.id})
+}
+
+func (s *Server) parseMetaBody(w http.ResponseWriter, raw []byte) (sessionio.Meta, bool) {
+	meta, err := sessionio.ParseMeta(raw)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "meta: "+err.Error())
+		return sessionio.Meta{}, false
+	}
+	return meta, true
+}
+
+func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	sess, err := s.sessions.get(r.PathValue("id"))
+	if err != nil {
+		s.reject(w, http.StatusNotFound, err.Error())
+		return nil, false
+	}
+	return sess, true
+}
+
+type detectionJSON struct {
+	Time     float64 `json:"time"`
+	Index    int     `json:"index"`
+	Strength float64 `json:"strength"`
+	SNR      float64 `json:"snr"`
+}
+
+type audioAppendResponse struct {
+	Detections []detectionJSON `json:"detections"`
+	Buffered   int             `json:"buffered"`
+	Consumed   int             `json:"consumed"`
+}
+
+// handleSessionAudio appends an interleaved stereo int16 LE PCM chunk
+// and returns the newly confirmed beacon detections — the live feedback
+// the client shows before the user starts sliding.
+func (s *Server) handleSessionAudio(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	dets, err := sess.appendAudio(raw, s.cfg.MaxSessionSamples, s.clock())
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errSessionGone) {
+			code = http.StatusNotFound
+		} else if errors.Is(err, errSessionTooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.reject(w, code, err.Error())
+		return
+	}
+	resp := audioAppendResponse{Detections: make([]detectionJSON, 0, len(dets))}
+	for _, d := range dets {
+		resp.Detections = append(resp.Detections, detectionJSON{
+			Time: d.Time, Index: d.Index, Strength: d.Strength, SNR: d.SNR,
+		})
+	}
+	sess.mu.Lock()
+	resp.Buffered = sess.det1.Buffered()
+	resp.Consumed = sess.det1.Consumed()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionIMU attaches the session's IMU trace (the sessionio CSV
+// format, `# fs=` preamble included).
+func (s *Server) handleSessionIMU(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	tr, err := sessionio.ReadIMU(bytes.NewReader(raw))
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, "imu: "+err.Error())
+		return
+	}
+	if err := sess.setIMU(tr, s.clock()); err != nil {
+		s.reject(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSessionLocate runs the full pipeline over everything the session
+// has accumulated, through the same admission pool as the batch path.
+func (s *Server) handleSessionLocate(w http.ResponseWriter, r *http.Request) {
+	mode, err := parseMode(r)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	rec, tr, err := sess.snapshotRecording(s.clock())
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, errSessionGone) {
+			code = http.StatusNotFound
+		}
+		s.reject(w, code, err.Error())
+		return
+	}
+	s.runLocate(w, r, &sessionio.Bundle{Recording: rec, IMU: tr, Meta: sess.meta}, mode)
+}
+
+// handleSessionDelete evicts a session explicitly.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.evict(r.PathValue("id"), EvictExplicit) {
+		s.reject(w, http.StatusNotFound, errSessionGone.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- metrics ---
+
+// handleMetrics renders the obs registry snapshot as JSON (expvar-style
+// exposure lives on the debug listener; this is the service's own view,
+// including the server.* counters and gauges).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.o == nil || s.o.Registry() == nil {
+		writeJSON(w, http.StatusOK, struct{}{})
+		return
+	}
+	snap := s.o.Registry().Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, snap.String())
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// RetryAfterSeconds parses a Retry-After header value written by this
+// server (always integral seconds); helper for clients and tests.
+func RetryAfterSeconds(h http.Header) (int, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

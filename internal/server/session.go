@@ -1,0 +1,254 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"hyperear/internal/chirp"
+	"hyperear/internal/imu"
+	"hyperear/internal/mic"
+	"hyperear/internal/obs"
+	"hyperear/internal/sessionio"
+)
+
+// session is one live streaming-ingest session: two per-channel
+// StreamDetectors give the client beacon-detection feedback chunk by
+// chunk (the paper's direction-finding UX needs to know the beacon is
+// audible before the user starts sliding), while the raw samples
+// accumulate for the final full-pipeline localization.
+type session struct {
+	id   string
+	meta sessionio.Meta
+	fs   float64
+
+	mu         sync.Mutex
+	det1, det2 *chirp.StreamDetector
+	mic1, mic2 []float64
+	trace      *imu.Trace
+	detections int
+	lastTouch  time.Time
+	evicted    bool
+}
+
+// touch marks activity; callers hold s.mu.
+func (s *session) touchLocked(now time.Time) { s.lastTouch = now }
+
+// appendAudio decodes interleaved stereo int16 little-endian PCM, pushes
+// both channels through the stream detectors, and accumulates the
+// samples. Returns the newly confirmed detections of channel 1 (the
+// client-feedback channel).
+func (s *session) appendAudio(raw []byte, maxSamples int, now time.Time) ([]chirp.Detection, error) {
+	if len(raw) == 0 || len(raw)%4 != 0 {
+		return nil, fmt.Errorf("audio chunk must be interleaved stereo int16 (got %d bytes)", len(raw))
+	}
+	n := len(raw) / 4
+	c1 := make([]float64, n)
+	c2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c1[i] = float64(int16(binary.LittleEndian.Uint16(raw[i*4:]))) / 32767
+		c2[i] = float64(int16(binary.LittleEndian.Uint16(raw[i*4+2:]))) / 32767
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evicted {
+		return nil, errSessionGone
+	}
+	if len(s.mic1)+n > maxSamples {
+		return nil, fmt.Errorf("%w: session exceeds %d samples", errSessionTooLarge, maxSamples)
+	}
+	s.mic1 = append(s.mic1, c1...)
+	s.mic2 = append(s.mic2, c2...)
+	dets := s.det1.Push(c1)
+	s.det2.Push(c2)
+	s.detections += len(dets)
+	s.touchLocked(now)
+	return dets, nil
+}
+
+// setIMU attaches the session's inertial trace.
+func (s *session) setIMU(tr *imu.Trace, now time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evicted {
+		return errSessionGone
+	}
+	s.trace = tr
+	s.touchLocked(now)
+	return nil
+}
+
+// snapshotRecording returns a Recording over the accumulated samples and
+// the IMU trace, for the final localization. The slices are copied so the
+// pipeline can run outside the session lock while more audio arrives.
+func (s *session) snapshotRecording(now time.Time) (*mic.Recording, *imu.Trace, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.evicted {
+		return nil, nil, errSessionGone
+	}
+	if len(s.mic1) == 0 {
+		return nil, nil, fmt.Errorf("session has no audio")
+	}
+	if s.trace == nil {
+		return nil, nil, fmt.Errorf("session has no IMU trace")
+	}
+	rec := &mic.Recording{
+		Fs:        s.fs,
+		Mic1:      append([]float64(nil), s.mic1...),
+		Mic2:      append([]float64(nil), s.mic2...),
+		TrueSNRdB: math.Inf(1),
+	}
+	s.touchLocked(now)
+	return rec, s.trace, nil
+}
+
+var (
+	errSessionGone     = fmt.Errorf("session not found or evicted")
+	errSessionTooLarge = fmt.Errorf("session audio limit exceeded")
+	errTableFull       = fmt.Errorf("session table full")
+)
+
+// sessionTable owns every live session: bounded capacity, idle eviction,
+// and gauge accounting. All methods are safe for concurrent use.
+type sessionTable struct {
+	mu     sync.Mutex
+	m      map[string]*session
+	max    int
+	idle   time.Duration
+	active *obs.Gauge
+	o      *obs.Obs
+}
+
+func newSessionTable(maxSessions int, idle time.Duration, o *obs.Obs) *sessionTable {
+	return &sessionTable{
+		m:      make(map[string]*session),
+		max:    maxSessions,
+		idle:   idle,
+		active: o.Gauge(GSessionsActive),
+		o:      o,
+	}
+}
+
+// newID returns a 128-bit random hex session id.
+func newID() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// create registers a new session with per-channel stream detectors built
+// from the beacon parameters.
+func (t *sessionTable) create(meta sessionio.Meta, src chirp.Params, fs float64, now time.Time) (*session, error) {
+	det1, err := chirp.NewStreamDetector(src, fs)
+	if err != nil {
+		return nil, err
+	}
+	det2, err := chirp.NewStreamDetector(src, fs)
+	if err != nil {
+		return nil, err
+	}
+	id, err := newID()
+	if err != nil {
+		return nil, err
+	}
+	s := &session{id: id, meta: meta, fs: fs, det1: det1, det2: det2, lastTouch: now}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.m) >= t.max {
+		// Capacity pressure: evict the stalest session rather than refuse
+		// — an abandoned upload should never block a live user.
+		stalest := ""
+		var oldest time.Time
+		for id, cand := range t.m {
+			cand.mu.Lock()
+			last := cand.lastTouch
+			cand.mu.Unlock()
+			if stalest == "" || last.Before(oldest) {
+				stalest, oldest = id, last
+			}
+		}
+		if stalest == "" {
+			return nil, errTableFull
+		}
+		t.evictLocked(stalest, EvictCapacity)
+	}
+	t.m[s.id] = s
+	t.active.Add(1)
+	t.o.Inc(MSessCreated)
+	return s, nil
+}
+
+// get returns the live session with the given id.
+func (t *sessionTable) get(id string) (*session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.m[id]
+	if s == nil {
+		return nil, errSessionGone
+	}
+	return s, nil
+}
+
+// evict removes a session, tallying the reason; returns false when the id
+// is unknown (already evicted).
+func (t *sessionTable) evict(id, reason string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evictLocked(id, reason)
+}
+
+func (t *sessionTable) evictLocked(id, reason string) bool {
+	s := t.m[id]
+	if s == nil {
+		return false
+	}
+	delete(t.m, id)
+	s.mu.Lock()
+	s.evicted = true
+	s.mu.Unlock()
+	t.active.Add(-1)
+	t.o.Inc(MSessEvictedPrefix + reason)
+	return true
+}
+
+// sweepIdle evicts every session idle longer than the table's idle bound;
+// returns how many were evicted. The server's janitor calls this on a
+// timer; tests call it directly with a synthetic now.
+func (t *sessionTable) sweepIdle(now time.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, s := range t.m {
+		s.mu.Lock()
+		idle := now.Sub(s.lastTouch)
+		s.mu.Unlock()
+		if idle > t.idle {
+			t.evictLocked(id, EvictIdle)
+			n++
+		}
+	}
+	return n
+}
+
+// shutdown evicts every remaining session (reason "shutdown").
+func (t *sessionTable) shutdown() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id := range t.m {
+		t.evictLocked(id, EvictShutdown)
+	}
+}
+
+// len returns the live session count.
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

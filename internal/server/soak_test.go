@@ -1,0 +1,99 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestSoakConcurrentClients is the load/fault gate the CI soak job runs
+// under -race: many concurrent clients against a small pool. Every
+// request must resolve to 200 (ran the pipeline), 429 (queue full) or
+// 503 (shed) — none may hang or see a transport error — and afterwards
+// the admission accounting must balance exactly:
+//
+//	admitted + shed.queue_full + shed.draining == requests sent
+//	completed + canceled                       == admitted
+//	queue-depth watermark                      <= workers + queue
+//
+// The "Concurrent" in the name opts it into the obs-check race gate's
+// -run filter as well.
+func TestSoakConcurrentClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const clients = 32
+	srv, ts, reg := newTestServer(t, func(c *Config) {
+		c.Workers = 2
+		c.Queue = 2
+	})
+
+	b, err := testBundle()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	codes := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := http.NewRequest("POST", ts.URL+"/v1/locate", bytes.NewReader(b.body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", b.contentType)
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Errorf("client %d: transport error: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	byCode := map[int]int{}
+	for i, c := range codes {
+		switch c {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			byCode[c]++
+		default:
+			t.Errorf("client %d: status %d, want 200/429/503", i, c)
+		}
+	}
+	t.Logf("soak outcomes: %v", byCode)
+	if byCode[http.StatusOK] == 0 {
+		t.Error("no client completed a localization")
+	}
+
+	admitted := reg.Get(MReqAdmitted)
+	shed := reg.Get(MReqShedPrefix+"queue_full") + reg.Get(MReqShedPrefix+"draining")
+	completed := reg.Get(MReqCompleted)
+	canceled := reg.Get(MReqCanceled)
+	if admitted+shed != clients {
+		t.Errorf("admission accounting leak: admitted %d + shed %d != %d requests",
+			admitted, shed, clients)
+	}
+	if completed+canceled != admitted {
+		t.Errorf("completion accounting leak: completed %d + canceled %d != admitted %d",
+			completed, canceled, admitted)
+	}
+	if rejected := reg.Get(MReqRejected); rejected != 0 {
+		t.Errorf("well-formed soak requests rejected: %d", rejected)
+	}
+
+	depth := reg.Gauge(GQueueDepth)
+	if max := depth.Max(); max > int64(srv.QueueBound()) {
+		t.Errorf("queue depth watermark %d exceeded bound %d", max, srv.QueueBound())
+	}
+	if v := depth.Value(); v != 0 {
+		t.Errorf("queue depth after soak = %d, want 0", v)
+	}
+}

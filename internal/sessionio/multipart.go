@@ -1,0 +1,152 @@
+package sessionio
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"mime/multipart"
+
+	"hyperear/internal/mic"
+)
+
+// Form-part names of a multipart localization upload (the wire mirror of
+// the on-disk bundle layout: audio.wav, imu.csv, meta.json).
+const (
+	PartAudio = "audio"
+	PartIMU   = "imu"
+	PartMeta  = "meta"
+)
+
+// maxMetaBytes bounds the meta.json part of an upload. Meta is a dozen
+// scalars; a megabyte is already three orders of magnitude of headroom,
+// and the cap keeps a hostile part from ballooning the decoder.
+const maxMetaBytes = 1 << 20
+
+// Validate rejects non-finite Meta fields. JSON cannot encode NaN or
+// ±Inf directly, but meta also arrives from hand-written sidecar files
+// and future transports; NaN fails every ordered comparison, so a
+// poisoned sample rate or chirp edge would sail through range gates
+// downstream — reject at ingestion per the floatguard contract.
+func (m Meta) Validate() error {
+	fields := [...]struct {
+		name string
+		v    float64
+	}{
+		{"micSeparationM", m.MicSeparation},
+		{"sampleRateHz", m.SampleRate},
+		{"chirpLowHz", m.ChirpLowHz},
+		{"chirpHighHz", m.ChirpHighHz},
+		{"chirpDurS", m.ChirpDurS},
+		{"chirpPeriodS", m.ChirpPeriodS},
+		{"trueDistanceM", m.TrueDistanceM},
+	}
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("sessionio: meta field %s is non-finite (%v)", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+// checkAgainst verifies the meta sidecar is consistent with the decoded
+// recording (shared by disk loads and multipart uploads).
+func (m Meta) checkAgainst(rec *mic.Recording) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	// The WAV header rate is an integer the store wrote itself, so a
+	// mismatch is exact, never a rounding artifact.
+	//hyperearvet:allow floatguard exact compare of an integral WAV header rate against its own meta echo
+	if m.SampleRate != 0 && m.SampleRate != rec.Fs {
+		return fmt.Errorf("sessionio: meta sample rate %v != WAV rate %v", m.SampleRate, rec.Fs)
+	}
+	return nil
+}
+
+// ParseMeta decodes a meta.json payload, rejecting unknown fields and
+// non-finite values.
+func ParseMeta(raw []byte) (Meta, error) {
+	var meta Meta
+	if len(raw) == 0 {
+		return meta, nil
+	}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return Meta{}, fmt.Errorf("sessionio: parse meta: %w", err)
+	}
+	if err := meta.Validate(); err != nil {
+		return Meta{}, err
+	}
+	return meta, nil
+}
+
+// ReadBundleParts assembles a Bundle from its component streams: a WAV
+// audio stream, an IMU CSV stream, and an optional raw meta.json payload
+// (nil for an empty Meta). It is the transport-agnostic core of
+// ReadBundleMultipart.
+func ReadBundleParts(audio, imuCSV io.Reader, metaJSON []byte) (*Bundle, error) {
+	rec, err := ReadRecording(audio)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := ReadIMU(imuCSV)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := ParseMeta(metaJSON)
+	if err != nil {
+		return nil, err
+	}
+	if err := meta.checkAgainst(rec); err != nil {
+		return nil, err
+	}
+	return &Bundle{Recording: rec, IMU: tr, Meta: meta}, nil
+}
+
+// ReadBundleMultipart reads a session bundle from a multipart body with
+// parts named "audio" (WAV), "imu" (CSV), and optionally "meta" (JSON) —
+// the upload format of the localization service's POST /v1/locate. Parts
+// may arrive in any order; unknown part names are rejected so a typoed
+// field name fails loudly instead of localizing without its IMU trace.
+func ReadBundleMultipart(mr *multipart.Reader) (*Bundle, error) {
+	var audio, imuCSV []byte
+	var metaJSON []byte
+	seen := map[string]bool{}
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sessionio: multipart: %w", err)
+		}
+		name := part.FormName()
+		if seen[name] {
+			part.Close()
+			return nil, fmt.Errorf("sessionio: duplicate part %q", name)
+		}
+		seen[name] = true
+		switch name {
+		case PartAudio:
+			audio, err = io.ReadAll(part)
+		case PartIMU:
+			imuCSV, err = io.ReadAll(part)
+		case PartMeta:
+			metaJSON, err = io.ReadAll(io.LimitReader(part, maxMetaBytes+1))
+			if err == nil && len(metaJSON) > maxMetaBytes {
+				err = fmt.Errorf("meta part exceeds %d bytes", maxMetaBytes)
+			}
+		default:
+			err = fmt.Errorf("unknown part %q (want %s, %s, %s)", name, PartAudio, PartIMU, PartMeta)
+		}
+		part.Close()
+		if err != nil {
+			return nil, fmt.Errorf("sessionio: part %q: %w", name, err)
+		}
+	}
+	if audio == nil || imuCSV == nil {
+		return nil, fmt.Errorf("sessionio: multipart upload needs %q and %q parts", PartAudio, PartIMU)
+	}
+	return ReadBundleParts(bytes.NewReader(audio), bytes.NewReader(imuCSV), metaJSON)
+}

@@ -1,0 +1,146 @@
+package sessionio
+
+import (
+	"bytes"
+	"math"
+	"mime/multipart"
+	"strings"
+	"testing"
+
+	"hyperear/internal/mic"
+)
+
+// buildMultipart assembles a multipart body from raw part payloads; a nil
+// value skips the part.
+func buildMultipart(t *testing.T, parts map[string][]byte) (*multipart.Reader, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := multipart.NewWriter(&buf)
+	for name, payload := range parts {
+		fw, err := w.CreateFormFile(name, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return multipart.NewReader(&buf, w.Boundary()), w.FormDataContentType()
+}
+
+func testParts(t *testing.T) (wav, imuCSV []byte) {
+	t.Helper()
+	rec := &mic.Recording{
+		Fs:   44100,
+		Mic1: []float64{0.1, -0.2, 0.3},
+		Mic2: []float64{-0.1, 0.2, -0.3},
+	}
+	var wavBuf, imuBuf bytes.Buffer
+	if err := WriteRecording(&wavBuf, rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIMU(&imuBuf, makeTrace()); err != nil {
+		t.Fatal(err)
+	}
+	return wavBuf.Bytes(), imuBuf.Bytes()
+}
+
+func TestReadBundleMultipart(t *testing.T) {
+	wav, imuCSV := testParts(t)
+	mr, _ := buildMultipart(t, map[string][]byte{
+		PartAudio: wav,
+		PartIMU:   imuCSV,
+		PartMeta:  []byte(`{"phoneName":"s4","sampleRateHz":44100,"micSeparationM":0.1366}`),
+	})
+	b, err := ReadBundleMultipart(mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Recording.Fs != 44100 || len(b.Recording.Mic1) != 3 || b.IMU.Len() != 2 {
+		t.Fatalf("decoded bundle mismatch: %+v", b)
+	}
+	if b.Meta.PhoneName != "s4" || b.Meta.MicSeparation != 0.1366 {
+		t.Fatalf("meta mismatch: %+v", b.Meta)
+	}
+}
+
+func TestReadBundleMultipartNoMeta(t *testing.T) {
+	wav, imuCSV := testParts(t)
+	mr, _ := buildMultipart(t, map[string][]byte{PartAudio: wav, PartIMU: imuCSV})
+	b, err := ReadBundleMultipart(mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Meta != (Meta{}) {
+		t.Fatalf("expected empty meta, got %+v", b.Meta)
+	}
+}
+
+func TestReadBundleMultipartRejects(t *testing.T) {
+	wav, imuCSV := testParts(t)
+	cases := []struct {
+		name  string
+		parts map[string][]byte
+	}{
+		{"missing audio", map[string][]byte{PartIMU: imuCSV}},
+		{"missing imu", map[string][]byte{PartAudio: wav}},
+		{"unknown part", map[string][]byte{PartAudio: wav, PartIMU: imuCSV, "extra": {1}}},
+		{"bad audio", map[string][]byte{PartAudio: []byte("not a wav"), PartIMU: imuCSV}},
+		{"bad imu", map[string][]byte{PartAudio: wav, PartIMU: []byte("not,a,csv")}},
+		{"bad meta json", map[string][]byte{PartAudio: wav, PartIMU: imuCSV, PartMeta: []byte("{")}},
+		{"meta rate mismatch", map[string][]byte{PartAudio: wav, PartIMU: imuCSV,
+			PartMeta: []byte(`{"sampleRateHz":48000}`)}},
+		{"imu NaN sample", map[string][]byte{PartAudio: wav, PartIMU: []byte(
+			"# fs=100\nax,ay,az,gx,gy,gz,gravx,gravy,gravz\nNaN,0,0,0,0,0,0,0,0\n")}},
+	}
+	for _, c := range cases {
+		mr, _ := buildMultipart(t, c.parts)
+		if _, err := ReadBundleMultipart(mr); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestMetaValidateNonFinite(t *testing.T) {
+	m := Meta{SampleRate: math.NaN()}
+	if err := m.Validate(); err == nil {
+		t.Error("NaN sample rate must be rejected")
+	}
+	m = Meta{ChirpHighHz: math.Inf(1)}
+	if err := m.Validate(); err == nil {
+		t.Error("+Inf chirp edge must be rejected")
+	}
+	if err := (Meta{}).Validate(); err != nil {
+		t.Errorf("zero meta should validate: %v", err)
+	}
+	// ParseMeta applies the same gate to decoded payloads; JSON itself
+	// cannot carry NaN, but an over-range literal decodes to an error long
+	// before, so prove the explicit path with a direct struct.
+	if _, err := ParseMeta([]byte(`{"sampleRateHz":1e999}`)); err == nil {
+		t.Error("over-range sample rate literal must be rejected")
+	}
+}
+
+func TestMultipartDuplicatePart(t *testing.T) {
+	wav, imuCSV := testParts(t)
+	var buf bytes.Buffer
+	w := multipart.NewWriter(&buf)
+	for _, p := range []struct {
+		name    string
+		payload []byte
+	}{{PartAudio, wav}, {PartIMU, imuCSV}, {PartIMU, imuCSV}} {
+		fw, err := w.CreateFormFile(p.name, p.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw.Write(p.payload)
+	}
+	w.Close()
+	mr := multipart.NewReader(&buf, w.Boundary())
+	if _, err := ReadBundleMultipart(mr); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate part: got %v, want duplicate-part error", err)
+	}
+}

@@ -112,16 +112,12 @@ func Load(dir string) (*Bundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sessionio: %w", err)
 	}
-	var meta Meta
-	if err := json.Unmarshal(raw, &meta); err != nil {
-		return nil, fmt.Errorf("sessionio: parse meta: %w", err)
+	meta, err := ParseMeta(raw)
+	if err != nil {
+		return nil, err
 	}
-	// The WAV header rate is an integer the store wrote itself, so a
-	// mismatch is exact, never a rounding artifact.
-	//hyperearvet:allow floatguard exact compare of an integral WAV header rate against its own meta echo
-	if meta.SampleRate != 0 && meta.SampleRate != rec.Fs {
-		return nil, fmt.Errorf("sessionio: meta sample rate %v != WAV rate %v",
-			meta.SampleRate, rec.Fs)
+	if err := meta.checkAgainst(rec); err != nil {
+		return nil, err
 	}
 	return &Bundle{Recording: rec, IMU: trace, Meta: meta}, nil
 }
