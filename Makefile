@@ -78,9 +78,11 @@ server-soak:
 # Real measurement run of the performance-critical benchmarks (see
 # DESIGN.md "Performance architecture"). FFTForward pairs the complex
 # and packed-real transforms; Detect/Stream cover the batch and
-# overlap-save detection hot paths.
-BENCH_RE := CrossCorrelate|Correlator|Envelope|FFTForward|Detect|Stream|PipelineLocate2D
-BENCH_PKGS := ./ ./internal/dsp/ ./internal/chirp/
+# overlap-save detection hot paths; PipelineLocate2D{,Serial,Parallel}
+# track end-to-end latency and the serial/parallel split; ServerThroughput
+# measures locates/sec through the full HTTP service with batching on.
+BENCH_RE := CrossCorrelate|Correlator|Envelope|FFTForward|Detect|Stream|PipelineLocate2D|ServerThroughput
+BENCH_PKGS := ./ ./internal/dsp/ ./internal/chirp/ ./internal/server/
 
 bench:
 	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS)
@@ -92,12 +94,15 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
 
 # Regression guard: fresh measurement vs the latest committed BENCH_*.json
-# snapshot, failing on >30% ns/op slowdowns (see cmd/benchjson -compare).
-# CI's bench-regression job runs exactly this.
+# snapshot, failing on >30% ns/op slowdowns or >10%+2 allocs/op growth
+# (see cmd/benchjson -compare). The tight alloc gate is what keeps the
+# zero-alloc scratch pipeline zero-alloc: a reintroduced per-call buffer
+# shows up as an exact, machine-independent count. CI's bench-regression
+# job runs exactly this.
 bench-compare:
 	@baseline="$$(ls BENCH_*.json | sort | tail -1)"; \
 	if [ -z "$$baseline" ]; then echo "no committed BENCH_*.json baseline"; exit 1; fi; \
 	echo "baseline: $$baseline"; \
 	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -out /tmp/bench-fresh.json; \
-	$(GO) run ./cmd/benchjson -compare "$$baseline" -new /tmp/bench-fresh.json -tolerance 0.30
+	$(GO) run ./cmd/benchjson -compare "$$baseline" -new /tmp/bench-fresh.json -tolerance 0.30 -alloc-tolerance 0.10

@@ -9,9 +9,15 @@
 //
 // Compare mode is the CI regression guard: it reads a baseline report
 // and a fresh one and exits non-zero when any benchmark present in both
-// slowed down (ns/op) by more than -tolerance:
+// slowed down (ns/op) by more than -tolerance, or grew its allocation
+// count (allocs/op) beyond -alloc-tolerance:
 //
 //	benchjson -compare BENCH_2026-08-05.json -new fresh.json -tolerance 0.30
+//
+// Unlike wall-clock, allocation counts are deterministic across machines,
+// so the alloc gate is much tighter (default 10% plus two allocations of
+// absolute slack for runtime-version drift). A benchmark whose baseline
+// recorded no allocs/op (captured without -benchmem) is exempt.
 //
 // Names are matched with the -GOMAXPROCS suffix stripped, so a baseline
 // captured on an 8-core machine still matches a 4-core CI runner; the
@@ -69,6 +75,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	baseline := fs.String("compare", "", "baseline JSON report (compare mode)")
 	fresh := fs.String("new", "", "fresh JSON report to compare against -compare")
 	tolerance := fs.Float64("tolerance", 0.30, "allowed fractional ns/op slowdown before failing (compare mode)")
+	allocTolerance := fs.Float64("alloc-tolerance", 0.10, "allowed fractional allocs/op growth before failing (compare mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,7 +86,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if math.IsNaN(*tolerance) || math.IsInf(*tolerance, 0) || *tolerance < 0 {
 			return fmt.Errorf("-tolerance must be a finite fraction >= 0, got %v", *tolerance)
 		}
-		return compare(*baseline, *fresh, *tolerance, out)
+		if math.IsNaN(*allocTolerance) || math.IsInf(*allocTolerance, 0) || *allocTolerance < 0 {
+			return fmt.Errorf("-alloc-tolerance must be a finite fraction >= 0, got %v", *allocTolerance)
+		}
+		return compare(*baseline, *fresh, *tolerance, *allocTolerance, out)
 	}
 	if *outPath == "" {
 		return fmt.Errorf("-out is required")
@@ -161,10 +171,19 @@ func loadReport(path string) (Report, error) {
 	return rep, nil
 }
 
+// allocSlack is the absolute allocs/op headroom granted on top of the
+// fractional alloc tolerance. It keeps small-count benchmarks (a baseline
+// of 3 allocs/op would otherwise fail on a single incidental allocation)
+// and zero-alloc baselines from flaking on runtime-version drift, while a
+// reintroduced per-call buffer — tens of allocations — still trips the
+// gate.
+const allocSlack = 2
+
 // compare is the regression gate: every benchmark present in both
 // reports must not have slowed down by more than tolerance (fractional
-// ns/op increase). Returns an error listing every offender.
-func compare(basePath, freshPath string, tolerance float64, out io.Writer) error {
+// ns/op increase) nor grown its allocation count beyond allocTolerance
+// plus allocSlack. Returns an error listing every offender.
+func compare(basePath, freshPath string, tolerance, allocTolerance float64, out io.Writer) error {
 	base, err := loadReport(basePath)
 	if err != nil {
 		return err
@@ -206,8 +225,16 @@ func compare(basePath, freshPath string, tolerance float64, out io.Writer) error
 				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %+.0f%%)",
 					key, br.NsPerOp, nr.NsPerOp, 100*delta, 100*tolerance))
 		}
-		fmt.Fprintf(out, "  %-9s %-50s %14.0f -> %.0f ns/op (%+.1f%%)\n",
-			verdict, key, br.NsPerOp, nr.NsPerOp, 100*delta)
+		// Alloc gate: only meaningful when the baseline actually recorded
+		// allocation counts (captured with -benchmem).
+		if br.AllocsPerOp > 0 && nr.AllocsPerOp > br.AllocsPerOp*(1+allocTolerance)+allocSlack {
+			verdict = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f allocs/op (tolerance %+.0f%% + %d)",
+					key, br.AllocsPerOp, nr.AllocsPerOp, 100*allocTolerance, allocSlack))
+		}
+		fmt.Fprintf(out, "  %-9s %-50s %14.0f -> %.0f ns/op (%+.1f%%), %.0f -> %.0f allocs/op\n",
+			verdict, key, br.NsPerOp, nr.NsPerOp, 100*delta, br.AllocsPerOp, nr.AllocsPerOp)
 	}
 	for name := range baseBy {
 		if _, ok := freshBy[name]; !ok {

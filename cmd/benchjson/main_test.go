@@ -113,6 +113,64 @@ func TestCompareErrors(t *testing.T) {
 		strings.NewReader(""), &bytes.Buffer{}); err == nil {
 		t.Error("NaN tolerance must be rejected")
 	}
+	if err := run([]string{"-compare", base, "-new", base, "-alloc-tolerance", "-1"},
+		strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("negative alloc tolerance must be rejected")
+	}
+}
+
+func TestCompareDetectsAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	fresh := filepath.Join(dir, "fresh.json")
+	writeReport(t, base, []Result{
+		// A reintroduced per-call buffer: 75 -> 115 allocs/op while
+		// wall-clock stays flat, the exact failure ns/op gating misses.
+		{Name: "BenchmarkPipelineLocate2D-8", NsPerOp: 100_000_000, AllocsPerOp: 75, Iterations: 10},
+		// Small-count benchmark drifting by one alloc: inside the
+		// absolute slack, must pass.
+		{Name: "BenchmarkDetect-8", NsPerOp: 1_000_000, AllocsPerOp: 3, Iterations: 100},
+		// Baseline captured without -benchmem: exempt from the gate.
+		{Name: "BenchmarkNoMem-8", NsPerOp: 500, AllocsPerOp: 0, Iterations: 100},
+	})
+	writeReport(t, fresh, []Result{
+		{Name: "BenchmarkPipelineLocate2D-8", NsPerOp: 101_000_000, AllocsPerOp: 115, Iterations: 10},
+		{Name: "BenchmarkDetect-8", NsPerOp: 1_000_000, AllocsPerOp: 4, Iterations: 100},
+		{Name: "BenchmarkNoMem-8", NsPerOp: 500, AllocsPerOp: 40, Iterations: 100},
+	})
+	var out bytes.Buffer
+	err := run([]string{"-compare", base, "-new", fresh}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatalf("seeded alloc regression must fail the compare; output:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkPipelineLocate2D") || !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("error must name the alloc-regressed benchmark: %v", err)
+	}
+	if strings.Contains(err.Error(), "BenchmarkDetect") {
+		t.Errorf("one-alloc drift inside slack must not be listed: %v", err)
+	}
+	if strings.Contains(err.Error(), "BenchmarkNoMem") {
+		t.Errorf("zero-alloc baseline (no -benchmem) must be exempt: %v", err)
+	}
+}
+
+func TestCompareAllocToleranceFlag(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	fresh := filepath.Join(dir, "fresh.json")
+	writeReport(t, base, []Result{
+		{Name: "BenchmarkPipelineLocate2D-8", NsPerOp: 100, AllocsPerOp: 100, Iterations: 10},
+	})
+	writeReport(t, fresh, []Result{
+		{Name: "BenchmarkPipelineLocate2D-8", NsPerOp: 100, AllocsPerOp: 140, Iterations: 10},
+	})
+	if err := run([]string{"-compare", base, "-new", fresh}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Error("40% alloc growth must fail the default 10% gate")
+	}
+	if err := run([]string{"-compare", base, "-new", fresh, "-alloc-tolerance", "0.50"},
+		strings.NewReader(""), &bytes.Buffer{}); err != nil {
+		t.Errorf("40%% growth must pass a 50%% alloc tolerance: %v", err)
+	}
 }
 
 func TestStripProcs(t *testing.T) {

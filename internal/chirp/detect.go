@@ -5,6 +5,7 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"time"
 
 	"hyperear/internal/dsp"
 )
@@ -35,6 +36,16 @@ type Detector struct {
 	// transform size, so repeated Detect calls on same-length inputs
 	// (stream blocks, fixed recording windows) skip the template FFT.
 	corr *dsp.Correlator
+	// batch, when non-nil (EnableBatch), routes the matched-filter
+	// forward transforms of concurrent DetectInto calls through one
+	// strided shared-plan pass.
+	batch *dsp.BatchCorrelator
+	// delay is the timing offset in samples a prefiltered template
+	// (NewDetectorFiltered) shifts the correlation peak by — the taps'
+	// (N-1)/2 group delay. It is added back when converting peak indices
+	// to arrival times; Detection.Index stays the raw peak position in
+	// the correlation sequence.
+	delay float64
 	// Threshold is the minimum peak-to-noise-floor ratio (linear) to
 	// accept a detection. Default 5.
 	Threshold float64
@@ -74,6 +85,70 @@ func NewDetectorShaped(p Params, fs float64, gain func(freqHz float64) float64) 
 		Threshold:     5,
 		MinSeparation: p.Period / 2,
 	}, nil
+}
+
+// NewDetectorFiltered builds a Detector whose matched-filter template has
+// a linear-phase FIR (the ASP band-pass) pre-convolved into it. For a
+// symmetric filter h, correlating the RAW recording against ref⊛h equals
+// correlating the FILTERED recording against ref — shifted left by h's
+// (N-1)/2-sample group delay, which the detector adds back when
+// converting peaks to timestamps. The pipeline saves one full FFT
+// convolution per channel per call (and its two session-length buffers):
+// the filtering rides along in the template spectrum for free.
+//
+// The taps must be linear-phase (symmetric), as every design in
+// internal/dsp is; asymmetric taps would make the delay frequency-
+// dependent and the timing wrong, so they are rejected.
+func NewDetectorFiltered(p Params, fs float64, gain func(freqHz float64) float64, taps []float64) (*Detector, error) {
+	d, err := NewDetectorShaped(p, fs, gain)
+	if err != nil {
+		return nil, err
+	}
+	if len(taps) == 0 {
+		return d, nil
+	}
+	for i, j := 0, len(taps)-1; i < j; i, j = i+1, j-1 {
+		if math.Abs(taps[i]-taps[j]) > 1e-12 {
+			return nil, fmt.Errorf("chirp: prefilter taps are not linear-phase (tap %d != tap %d)", i, j)
+		}
+	}
+	// Full convolution, not the group-delay-aligned truncation FIR.Apply
+	// performs: the template keeps the filter's leading and trailing
+	// ringing so no correlation energy is lost at the chirp edges.
+	full := make([]float64, len(d.ref)+len(taps)-1)
+	for i, ri := range d.ref {
+		if ri == 0 {
+			continue
+		}
+		for j, hj := range taps {
+			full[i+j] += ri * hj
+		}
+	}
+	d.ref = full
+	d.corr = dsp.NewCorrelator(full)
+	d.delay = float64(len(taps)-1) / 2
+	return d, nil
+}
+
+// EnableBatch routes the detector's matched-filter forward transforms
+// through a dsp.BatchCorrelator: concurrent DetectInto calls whose
+// inputs share a transform size coalesce into one strided shared-plan
+// pass (see the dsp package). window bounds how long a lone call waits
+// for companions; maxBatch caps the group. Call before the detector is
+// shared across goroutines; results are bit-identical to the unbatched
+// path.
+func (d *Detector) EnableBatch(window time.Duration, maxBatch int) {
+	d.batch = dsp.NewBatchCorrelator(d.corr, window, maxBatch)
+}
+
+// BatchStats reports the batch passes run and lanes carried when
+// batching is enabled (zeros otherwise) — the coalescing factor the
+// server's metrics expose.
+func (d *Detector) BatchStats() (batches, lanes uint64) {
+	if d.batch == nil {
+		return 0, 0
+	}
+	return d.batch.Batches()
 }
 
 // Reference exposes the matched-filter template (for tests and plots).
@@ -135,7 +210,11 @@ func (d *Detector) DetectInto(dst []Detection, x []float64, s *DetectScratch) []
 	if s == nil {
 		s = &DetectScratch{}
 	}
-	s.corr = d.corr.CrossCorrelateInto(s.corr, x)
+	if d.batch != nil {
+		s.corr = d.batch.CrossCorrelateInto(s.corr, x)
+	} else {
+		s.corr = d.corr.CrossCorrelateInto(s.corr, x)
+	}
 	return d.detectFromCorr(dst, s.corr, s)
 }
 
@@ -221,12 +300,12 @@ func (d *Detector) detectFromCorr(dst []Detection, r []float64, s *DetectScratch
 				}
 			}
 			off, v := dsp.ParabolicInterp(r, best)
-			t = (float64(best) + off) / d.fs
+			t = (float64(best) + off + d.delay) / d.fs
 			idx = best
 			val = v
 		} else {
 			off, v := dsp.ParabolicInterp(env, c.idx)
-			t = (float64(c.idx) + off) / d.fs
+			t = (float64(c.idx) + off + d.delay) / d.fs
 			val = v
 		}
 		dst = append(dst, Detection{

@@ -3,7 +3,11 @@ package chirp
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
+
+	"hyperear/internal/dsp"
 )
 
 // synth renders beacons into a buffer of n samples at fs, with the first
@@ -267,5 +271,109 @@ func BenchmarkDetectIntoOneSecond(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dst = d.DetectInto(dst, x, &scratch)
+	}
+}
+
+// TestDetectorFilteredMatchesFilterThenDetect proves the prefiltered-
+// template identity: for a linear-phase band-pass h, detecting on the
+// raw recording with template ref⊛h must produce the same beacons, at
+// the same timestamps, as band-pass filtering the recording and
+// detecting with the plain template (the pipeline's previous shape).
+func TestDetectorFilteredMatchesFilterThenDetect(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, int(fs), 0.0137, 0.3, 7)
+
+	bp, err := dsp.NewBandPass(p.Low-200, p.High+200, fs, 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := NewDetectorFiltered(p, fs, nil, bp.Taps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plain.Detect(bp.Apply(x))
+	got := pre.Detect(x)
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("prefiltered found %d beacons, filter-then-detect found %d", len(got), len(want))
+	}
+	for i := range want {
+		// The identity is exact in exact arithmetic; FFT rounding at the
+		// two paths' different transform sizes leaves sub-microsecond
+		// (≪ one sample) discrepancies.
+		if d := math.Abs(got[i].Time - want[i].Time); d > 2e-6 {
+			t.Errorf("beacon %d: prefiltered t=%v, filtered t=%v (Δ %.3g s)", i, got[i].Time, want[i].Time, d)
+		}
+		if want[i].SNR > 0 {
+			if r := got[i].SNR / want[i].SNR; r < 0.9 || r > 1.1 {
+				t.Errorf("beacon %d: SNR ratio %v", i, r)
+			}
+		}
+	}
+}
+
+// TestDetectorFilteredRejectsAsymmetricTaps pins the linear-phase
+// requirement: an asymmetric prefilter would need a frequency-dependent
+// delay correction the detector does not implement.
+func TestDetectorFilteredRejectsAsymmetricTaps(t *testing.T) {
+	if _, err := NewDetectorFiltered(Default(), 44100, nil, []float64{1, 0.5, 0.25}); err == nil {
+		t.Fatal("asymmetric taps accepted")
+	}
+	if _, err := NewDetectorFiltered(Default(), 44100, nil, nil); err != nil {
+		t.Fatalf("nil taps (no prefilter): %v", err)
+	}
+}
+
+// TestDetectorBatchMatchesUnbatched runs the same detector with and
+// without EnableBatch from concurrent goroutines and requires identical
+// detections — the chirp-level face of the dsp bit-identity contract.
+func TestDetectorBatchMatchesUnbatched(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	plain, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched.EnableBatch(5*time.Millisecond, 4)
+
+	const k = 4
+	xs := make([][]float64, k)
+	want := make([][]Detection, k)
+	for j := range xs {
+		xs[j] = synth(p, fs, int(fs)+17*j, 0.01+0.003*float64(j), 0.3, int64(j)+1)
+		want[j] = plain.Detect(xs[j])
+	}
+	got := make([][]Detection, k)
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			var s DetectScratch
+			got[j] = batched.DetectInto(nil, xs[j], &s)
+		}(j)
+	}
+	wg.Wait()
+	for j := 0; j < k; j++ {
+		if len(got[j]) != len(want[j]) {
+			t.Fatalf("lane %d: batched %d detections, unbatched %d", j, len(got[j]), len(want[j]))
+		}
+		for i := range want[j] {
+			if math.Float64bits(got[j][i].Time) != math.Float64bits(want[j][i].Time) ||
+				got[j][i].Index != want[j][i].Index {
+				t.Fatalf("lane %d detection %d: batched %+v != unbatched %+v", j, i, got[j][i], want[j][i])
+			}
+		}
+	}
+	if batches, lanes := batched.BatchStats(); lanes == 0 || batches == 0 {
+		t.Fatalf("batch-enabled detector never batched (batches=%d lanes=%d)", batches, lanes)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"hyperear/internal/chirp"
 	"hyperear/internal/dsp"
@@ -39,6 +40,15 @@ type ASPConfig struct {
 	// Parallelism bounds the workers for the per-channel filter+detect
 	// fan-out: 0 uses GOMAXPROCS, 1 runs the two channels serially.
 	Parallelism int
+	// BatchWindow, when positive with MaxBatch >= 2, coalesces concurrent
+	// matched-filter correlations (across channels and across sessions
+	// sharing this stage) into strided shared-plan FFT batches: a caller
+	// waits up to BatchWindow for companions at the same transform size
+	// (see dsp.BatchCorrelator). Zero or negative disables batching.
+	BatchWindow time.Duration
+	// MaxBatch caps the lanes fused into one batch; a filling batch
+	// flushes immediately without waiting out the window.
+	MaxBatch int
 	// Obs receives the "asp" stage span and detection/pairing counters;
 	// nil disables. NewLocalizer propagates Config.Obs here.
 	Obs *obs.Obs
@@ -105,7 +115,6 @@ type ASP struct {
 	cfg    ASPConfig
 	source chirp.Params
 	fs     float64
-	bp     *dsp.FIR
 	det    *chirp.Detector
 	// scratch pools per-worker detection working sets (correlation,
 	// envelope, candidate buffers) so the per-channel fan-out — run once
@@ -135,14 +144,28 @@ func NewASP(source chirp.Params, fs float64, cfg ASPConfig) (*ASP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: ASP band-pass: %w", err)
 	}
-	det, err := chirp.NewDetectorShaped(source, fs, cfg.TemplateGain)
+	// The band-pass is folded into the matched-filter template
+	// (ref ⊛ h) rather than applied to each second-long recording: the
+	// correlation outputs are identical up to the filter's constant group
+	// delay (which the detector adds back), and the per-call FFT
+	// convolution over the full recording — the pipeline's largest
+	// allocation — disappears.
+	det, err := chirp.NewDetectorFiltered(source, fs, cfg.TemplateGain, bp.Taps())
 	if err != nil {
 		return nil, fmt.Errorf("core: ASP detector: %w", err)
 	}
-	a := &ASP{cfg: cfg, source: source, fs: fs, bp: bp, det: det}
+	if cfg.BatchWindow > 0 && cfg.MaxBatch >= 2 {
+		det.EnableBatch(cfg.BatchWindow, cfg.MaxBatch)
+	}
+	a := &ASP{cfg: cfg, source: source, fs: fs, det: det}
 	a.scratch.New = func() any { return new(chirp.DetectScratch) }
 	return a, nil
 }
+
+// BatchStats reports how many strided FFT batches the stage's detector
+// has run and how many correlation lanes they carried (zeros when
+// batching is disabled).
+func (a *ASP) BatchStats() (batches, lanes uint64) { return a.det.BatchStats() }
 
 // Process filters both channels, detects and pairs beacons, and estimates
 // the received beacon period from the calibration window.
@@ -161,9 +184,11 @@ func (a *ASP) ProcessContext(ctx context.Context, rec *mic.Recording) (*ASPResul
 		sp.AttrStr("error", "empty recording")
 		return nil, fmt.Errorf("core: empty recording")
 	}
-	// The two channels are independent, and both the FIR and the detector
-	// are stateless after construction (the detector's template spectrum
-	// cache is lock-protected), so filter+detect fans out per channel.
+	// The two channels are independent and the detector is stateless
+	// after construction (the template spectrum cache is lock-protected),
+	// so detection fans out per channel. The band-pass lives inside the
+	// matched-filter template (see NewASP), so detection runs on the raw
+	// channels directly.
 	chans := [2][]float64{rec.Mic1, rec.Mic2}
 	var dets [2][]chirp.Detection
 	parallelFor(2, a.cfg.Parallelism, func(i int) {
@@ -171,7 +196,7 @@ func (a *ASP) ProcessContext(ctx context.Context, rec *mic.Recording) (*ASPResul
 			return
 		}
 		sc := a.scratch.Get().(*chirp.DetectScratch)
-		dets[i] = a.det.DetectInto(nil, a.bp.Apply(chans[i]), sc)
+		dets[i] = a.det.DetectInto(nil, chans[i], sc)
 		a.scratch.Put(sc)
 	})
 	if err := ctxErr(ctx); err != nil {

@@ -166,7 +166,9 @@ func (l *Localizer) LocateFull3D(rec *mic.Recording, tr *imu.Trace) (*ResultFull
 // LocateFull3DContext is LocateFull3D with cancellation (see
 // Locate2DContext).
 func (l *Localizer) LocateFull3DContext(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*ResultFull3D, error) {
-	aspRes, msp, ests, err := l.analyzeSession(ctx, rec, tr)
+	scr := getScratch()
+	defer putScratch(scr)
+	aspRes, msp, ests, err := l.analyzeSession(ctx, rec, tr, scr)
 	if err != nil {
 		return nil, err
 	}

@@ -105,6 +105,15 @@ type MSPResult struct {
 // PreprocessIMU runs gravity removal, smoothing, and movement segmentation
 // on an IMU trace.
 func PreprocessIMU(tr *imu.Trace, cfg MSPConfig) (*MSPResult, error) {
+	// A fresh Scratch makes the result own its buffers, exactly as the
+	// old per-call makes did; the pipeline passes a pooled one instead.
+	return preprocessIMU(tr, cfg, new(Scratch))
+}
+
+// preprocessIMU is PreprocessIMU writing through s. The returned MSPResult
+// aliases s's buffers and is valid only until s is reused or returned to
+// the pool.
+func preprocessIMU(tr *imu.Trace, cfg MSPConfig, s *Scratch) (*MSPResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,34 +123,62 @@ func PreprocessIMU(tr *imu.Trace, cfg MSPConfig) (*MSPResult, error) {
 		sp.AttrStr("error", "empty IMU trace")
 		return nil, fmt.Errorf("core: empty IMU trace")
 	}
-	lin := tr.LinearAccel()
-	ax := dsp.MovingAverage(imu.Axis(lin, 0), cfg.SMAWindow)
-	ay := dsp.MovingAverage(imu.Axis(lin, 1), cfg.SMAWindow)
-	az := dsp.MovingAverage(imu.Axis(lin, 2), cfg.SMAWindow)
+	n := tr.Len()
+	m := &s.msp
+	m.raw = growF64(m.raw, n)
+	m.ax = growF64(m.ax, n)
+	m.ay = growF64(m.ay, n)
+	m.az = growF64(m.az, n)
+	m.gyroZ = growF64(m.gyroZ, n)
+	m.combined = growF64(m.combined, n)
+	m.power = growF64(m.power, n)
+
+	// Gravity removal + axis extraction straight into scratch: the
+	// tr.LinearAccel()/imu.Axis chain this replaces allocated four
+	// n-length slices per call.
+	for i := range tr.Accel {
+		m.raw[i] = tr.Accel[i].X - tr.Gravity[i].X
+	}
+	dsp.MovingAverageInto(m.ax, m.raw, cfg.SMAWindow)
+	for i := range tr.Accel {
+		m.raw[i] = tr.Accel[i].Y - tr.Gravity[i].Y
+	}
+	dsp.MovingAverageInto(m.ay, m.raw, cfg.SMAWindow)
+	for i := range tr.Accel {
+		m.raw[i] = tr.Accel[i].Z - tr.Gravity[i].Z
+	}
+	dsp.MovingAverageInto(m.az, m.raw, cfg.SMAWindow)
+	for i := range tr.Gyro {
+		m.gyroZ[i] = tr.Gyro[i].Z
+	}
 
 	// Movement power over the combined in-plane + vertical axes so both
 	// slides and stature changes are segmented.
-	combined := make([]float64, len(ay))
-	for i := range combined {
-		combined[i] = ay[i]*ay[i] + az[i]*az[i]
+	for i := range m.combined {
+		m.combined[i] = m.ay[i]*m.ay[i] + m.az[i]*m.az[i]
 	}
-	power := slidingMean(combined, cfg.PowerWindow)
-	segs := segment(power, cfg.PowerThreshold, cfg.QuietSamples)
-	gyroZ := imu.Axis(tr.Gyro, 2)
-	cfg.Obs.Add(MSegments, uint64(len(segs)))
-	sp.AttrInt("samples", tr.Len())
-	sp.AttrInt("segments", len(segs))
+	slidingMeanInto(m.power, m.combined, cfg.PowerWindow)
+	m.segs = segmentInto(m.segs[:0], m.power, cfg.PowerThreshold, cfg.QuietSamples)
+	cfg.Obs.Add(MSegments, uint64(len(m.segs)))
+	sp.AttrInt("samples", n)
+	sp.AttrInt("segments", len(m.segs))
 
-	return &MSPResult{
+	m.yawRaw = growF64(m.yawRaw, n)
+	m.moving = growBool(m.moving, n)
+	m.yawDev = growF64(m.yawDev, n)
+	integrateYawDevInto(m.yawDev, m.yawRaw, m.moving, m.gyroZ, tr.Fs, m.segs)
+
+	m.res = MSPResult{
 		Fs:       tr.Fs,
-		AccelX:   ax,
-		AccelY:   ay,
-		AccelZ:   az,
-		GyroZ:    gyroZ,
-		YawDev:   integrateYawDev(gyroZ, tr.Fs, segs),
-		Power:    power,
-		Segments: segs,
-	}, nil
+		AccelX:   m.ax,
+		AccelY:   m.ay,
+		AccelZ:   m.az,
+		GyroZ:    m.gyroZ,
+		YawDev:   m.yawDev,
+		Power:    m.power,
+		Segments: m.segs,
+	}
+	return &m.res, nil
 }
 
 // integrateYawDev integrates the z-gyro to a yaw deviation series after
@@ -158,7 +195,15 @@ func PreprocessIMU(tr *imu.Trace, cfg MSPConfig) (*MSPResult, error) {
 // it, but the SDF path integrates raw gyro itself and never reads YawDev.
 func integrateYawDev(gyroZ []float64, fs float64, segs []Segment) []float64 {
 	n := len(gyroZ)
-	raw := make([]float64, n)
+	out := make([]float64, n)
+	integrateYawDevInto(out, make([]float64, n), make([]bool, n), gyroZ, fs, segs)
+	return out
+}
+
+// integrateYawDevInto is integrateYawDev writing into out, with raw and
+// moving as caller-provided staging (all three len(gyroZ)).
+func integrateYawDevInto(out, raw []float64, moving []bool, gyroZ []float64, fs float64, segs []Segment) {
+	n := len(gyroZ)
 	yaw := 0.0
 	dt := 1 / fs
 	for i, w := range gyroZ {
@@ -167,7 +212,9 @@ func integrateYawDev(gyroZ []float64, fs float64, segs []Segment) []float64 {
 	}
 	// Stationary mask: outside segments, with a small guard band.
 	const guard = 5
-	moving := make([]bool, n)
+	for i := range moving {
+		moving[i] = false
+	}
 	for _, s := range segs {
 		for i := s.Start - guard; i < s.End+guard; i++ {
 			if i >= 0 && i < n {
@@ -187,18 +234,16 @@ func integrateYawDev(gyroZ []float64, fs float64, segs []Segment) []float64 {
 		sxy += x * raw[i]
 		cnt++
 	}
-	out := make([]float64, n)
 	den := cnt*sxx - sx*sx
 	if cnt < 10 || den == 0 {
 		copy(out, raw)
-		return out
+		return
 	}
 	slope := (cnt*sxy - sx*sy) / den
 	intercept := (sy - slope*sx) / cnt
 	for i := range out {
 		out[i] = raw[i] - intercept - slope*float64(i)*dt
 	}
-	return out
 }
 
 // meanYawDev averages the yaw deviation over the time window [lo, hi]
@@ -232,6 +277,13 @@ func (m *MSPResult) meanYawDev(lo, hi float64) float64 {
 // P(t) = (1/W)·Σ_{n=t..t+W-1} x[n], truncated at the tail.
 func slidingMean(x []float64, w int) []float64 {
 	out := make([]float64, len(x))
+	slidingMeanInto(out, x, w)
+	return out
+}
+
+// slidingMeanInto is slidingMean writing into out (len(x)); out must not
+// alias x.
+func slidingMeanInto(out, x []float64, w int) {
 	var sum float64
 	// Initialize with the first window.
 	for i := 0; i < w && i < len(x); i++ {
@@ -249,13 +301,16 @@ func slidingMean(x []float64, w int) []float64 {
 			sum += x[t+w]
 		}
 	}
-	return out
 }
 
 // segment finds movements: a movement starts when power exceeds thresh and
 // ends after quiet consecutive sub-threshold samples (§V-A-2).
 func segment(power []float64, thresh float64, quiet int) []Segment {
-	var segs []Segment
+	return segmentInto(nil, power, thresh, quiet)
+}
+
+// segmentInto is segment appending to segs (pass segs[:0] to reuse).
+func segmentInto(segs []Segment, power []float64, thresh float64, quiet int) []Segment {
 	inMove := false
 	start := 0
 	below := 0

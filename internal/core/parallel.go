@@ -6,42 +6,83 @@ import (
 	"sync/atomic"
 )
 
-// parallelFor runs fn(i) for every i in [0, n) on a bounded worker pool.
-// workers ≤ 0 selects GOMAXPROCS; workers == 1 (or n == 1) runs inline on
-// the calling goroutine with no synchronization, which keeps the serial
-// path allocation- and overhead-free for benchmark comparison. Indices are
-// handed out by an atomic counter, so uneven per-item cost (short vs. long
-// slides) load-balances instead of striding.
-func parallelFor(n, workers int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
+// effectiveWorkers resolves a requested worker count against the item
+// count: workers ≤ 0 selects GOMAXPROCS, and the pool never exceeds n
+// (extra goroutines would only spin on the index counter).
+func effectiveWorkers(n, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	return workers
+}
+
+// parallelFor runs fn(i) for every i in [0, n) on a bounded worker pool.
+// workers ≤ 0 selects GOMAXPROCS; workers == 1 (or n == 1) runs inline on
+// the calling goroutine with no synchronization, which keeps the serial
+// path allocation- and overhead-free for benchmark comparison. Indices are
+// handed out by an atomic counter, so uneven per-item cost (short vs. long
+// slides) load-balances instead of striding.
+//
+// A panic in fn surfaces on the calling goroutine in both the inline and
+// the fan-out path: workers recover, the first panic value wins, and it is
+// re-raised after all workers drain. Without this, a worker panic killed
+// the whole process with a bare goroutine trace that no caller could
+// recover from, while the same panic under workers==1 unwound normally.
+func parallelFor(n, workers int, fn func(i int)) {
+	parallelForWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// parallelForWorkers is parallelFor with the worker's own identity passed
+// to fn as its first argument: fn(worker, i) with worker in
+// [0, effectiveWorkers(n, workers)). Stages that keep per-worker scratch
+// (ASP detection buffers, PDE velocity buffers) index it by the worker id
+// instead of locking or allocating per item.
+func parallelForWorkers(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = effectiveWorkers(n, workers)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
-	var next int64
-	var wg sync.WaitGroup
+	var (
+		next     int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+		panicked bool
+	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !panicked {
+						panicked = true
+						panicVal = r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
 }

@@ -35,3 +35,87 @@ func TestParallelForSerialIsOrdered(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelForPanicPropagates pins the bugfix: a panic in fn must
+// surface on the calling goroutine in the inline path AND the fan-out
+// path. Before the fix, a worker-goroutine panic killed the process with
+// a bare trace that no recover() could intercept.
+func TestParallelForPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			parallelFor(8, workers, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// TestParallelForPanicDrainsWorkers checks the re-panic happens only
+// after every worker has exited: no fn call may still be running (or
+// start later) once parallelFor has returned control via panic.
+func TestParallelForPanicDrainsWorkers(t *testing.T) {
+	var running int32
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if n := atomic.LoadInt32(&running); n != 0 {
+			t.Fatalf("%d workers still running after re-panic", n)
+		}
+	}()
+	parallelFor(64, 4, func(i int) {
+		atomic.AddInt32(&running, 1)
+		defer atomic.AddInt32(&running, -1)
+		if i%7 == 0 {
+			panic(i)
+		}
+	})
+}
+
+// TestParallelForWorkersIdentity checks worker ids stay within
+// [0, effectiveWorkers) and that per-worker accumulation covers all
+// indices exactly once — the contract per-worker scratch relies on.
+func TestParallelForWorkersIdentity(t *testing.T) {
+	for _, workers := range []int{1, 2, 5} {
+		n := 100
+		eff := effectiveWorkers(n, workers)
+		sums := make([]int64, eff)
+		parallelForWorkers(n, workers, func(worker, i int) {
+			if worker < 0 || worker >= eff {
+				t.Errorf("worker id %d outside [0,%d)", worker, eff)
+				return
+			}
+			atomic.AddInt64(&sums[worker], int64(i)+1)
+		})
+		var total int64
+		for _, s := range sums {
+			total += s
+		}
+		if want := int64(n * (n + 1) / 2); total != want {
+			t.Fatalf("workers=%d: index sum %d, want %d", workers, total, want)
+		}
+	}
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	if got := effectiveWorkers(10, 4); got != 4 {
+		t.Fatalf("effectiveWorkers(10,4) = %d", got)
+	}
+	if got := effectiveWorkers(3, 8); got != 3 {
+		t.Fatalf("clamp: effectiveWorkers(3,8) = %d", got)
+	}
+	if got := effectiveWorkers(100, 0); got < 1 {
+		t.Fatalf("default: effectiveWorkers(100,0) = %d", got)
+	}
+}

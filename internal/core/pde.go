@@ -98,7 +98,14 @@ type SlideEstimate struct {
 // anchored on zero true velocity at both ends (eq. 4). It returns the
 // corrected velocity series and the estimated error slope err_a.
 func CorrectVelocity(accel []float64, fs float64) (vel []float64, slope float64) {
-	vel = make([]float64, len(accel))
+	return correctVelocityInto(nil, accel, fs)
+}
+
+// correctVelocityInto is CorrectVelocity writing into dst (grown/reused
+// as needed) and returning it — the per-segment buffer reuse the PDE
+// fan-out's per-worker scratch relies on.
+func correctVelocityInto(dst, accel []float64, fs float64) (vel []float64, slope float64) {
+	vel = growF64(dst, len(accel))
 	dt := 1 / fs
 	var v float64
 	for i, a := range accel {
@@ -132,12 +139,20 @@ func IntegrateDisplacement(vel []float64, fs float64) float64 {
 // drift-corrected integration on the y and z axes, movement
 // classification, and quality gating.
 func EstimateMovement(m *MSPResult, seg Segment, cfg PDEConfig) SlideEstimate {
+	return estimateMovement(m, seg, cfg, &pdeScratch{})
+}
+
+// estimateMovement is EstimateMovement with a caller-owned scratch slot;
+// the pipeline fan-out hands each worker its own so the per-segment
+// velocity buffers are reused instead of reallocated.
+func estimateMovement(m *MSPResult, seg Segment, cfg PDEConfig, ps *pdeScratch) SlideEstimate {
 	s := pad(seg, cfg.EdgePad, len(m.AccelY))
 	ay := m.AccelY[s.Start:s.End]
 	az := m.AccelZ[s.Start:s.End]
 
-	vy, slopeY := CorrectVelocity(ay, m.Fs)
-	vz, _ := CorrectVelocity(az, m.Fs)
+	vy, slopeY := correctVelocityInto(ps.vy, ay, m.Fs)
+	vz, _ := correctVelocityInto(ps.vz, az, m.Fs)
+	ps.vy, ps.vz = vy, vz
 	dy := IntegrateDisplacement(vy, m.Fs)
 	dz := IntegrateDisplacement(vz, m.Fs)
 

@@ -107,6 +107,10 @@ func NewLocalizer(cfg Config) (*Localizer, error) {
 	}
 	if cfg.SpeedOfSound == 0 {
 		cfg.SpeedOfSound = geom.SpeedOfSound
+	} else if !(cfg.SpeedOfSound > 0) || math.IsInf(cfg.SpeedOfSound, 0) {
+		// Same !(x > 0) form as SampleRate: a negative, NaN, or infinite
+		// speed flows straight into every TDoA→distance conversion.
+		return nil, fmt.Errorf("core: speed of sound %v m/s invalid (need a finite speed > 0, or 0 for the default)", cfg.SpeedOfSound)
 	}
 	if cfg.MSP == (MSPConfig{}) {
 		cfg.MSP = DefaultMSPConfig()
@@ -120,9 +124,13 @@ func NewLocalizer(cfg Config) (*Localizer, error) {
 	cfg.TTL.MicSeparation = cfg.MicSeparation
 	cfg.TTL.SpeedOfSound = cfg.SpeedOfSound
 	if cfg.ASP.FilterTaps == 0 {
+		// Replace a zero stage config with the defaults, but carry over
+		// the fields callers set independently of the filter design.
 		gain := cfg.ASP.TemplateGain
+		bw, mb := cfg.ASP.BatchWindow, cfg.ASP.MaxBatch
 		cfg.ASP = DefaultASPConfig()
 		cfg.ASP.TemplateGain = gain
+		cfg.ASP.BatchWindow, cfg.ASP.MaxBatch = bw, mb
 	}
 	if cfg.ASP.Parallelism == 0 {
 		cfg.ASP.Parallelism = cfg.Parallelism
@@ -204,11 +212,18 @@ func (l *Localizer) MicSeparation() float64 { return l.cfg.MicSeparation }
 // SpeedOfSound returns the configured sound speed.
 func (l *Localizer) SpeedOfSound() float64 { return l.cfg.SpeedOfSound }
 
-// analyzeSession runs ASP, MSP, and PDE over one session. Cancellation is
-// checked between stages and inside the PDE fan-out so an abandoned
-// request (dead client, expired deadline) stops burning CPU mid-pipeline
-// instead of completing a result nobody will read.
-func (l *Localizer) analyzeSession(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*ASPResult, *MSPResult, []SlideEstimate, error) {
+// BatchStats reports the acoustic stage's strided-FFT batch counters:
+// batches run and correlation lanes carried (zeros when
+// ASPConfig.BatchWindow batching is disabled).
+func (l *Localizer) BatchStats() (batches, lanes uint64) { return l.asp.BatchStats() }
+
+// analyzeSession runs ASP, MSP, and PDE over one session, working through
+// the borrowed Scratch s (the MSPResult it returns aliases s and must not
+// outlive the borrow). Cancellation is checked between stages and inside
+// the PDE fan-out so an abandoned request (dead client, expired deadline)
+// stops burning CPU mid-pipeline instead of completing a result nobody
+// will read.
+func (l *Localizer) analyzeSession(ctx context.Context, rec *mic.Recording, tr *imu.Trace, s *Scratch) (*ASPResult, *MSPResult, []SlideEstimate, error) {
 	aspRes, err := l.asp.ProcessContext(ctx, rec)
 	if err != nil {
 		return nil, nil, nil, err
@@ -216,22 +231,24 @@ func (l *Localizer) analyzeSession(ctx context.Context, rec *mic.Recording, tr *
 	if err := ctxErr(ctx); err != nil {
 		return nil, nil, nil, err
 	}
-	msp, err := PreprocessIMU(tr, l.cfg.MSP)
+	msp, err := preprocessIMU(tr, l.cfg.MSP, s)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	// Movement estimates are independent per segment (EstimateMovement only
 	// reads the shared MSPResult), so they fan out over the worker pool;
-	// results land at their segment index to keep the output order. A
-	// canceled context turns the remaining iterations into no-ops — the
-	// pool drains quickly rather than finishing every estimate.
+	// results land at their segment index to keep the output order, and
+	// each worker reuses its own velocity scratch slot. A canceled context
+	// turns the remaining iterations into no-ops — the pool drains quickly
+	// rather than finishing every estimate.
 	sp := l.cfg.Obs.Span("pde")
+	s.growPDE(effectiveWorkers(len(msp.Segments), l.cfg.Parallelism))
 	ests := make([]SlideEstimate, len(msp.Segments))
-	parallelFor(len(msp.Segments), l.cfg.Parallelism, func(i int) {
+	parallelForWorkers(len(msp.Segments), l.cfg.Parallelism, func(w, i int) {
 		if ctx.Err() != nil {
 			return
 		}
-		est := EstimateMovement(msp, msp.Segments[i], l.cfg.PDE)
+		est := estimateMovement(msp, msp.Segments[i], l.cfg.PDE, &s.pde[w])
 		if l.cfg.DisableDriftCorrection {
 			est = l.reestimateWithoutCorrection(msp, est)
 		}
@@ -377,7 +394,9 @@ func (l *Localizer) Locate2D(rec *mic.Recording, tr *imu.Trace) (*Result2D, erro
 func (l *Localizer) Locate2DContext(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*Result2D, error) {
 	sp := l.cfg.Obs.Span("locate2d")
 	defer sp.End()
-	aspRes, msp, ests, err := l.analyzeSession(ctx, rec, tr)
+	scr := getScratch()
+	defer putScratch(scr)
+	aspRes, msp, ests, err := l.analyzeSession(ctx, rec, tr, scr)
 	if err != nil {
 		sp.AttrStr("error", err.Error())
 		return nil, err
@@ -429,7 +448,9 @@ func (l *Localizer) Locate3D(rec *mic.Recording, tr *imu.Trace) (*Result3D, erro
 func (l *Localizer) Locate3DContext(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*Result3D, error) {
 	sp := l.cfg.Obs.Span("locate3d")
 	defer sp.End()
-	aspRes, msp, ests, err := l.analyzeSession(ctx, rec, tr)
+	scr := getScratch()
+	defer putScratch(scr)
+	aspRes, msp, ests, err := l.analyzeSession(ctx, rec, tr, scr)
 	if err != nil {
 		sp.AttrStr("error", err.Error())
 		return nil, err

@@ -106,6 +106,47 @@ func TestNewLocalizerRejectsBadSampleRate(t *testing.T) {
 	}
 }
 
+// TestNewLocalizerSpeedOfSoundValidation is the regression test for the
+// `== 0`-only defaulting bug: negative, NaN, and Inf speeds flowed
+// straight into every TDoA→distance conversion. Zero still selects the
+// default, any other non-finite/non-positive value must fail
+// construction with an error naming the speed of sound.
+func TestNewLocalizerSpeedOfSoundValidation(t *testing.T) {
+	cases := []struct {
+		speed float64
+		ok    bool
+	}{
+		{0, true}, // defaulted to geom.SpeedOfSound
+		{346.0, true},
+		{-343, false},
+		{math.NaN(), false},
+		{math.Inf(1), false},
+		{math.Inf(-1), false},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(chirp.Default(), 44100, 0.1366)
+		cfg.SpeedOfSound = tc.speed
+		loc, err := NewLocalizer(cfg)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("SpeedOfSound=%v: construction failed: %v", tc.speed, err)
+			} else if tc.speed == 0 && loc.cfg.SpeedOfSound != geom.SpeedOfSound {
+				t.Errorf("SpeedOfSound=0 defaulted to %v, want %v", loc.cfg.SpeedOfSound, geom.SpeedOfSound)
+			} else if tc.speed != 0 && loc.cfg.SpeedOfSound != tc.speed {
+				t.Errorf("SpeedOfSound=%v overwritten to %v", tc.speed, loc.cfg.SpeedOfSound)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("SpeedOfSound=%v: construction succeeded, want error", tc.speed)
+			continue
+		}
+		if !strings.Contains(err.Error(), "speed of sound") {
+			t.Errorf("SpeedOfSound=%v: error %q does not name the speed of sound", tc.speed, err)
+		}
+	}
+}
+
 // TestLocalizerSerialMatchesParallel: the Parallelism knob must not change
 // results, only scheduling.
 func TestLocalizerSerialMatchesParallel(t *testing.T) {

@@ -1,0 +1,347 @@
+package dsp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the batched execution mode of the matched filter: K
+// concurrent correlations at the same transform size run as ONE strided
+// shared-plan FFT pass instead of K independent passes. Element i of
+// lane j lives at buf[i*k+j], so each butterfly loads its twiddle factor
+// once and applies it to k adjacent complex values — the twiddle loads,
+// bit-reversal index walk, and plan-table cache misses amortize across
+// the batch, and the lane-major layout turns the butterflies' scattered
+// element pairs into contiguous runs.
+//
+// Bit-identity contract: every arithmetic expression in the strided
+// kernels below is copied verbatim from the non-strided Plan.transform /
+// RealPlan.ForwardReal / RealPlan.InverseReal. Identical source
+// expressions compile to identical instruction sequences (including any
+// fused-multiply-add contraction the platform performs), so a batched
+// correlation is bit-identical to the per-request path — proven by
+// TestBatchCorrelateBitIdentical and relied on by the server's batched
+// locate mode.
+
+// transformStrided is Plan.transform over k interleaved transforms:
+// element i of transform j at buf[i*k+j], len(buf) == n*k.
+func (p *Plan) transformStrided(buf []complex128, k int, w []complex128) {
+	n := p.n
+	if len(buf) != n*k {
+		panic(fmt.Sprintf("dsp: strided plan size %d×%d applied to %d values", n, k, len(buf)))
+	}
+	if n <= 1 || k == 0 {
+		return
+	}
+	for i, j := range p.rev {
+		if int(j) > i {
+			a := buf[i*k : i*k+k]
+			b := buf[int(j)*k : int(j)*k+k]
+			for t := range a {
+				a[t], b[t] = b[t], a[t]
+			}
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stride := n / size
+		for start := 0; start < n; start += size {
+			wi := 0
+			for q := start; q < start+half; q++ {
+				ww := w[wi]
+				row := buf[q*k : q*k+k]
+				mate := buf[(q+half)*k : (q+half)*k+k]
+				for t := range row {
+					a := row[t]
+					b := mate[t] * ww
+					row[t] = a + b
+					mate[t] = a - b
+				}
+				wi += stride
+			}
+		}
+	}
+}
+
+// forwardStrided runs the forward DFT over k interleaved transforms.
+func (p *Plan) forwardStrided(buf []complex128, k int) { p.transformStrided(buf, k, p.wFwd) }
+
+// inverseStrided runs the inverse DFT (with 1/N scaling) over k
+// interleaved transforms.
+func (p *Plan) inverseStrided(buf []complex128, k int) {
+	p.transformStrided(buf, k, p.wInv)
+	scale := complex(1/float64(p.n), 0)
+	for i := range buf {
+		buf[i] *= scale
+	}
+}
+
+// forwardRealStrided is RealPlan.ForwardReal over k lanes: the half
+// spectrum of real signal xs[j] lands at spec[i*k+j] for bin i.
+// len(spec) == SpectrumLen()*k; each len(xs[j]) may be at most Size().
+func (p *RealPlan) forwardRealStrided(spec []complex128, xs [][]float64, k int) {
+	m := p.n / 2
+	if len(spec) != (m+1)*k {
+		panic(fmt.Sprintf("dsp: real plan size %d×%d needs %d values, got %d", p.n, k, (m+1)*k, len(spec)))
+	}
+	for j, x := range xs {
+		if len(x) > p.n {
+			panic(fmt.Sprintf("dsp: real plan size %d applied to %d samples", p.n, len(x)))
+		}
+		full := len(x) / 2
+		for i := 0; i < full; i++ {
+			spec[i*k+j] = complex(x[2*i], x[2*i+1])
+		}
+		tail := full
+		if len(x)%2 == 1 {
+			spec[full*k+j] = complex(x[len(x)-1], 0)
+			tail++
+		}
+		for i := tail; i < m; i++ {
+			spec[i*k+j] = 0
+		}
+	}
+	p.half.forwardStrided(spec[:m*k], k)
+
+	// Split/merge (same formulas as ForwardReal, lane-major).
+	for j := 0; j < k; j++ {
+		z0 := spec[j]
+		spec[j] = complex(real(z0)+imag(z0), 0)
+		spec[m*k+j] = complex(real(z0)-imag(z0), 0)
+	}
+	for q := 1; q <= m/2; q++ {
+		jj := m - q
+		wr, wi := real(p.w[q]), imag(p.w[q])
+		for j := 0; j < k; j++ {
+			a, b := spec[q*k+j], spec[jj*k+j]
+			er := 0.5 * (real(a) + real(b))
+			ei := 0.5 * (imag(a) - imag(b))
+			or := 0.5 * (imag(a) + imag(b))
+			oi := 0.5 * (real(b) - real(a))
+			tr := wr*or - wi*oi
+			ti := wr*oi + wi*or
+			spec[q*k+j] = complex(er+tr, ei+ti)
+			spec[jj*k+j] = complex(er-tr, ti-ei)
+		}
+	}
+}
+
+// inverseRealStrided is RealPlan.InverseReal over k lanes: lane j's
+// leading len(dsts[j]) samples are reconstructed from the interleaved
+// half spectra in spec. spec is used as scratch and destroyed.
+func (p *RealPlan) inverseRealStrided(dsts [][]float64, spec []complex128, k int) {
+	m := p.n / 2
+	if len(spec) != (m+1)*k {
+		panic(fmt.Sprintf("dsp: real plan size %d×%d needs %d values, got %d", p.n, k, (m+1)*k, len(spec)))
+	}
+	for j := 0; j < k; j++ {
+		x0, xm := real(spec[j]), real(spec[m*k+j])
+		spec[j] = complex(0.5*(x0+xm), 0.5*(x0-xm))
+	}
+	for q := 1; q <= m/2; q++ {
+		jj := m - q
+		wr, wi := real(p.w[q]), imag(p.w[q])
+		for j := 0; j < k; j++ {
+			a, b := spec[q*k+j], spec[jj*k+j]
+			er := 0.5 * (real(a) + real(b))
+			ei := 0.5 * (imag(a) - imag(b))
+			tr := 0.5 * (real(a) - real(b))
+			ti := 0.5 * (imag(a) + imag(b))
+			or := wr*tr + wi*ti
+			oi := wr*ti - wi*tr
+			spec[q*k+j] = complex(er-oi, ei+or)
+			spec[jj*k+j] = complex(er+oi, or-ei)
+		}
+	}
+	p.half.inverseStrided(spec[:m*k], k)
+	for j, dst := range dsts {
+		if len(dst) > p.n {
+			panic(fmt.Sprintf("dsp: real plan size %d asked for %d samples", p.n, len(dst)))
+		}
+		for q := 0; 2*q < len(dst); q++ {
+			dst[2*q] = real(spec[q*k+j])
+			if 2*q+1 < len(dst) {
+				dst[2*q+1] = imag(spec[q*k+j])
+			}
+		}
+	}
+}
+
+// CrossCorrelateBatchInto computes CrossCorrelateInto for every lane of
+// xs in one strided shared-plan pass. All lanes must resolve to the same
+// transform size — corrFFTSize(len(xs[j]), RefLen()) — and be non-empty;
+// the BatchCorrelator groups requests by size before calling this.
+// dsts[j] is grown/reused like CrossCorrelateInto's dst (a nil dsts
+// allocates the slice headers). Results are bit-identical to k
+// independent CrossCorrelateInto calls.
+func (c *Correlator) CrossCorrelateBatchInto(dsts, xs [][]float64) [][]float64 {
+	k := len(xs)
+	if dsts == nil {
+		dsts = make([][]float64, k)
+	}
+	if len(dsts) != k {
+		panic(fmt.Sprintf("dsp: batch correlate got %d destinations for %d lanes", len(dsts), k))
+	}
+	if k == 0 || len(c.ref) == 0 {
+		for j := range dsts {
+			dsts[j] = dsts[j][:0]
+		}
+		return dsts
+	}
+	if k == 1 {
+		// A batch of one gains nothing from striding; the plain path is
+		// bit-identical (see the file comment) and slightly faster.
+		dsts[0] = c.CrossCorrelateInto(dsts[0], xs[0])
+		return dsts
+	}
+	n := corrFFTSize(len(xs[0]), len(c.ref))
+	for _, x := range xs[1:] {
+		if len(x) == 0 || corrFFTSize(len(x), len(c.ref)) != n {
+			panic(fmt.Sprintf("dsp: batch correlate lanes disagree on transform size (%d-sample lane vs size %d)",
+				len(x), n))
+		}
+	}
+	if len(xs[0]) == 0 {
+		panic("dsp: batch correlate empty lane")
+	}
+	p := realPlanFor(n)
+	spec := c.spectrum(n)
+	h := p.SpectrumLen()
+	buf := getComplexPrefix(h*k, h*k)
+	p.forwardRealStrided(*buf, xs, k)
+	for i, s := range spec {
+		row := (*buf)[i*k : i*k+k]
+		for t := range row {
+			row[t] *= s
+		}
+	}
+	for j := range dsts {
+		dsts[j] = resizeF64(dsts[j], len(xs[j]))
+	}
+	p.inverseRealStrided(dsts, *buf, k)
+	putComplex(buf)
+	return dsts
+}
+
+// BatchCorrelator coalesces concurrent CrossCorrelateInto calls against
+// one Correlator into strided batch passes. The first caller at a given
+// transform size opens a collection window; callers arriving within the
+// window (or until the group reaches maxBatch lanes) join it, and the
+// whole group runs as one CrossCorrelateBatchInto. Callers block until
+// their lane's result is ready, so the API stays the synchronous
+// CrossCorrelateInto shape the detector already uses — only the
+// execution is shared. Safe for concurrent use; a zero window or a
+// maxBatch of 1 degrades to the unbatched path.
+//
+// The latency cost is bounded by window (a group always flushes when its
+// timer fires, even with one lane), so window should be small relative
+// to the transform itself — hundreds of microseconds against the tens of
+// milliseconds a session-length FFT costs.
+type BatchCorrelator struct {
+	c        *Correlator
+	window   time.Duration
+	maxBatch int
+
+	mu     sync.Mutex
+	groups map[int]*corrGroup
+
+	batches atomic.Uint64
+	lanes   atomic.Uint64
+}
+
+// corrBatchReq is one waiting lane: its input, the caller's reusable
+// destination, and the channel its (possibly re-grown) result returns on.
+type corrBatchReq struct {
+	x    []float64
+	dst  []float64
+	done chan []float64
+}
+
+// corrGroup is the set of lanes collected at one transform size.
+type corrGroup struct {
+	reqs  []*corrBatchReq
+	timer *time.Timer
+}
+
+// NewBatchCorrelator wraps c with request coalescing. window is how long
+// the first lane of a group waits for companions; maxBatch caps the
+// group size (values below 2 disable batching).
+func NewBatchCorrelator(c *Correlator, window time.Duration, maxBatch int) *BatchCorrelator {
+	return &BatchCorrelator{
+		c:        c,
+		window:   window,
+		maxBatch: maxBatch,
+		groups:   make(map[int]*corrGroup),
+	}
+}
+
+// Batches reports how many batch passes ran and how many lanes they
+// carried (unbatched fallthrough calls are not counted). lanes/batches
+// is the achieved coalescing factor.
+func (b *BatchCorrelator) Batches() (batches, lanes uint64) {
+	return b.batches.Load(), b.lanes.Load()
+}
+
+// CrossCorrelateInto is Correlator.CrossCorrelateInto routed through the
+// batcher: the call blocks until its group executes (window expiry or a
+// full batch) and returns this lane's correlation. dst is grown/reused
+// exactly like the unbatched method's.
+func (b *BatchCorrelator) CrossCorrelateInto(dst, x []float64) []float64 {
+	if b.window <= 0 || b.maxBatch < 2 || len(x) == 0 || b.c.RefLen() == 0 {
+		return b.c.CrossCorrelateInto(dst, x)
+	}
+	n := corrFFTSize(len(x), b.c.RefLen())
+	req := &corrBatchReq{x: x, dst: dst, done: make(chan []float64, 1)}
+	b.mu.Lock()
+	g := b.groups[n]
+	if g == nil {
+		g = &corrGroup{}
+		b.groups[n] = g
+		g.timer = time.AfterFunc(b.window, func() { b.flush(n, g) })
+	}
+	g.reqs = append(g.reqs, req)
+	full := len(g.reqs) >= b.maxBatch
+	if full {
+		delete(b.groups, n)
+		g.timer.Stop()
+	}
+	b.mu.Unlock()
+	if full {
+		b.run(g)
+	}
+	return <-req.done
+}
+
+// flush executes a group whose window expired. The map identity check
+// makes it a no-op when the group already ran because it filled up (the
+// timer and the filling caller race benignly).
+func (b *BatchCorrelator) flush(n int, g *corrGroup) {
+	b.mu.Lock()
+	if b.groups[n] != g {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.groups, n)
+	b.mu.Unlock()
+	b.run(g)
+}
+
+// run executes one collected group on the calling goroutine (the filling
+// caller or the timer goroutine) and hands each lane its result.
+func (b *BatchCorrelator) run(g *corrGroup) {
+	k := len(g.reqs)
+	xs := make([][]float64, k)
+	dsts := make([][]float64, k)
+	for i, r := range g.reqs {
+		xs[i] = r.x
+		dsts[i] = r.dst
+	}
+	dsts = b.c.CrossCorrelateBatchInto(dsts, xs)
+	b.batches.Add(1)
+	b.lanes.Add(uint64(k))
+	for i, r := range g.reqs {
+		r.done <- dsts[i]
+	}
+}

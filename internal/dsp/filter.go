@@ -168,19 +168,26 @@ func sinc(x float64) float64 {
 // the previous n samples x[t-n+1..t]. The first n-1 outputs average the
 // available prefix. n=4 at 100 Hz gives the paper's ≈15 Hz -3 dB cutoff.
 func MovingAverage(x []float64, n int) []float64 {
+	return MovingAverageInto(nil, x, n)
+}
+
+// MovingAverageInto is MovingAverage writing into dst (grown/reused as
+// needed) and returning it. dst must not alias x: the filter reads
+// x[i-n] after position i-n has been written.
+func MovingAverageInto(dst, x []float64, n int) []float64 {
 	if n < 1 {
 		n = 1
 	}
-	out := make([]float64, len(x))
+	dst = resizeF64(dst, len(x))
 	var sum float64
 	for i, v := range x {
 		sum += v
 		if i >= n {
 			sum -= x[i-n]
-			out[i] = sum / float64(n)
+			dst[i] = sum / float64(n)
 		} else {
-			out[i] = sum / float64(i+1)
+			dst[i] = sum / float64(i+1)
 		}
 	}
-	return out
+	return dst
 }

@@ -56,6 +56,14 @@ type Config struct {
 	SessionIdleTimeout time.Duration
 	// SweepInterval is how often the idle janitor runs.
 	SweepInterval time.Duration
+	// BatchWindow coalesces the matched-filter FFTs of concurrent
+	// localizations into strided shared-plan batches (see
+	// core.ASPConfig.BatchWindow): a correlation waits up to BatchWindow
+	// for a companion at the same transform size before running alone. 0
+	// selects the default (200µs when Workers > 1); negative disables
+	// batching. The window trades a bounded per-request latency bump for
+	// amortized transform work under concurrency.
+	BatchWindow time.Duration
 	// Pipeline is the default localization config (beacon parameters,
 	// geometry, stage tuning). Per-request meta may override Source,
 	// SampleRate and MicSeparation.
@@ -95,6 +103,11 @@ func (c Config) Normalize() Config {
 	}
 	if c.SweepInterval <= 0 {
 		c.SweepInterval = 15 * time.Second
+	}
+	if c.BatchWindow == 0 && c.Workers > 1 {
+		// Batching only ever helps when two localizations can overlap;
+		// a single-worker pool would pay the window for nothing.
+		c.BatchWindow = 200 * time.Microsecond
 	}
 	return c
 }
@@ -296,6 +309,15 @@ func (s *Server) localizerFor(meta sessionio.Meta) (*core.Localizer, error) {
 	}
 	if meta.ChirpPeriodS > 0 {
 		cfg.Source.Period = meta.ChirpPeriodS
+	}
+	if s.cfg.BatchWindow > 0 && s.cfg.Workers > 1 {
+		// Each cached Localizer batches within itself: concurrent requests
+		// sharing parameters share the Localizer (and with it the detector
+		// doing the batching), and all their channel correlations land at
+		// the same transform size. Lanes per batch is bounded by the two
+		// channels of every concurrently running localization.
+		cfg.ASP.BatchWindow = s.cfg.BatchWindow
+		cfg.ASP.MaxBatch = 2 * s.cfg.Workers
 	}
 	key := locKey{src: cfg.Source, fs: cfg.SampleRate, micSep: cfg.MicSeparation}
 	s.locMu.Lock()
@@ -663,6 +685,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct{}{})
 		return
 	}
+	// Refresh the batch-coalescing levels from the localizer cache so the
+	// snapshot carries them without per-correlation obs traffic.
+	var batches, lanes uint64
+	s.locMu.Lock()
+	for _, l := range s.locs {
+		b, ln := l.BatchStats()
+		batches += b
+		lanes += ln
+	}
+	s.locMu.Unlock()
+	s.o.Gauge(GBatchBatches).Set(int64(batches))
+	s.o.Gauge(GBatchLanes).Set(int64(lanes))
 	snap := s.o.Registry().Snapshot()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -1,0 +1,7 @@
+//go:build !race
+
+package hyperear
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation pins skip under it (instrumentation allocates).
+const raceEnabled = false
