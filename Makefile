@@ -58,9 +58,10 @@ bench-smoke:
 
 # Focused observability gate: the concurrent counter/span tests under
 # the race detector, plus the disabled-path overhead proof (a no-op obs
-# hook must add 0 B/op). BenchmarkPipelineLocate2DObserved fails the run
-# if an instrumented pipeline stops emitting spans or slide tallies, so
-# this (and bench-smoke, which runs every benchmark) catches plumbing rot.
+# hook must add 0 B/op — including SpanCtx with a trace-laden context).
+# BenchmarkPipelineLocate2DObserved fails the run if an instrumented
+# pipeline stops emitting spans or slide tallies, so this (and
+# bench-smoke, which runs every benchmark) catches plumbing rot.
 obs-check:
 	$(GO) test -race -run 'Obs|Trace|Concurrent' ./internal/obs/ ./
 	$(GO) test -run NONE -bench 'Disabled|Locate2DObserved' -benchtime 1x -benchmem ./internal/obs/ ./
@@ -80,9 +81,12 @@ server-soak:
 # and packed-real transforms; Detect/Stream cover the batch and
 # overlap-save detection hot paths; PipelineLocate2D{,Serial,Parallel}
 # track end-to-end latency and the serial/parallel split; ServerThroughput
-# measures locates/sec through the full HTTP service with batching on.
-BENCH_RE := CrossCorrelate|Correlator|Envelope|FFTForward|Detect|Stream|PipelineLocate2D|ServerThroughput
-BENCH_PKGS := ./ ./internal/dsp/ ./internal/chirp/ ./internal/server/
+# measures locates/sec through the full HTTP service with batching on;
+# DisabledSpan/EnabledSpan pin the per-hook observability overhead (the
+# disabled path must stay 0 B/op) and PromExposition the /metrics
+# scrape-render cost.
+BENCH_RE := CrossCorrelate|Correlator|Envelope|FFTForward|Detect|Stream|PipelineLocate2D|ServerThroughput|DisabledSpan|EnabledSpan|PromExposition
+BENCH_PKGS := ./ ./internal/dsp/ ./internal/chirp/ ./internal/obs/ ./internal/server/
 
 bench:
 	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS)

@@ -10,6 +10,8 @@
 //	              [-timeout 30s] [-max-body 64MiB-as-bytes]
 //	              [-session-idle 2m] [-max-sessions 64]
 //	              [-trace out.jsonl] [-debug-addr :6060]
+//	              [-access-log path|-] [-slo-target 1s] [-slo-objective 0.99]
+//	              [-metrics-window 5m]
 //
 // The server sheds load instead of queueing unboundedly: past
 // workers+queue admitted localizations, requests get 429 with
@@ -23,6 +25,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -61,8 +65,15 @@ func run(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 	trace := fs.String("trace", "", "write a JSONL stage-span trace to this file")
 	debugAddr := fs.String("debug-addr", "", "serve pprof + expvar on this address (e.g. :6060)")
+	accessLog := fs.String("access-log", "", "write one JSON line per request to this file (\"-\" for stdout)")
+	sloTarget := fs.Duration("slo-target", 0, "per-request latency target for /debug/slo (0 = 1s)")
+	sloObjective := fs.Float64("slo-objective", 0, "SLO attainment objective in (0,1] (0 = 0.99)")
+	metricsWindow := fs.Duration("metrics-window", 0, "rolling latency window span (0 = 5m, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if math.IsNaN(*sloObjective) || math.IsInf(*sloObjective, 0) || *sloObjective < 0 || *sloObjective > 1 {
+		return fmt.Errorf("-slo-objective %v out of range (want 0 < o <= 1, or 0 for the default)", *sloObjective)
 	}
 
 	var phone hyperear.Phone
@@ -77,6 +88,7 @@ func run(args []string) error {
 
 	reg := obs.NewRegistry()
 	var sink obs.Sink
+	var jsonl *obs.JSONLSink
 	var traceFile *os.File
 	if *trace != "" {
 		f, err := os.Create(*trace)
@@ -84,9 +96,25 @@ func run(args []string) error {
 			return err
 		}
 		traceFile = f
-		sink = obs.NewJSONLSink(f)
+		jsonl = obs.NewJSONLSink(f)
+		sink = jsonl
 	}
 	o := obs.New(sink, reg)
+
+	var accessWriter io.Writer
+	var accessFile *os.File
+	switch *accessLog {
+	case "":
+	case "-":
+		accessWriter = os.Stdout
+	default:
+		f, err := os.Create(*accessLog)
+		if err != nil {
+			return err
+		}
+		accessFile = f
+		accessWriter = f
+	}
 
 	pipeCfg := core.DefaultConfig(hyperear.DefaultBeacon(), phone.SampleRate, phone.MicSeparation)
 	pipeCfg.Obs = o
@@ -97,6 +125,10 @@ func run(args []string) error {
 		MaxBodyBytes:       *maxBody,
 		SessionIdleTimeout: *sessionIdle,
 		MaxSessions:        *maxSessions,
+		MetricsWindow:      *metricsWindow,
+		SLOTarget:          *sloTarget,
+		SLOObjective:       *sloObjective,
+		AccessLog:          accessWriter,
 		Pipeline:           pipeCfg,
 		Obs:                o,
 	})
@@ -153,8 +185,21 @@ func run(args []string) error {
 	defer cancel()
 	err = hs.Shutdown(dctx)
 	srv.FinishShutdown()
+	if jsonl != nil {
+		// The sink swallows write errors per event to keep span emission
+		// non-blocking; surface the sticky first error at shutdown so a
+		// full disk does not silently produce a truncated trace.
+		if werr := jsonl.Err(); werr != nil {
+			fmt.Fprintln(os.Stderr, "hyperearservd: trace write:", werr)
+		}
+	}
 	if traceFile != nil {
 		if cerr := traceFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if accessFile != nil {
+		if cerr := accessFile.Close(); err == nil {
 			err = cerr
 		}
 	}

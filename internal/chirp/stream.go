@@ -1,6 +1,7 @@
 package chirp
 
 import (
+	"context"
 	"math"
 
 	"hyperear/internal/dsp"
@@ -147,11 +148,28 @@ func (s *StreamDetector) Reset() {
 // Push appends a chunk of samples and returns any newly confirmed
 // detections, in time order, with absolute stream timestamps.
 func (s *StreamDetector) Push(chunk []float64) []Detection {
+	return s.PushContext(context.Background(), chunk)
+}
+
+// PushContext is Push carrying a request context: when an obs hook is
+// attached and at least one detection pass runs, the pass is wrapped in
+// a "chirp.stream.push" span that inherits the context's trace IDs, so
+// streaming ingest shows up in the same trace as the locate call that
+// consumes the session. Chunks too small to trigger a pass emit no span
+// (the common per-callback case stays counter-only).
+func (s *StreamDetector) PushContext(ctx context.Context, chunk []float64) []Detection {
 	s.buf = append(s.buf, chunk...)
+	if len(s.buf) < s.blockSize {
+		return nil
+	}
+	sp := s.obs.SpanCtx(ctx, "chirp.stream.push")
 	var out []Detection
 	for len(s.buf) >= s.blockSize {
 		out = append(out, s.process(false)...)
 	}
+	sp.AttrInt("samples", len(chunk))
+	sp.AttrInt("emitted", len(out))
+	sp.End()
 	return out
 }
 

@@ -178,7 +178,7 @@ func (a *ASP) Process(rec *mic.Recording) (*ASPResult, error) {
 // for channels not yet started when ctx is done, and the stage returns
 // ctx's error instead of pairing partial results.
 func (a *ASP) ProcessContext(ctx context.Context, rec *mic.Recording) (*ASPResult, error) {
-	sp := a.cfg.Obs.Span("asp")
+	sp := a.cfg.Obs.SpanCtx(ctx, "asp")
 	defer sp.End()
 	if rec == nil || len(rec.Mic1) == 0 || len(rec.Mic2) == 0 {
 		sp.AttrStr("error", "empty recording")

@@ -166,10 +166,13 @@ func (l *Localizer) LocateFull3D(rec *mic.Recording, tr *imu.Trace) (*ResultFull
 // LocateFull3DContext is LocateFull3D with cancellation (see
 // Locate2DContext).
 func (l *Localizer) LocateFull3DContext(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*ResultFull3D, error) {
+	sp := l.cfg.Obs.SpanCtx(ctx, "full3d")
+	defer sp.End()
 	scr := getScratch()
 	defer putScratch(scr)
 	aspRes, msp, ests, err := l.analyzeSession(ctx, rec, tr, scr)
 	if err != nil {
+		sp.AttrStr("error", err.Error())
 		return nil, err
 	}
 	d := l.cfg.MicSeparation
@@ -247,8 +250,10 @@ func (l *Localizer) LocateFull3DContext(ctx context.Context, rec *mic.Recording,
 	}
 	pos, err := SolveFull3D(obs, guess)
 	if err != nil {
+		sp.AttrStr("error", err.Error())
 		return nil, err
 	}
+	sp.AttrInt("observations", len(obs))
 	// Fold the mirrored solution (x < 0) onto the SDF side.
 	if pos.X < 0 {
 		pos.X = -pos.X

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"hyperear/internal/dsp"
@@ -107,17 +108,18 @@ type MSPResult struct {
 func PreprocessIMU(tr *imu.Trace, cfg MSPConfig) (*MSPResult, error) {
 	// A fresh Scratch makes the result own its buffers, exactly as the
 	// old per-call makes did; the pipeline passes a pooled one instead.
-	return preprocessIMU(tr, cfg, new(Scratch))
+	return preprocessIMU(context.Background(), tr, cfg, new(Scratch))
 }
 
-// preprocessIMU is PreprocessIMU writing through s. The returned MSPResult
-// aliases s's buffers and is valid only until s is reused or returned to
-// the pool.
-func preprocessIMU(tr *imu.Trace, cfg MSPConfig, s *Scratch) (*MSPResult, error) {
+// preprocessIMU is PreprocessIMU writing through s, with the request
+// context (trace identity only — segmentation is not cancellable, it is
+// far too cheap to interrupt). The returned MSPResult aliases s's
+// buffers and is valid only until s is reused or returned to the pool.
+func preprocessIMU(ctx context.Context, tr *imu.Trace, cfg MSPConfig, s *Scratch) (*MSPResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sp := cfg.Obs.Span("msp")
+	sp := cfg.Obs.SpanCtx(ctx, "msp")
 	defer sp.End()
 	if tr == nil || tr.Len() == 0 {
 		sp.AttrStr("error", "empty IMU trace")

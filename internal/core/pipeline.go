@@ -231,7 +231,7 @@ func (l *Localizer) analyzeSession(ctx context.Context, rec *mic.Recording, tr *
 	if err := ctxErr(ctx); err != nil {
 		return nil, nil, nil, err
 	}
-	msp, err := preprocessIMU(tr, l.cfg.MSP, s)
+	msp, err := preprocessIMU(ctx, tr, l.cfg.MSP, s)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -241,7 +241,7 @@ func (l *Localizer) analyzeSession(ctx context.Context, rec *mic.Recording, tr *
 	// each worker reuses its own velocity scratch slot. A canceled context
 	// turns the remaining iterations into no-ops — the pool drains quickly
 	// rather than finishing every estimate.
-	sp := l.cfg.Obs.Span("pde")
+	sp := l.cfg.Obs.SpanCtx(ctx, "pde")
 	s.growPDE(effectiveWorkers(len(msp.Segments), l.cfg.Parallelism))
 	ests := make([]SlideEstimate, len(msp.Segments))
 	parallelForWorkers(len(msp.Segments), l.cfg.Parallelism, func(w, i int) {
@@ -392,7 +392,7 @@ func (l *Localizer) Locate2D(rec *mic.Recording, tr *imu.Trace) (*Result2D, erro
 // (and inside the heavy ASP/PDE fan-outs) and returns an error wrapping
 // ctx's cause.
 func (l *Localizer) Locate2DContext(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*Result2D, error) {
-	sp := l.cfg.Obs.Span("locate2d")
+	sp := l.cfg.Obs.SpanCtx(ctx, "locate2d")
 	defer sp.End()
 	scr := getScratch()
 	defer putScratch(scr)
@@ -401,7 +401,7 @@ func (l *Localizer) Locate2DContext(ctx context.Context, rec *mic.Recording, tr 
 		sp.AttrStr("error", err.Error())
 		return nil, err
 	}
-	tsp := l.cfg.Obs.Span("ttl")
+	tsp := l.cfg.Obs.SpanCtx(ctx, "ttl")
 	fixes, diags, err := l.localizeSlides(ctx, aspRes, msp, ests)
 	if err != nil {
 		tsp.End()
@@ -446,7 +446,7 @@ func (l *Localizer) Locate3D(rec *mic.Recording, tr *imu.Trace) (*Result3D, erro
 
 // Locate3DContext is Locate3D with cancellation (see Locate2DContext).
 func (l *Localizer) Locate3DContext(ctx context.Context, rec *mic.Recording, tr *imu.Trace) (*Result3D, error) {
-	sp := l.cfg.Obs.Span("locate3d")
+	sp := l.cfg.Obs.SpanCtx(ctx, "locate3d")
 	defer sp.End()
 	scr := getScratch()
 	defer putScratch(scr)
@@ -469,7 +469,7 @@ func (l *Localizer) Locate3DContext(ctx context.Context, rec *mic.Recording, tr 
 		return nil, fmt.Errorf("core: no stature change detected in 3D session")
 	}
 
-	tsp := l.cfg.Obs.Span("ttl")
+	tsp := l.cfg.Obs.SpanCtx(ctx, "ttl")
 	fixes, diags, err := l.localizeSlides(ctx, aspRes, msp, ests)
 	if err != nil {
 		tsp.End()

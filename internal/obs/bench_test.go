@@ -1,6 +1,11 @@
 package obs
 
-import "testing"
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+)
 
 // BenchmarkDisabledSpan measures the disabled path that every pipeline
 // stage pays by default: it must report 0 B/op (see `make obs-check`).
@@ -9,6 +14,26 @@ func BenchmarkDisabledSpan(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sp := o.Span("asp")
+		sp.Attr("v", 1.5)
+		sp.AttrInt("n", i)
+		sp.End()
+		o.Inc("c")
+		o.Observe("h", 0.5)
+	}
+}
+
+// BenchmarkDisabledSpanCtx is the trace-aware variant of the disabled
+// path: even with a trace-laden context the nil receiver must stay at
+// 0 B/op, because every pipeline stage now threads a context through.
+func BenchmarkDisabledSpanCtx(b *testing.B) {
+	var o *Obs
+	ctx := ContextWithTrace(context.Background(), TraceContext{
+		TraceID: "bench-trace", SpanID: "bench-span",
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := o.SpanCtx(ctx, "asp")
 		sp.Attr("v", 1.5)
 		sp.AttrInt("n", i)
 		sp.End()
@@ -29,5 +54,51 @@ func BenchmarkEnabledSpan(b *testing.B) {
 		sp.End()
 		o.Inc("c")
 		o.Observe("h", 0.5)
+	}
+}
+
+// BenchmarkEnabledSpanCtx measures the traced enabled path the server
+// request loop pays: trace extraction plus span-ID minting per span.
+func BenchmarkEnabledSpanCtx(b *testing.B) {
+	o := New(nil, NewRegistry())
+	ctx := ContextWithTrace(context.Background(), TraceContext{
+		TraceID: "bench-trace", SpanID: "bench-span",
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := o.SpanCtx(ctx, "asp")
+		sp.Attr("v", 1.5)
+		sp.AttrInt("n", i)
+		sp.End()
+		o.Inc("c")
+		o.Observe("h", 0.5)
+	}
+}
+
+// BenchmarkPromExposition measures a full Prometheus text render of a
+// moderately populated snapshot — the recurring cost a scraper imposes.
+func BenchmarkPromExposition(b *testing.B) {
+	reg := NewRegistry()
+	for i, name := range []string{
+		"server.requests.admitted", "server.requests.rejected",
+		"asp.detections", "chirp.stream.emitted",
+	} {
+		reg.Add(name, uint64(i+1)*17)
+	}
+	reg.Gauge("server.queue.depth").Set(3)
+	reg.Gauge("server.sessions.live").Set(5)
+	for _, name := range []string{
+		"server.request.duration", "span.asp", "span.msp", "span.pde",
+		"span.ttl", "span.locate2d",
+	} {
+		for i := 1; i <= 64; i++ {
+			reg.ObserveDur(name, time.Duration(i)*time.Millisecond)
+		}
+	}
+	snap := reg.Snapshot()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		WritePrometheus(io.Discard, snap, "hyperear")
 	}
 }

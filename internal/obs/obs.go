@@ -37,6 +37,16 @@ type Event struct {
 	StartNS int64 `json:"start_ns"`
 	// DurNS is the span's wall-clock duration in nanoseconds.
 	DurNS int64 `json:"dur_ns"`
+	// TraceID ties the span to the request that caused it (see
+	// TraceContext); empty when the span was opened outside any request
+	// scope. Grep a JSONL trace for one TraceID to recover a request's
+	// full span tree.
+	TraceID string `json:"trace,omitempty"`
+	// SpanID identifies this span within its trace.
+	SpanID string `json:"span,omitempty"`
+	// ParentID is the SpanID of the enclosing span (the request root for
+	// pipeline stage spans); empty on root spans.
+	ParentID string `json:"parent,omitempty"`
 	// Attrs are the span's annotations in the order they were set.
 	Attrs []Attr `json:"attrs,omitempty"`
 }
@@ -117,10 +127,13 @@ func (o *Obs) Observe(name string, v float64) {
 // Span is one in-flight stage measurement. The zero value is inert:
 // every method is a no-op, so disabled pipelines pay only a nil check.
 type Span struct {
-	o     *Obs
-	stage string
-	start time.Time
-	attrs []Attr
+	o       *Obs
+	stage   string
+	start   time.Time
+	traceID string
+	spanID  string
+	parent  string
+	attrs   []Attr
 }
 
 // Attr attaches a numeric attribute. No-op on an inert span; the
@@ -159,10 +172,13 @@ func (s *Span) End() {
 	d := time.Since(s.start)
 	if s.o.sink != nil {
 		s.o.sink.Emit(Event{
-			Stage:   s.stage,
-			StartNS: s.start.UnixNano(),
-			DurNS:   d.Nanoseconds(),
-			Attrs:   s.attrs,
+			Stage:    s.stage,
+			StartNS:  s.start.UnixNano(),
+			DurNS:    d.Nanoseconds(),
+			TraceID:  s.traceID,
+			SpanID:   s.spanID,
+			ParentID: s.parent,
+			Attrs:    s.attrs,
 		})
 	}
 	if s.o.reg != nil {

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -16,12 +17,20 @@ import (
 // (the default configuration) allocates nothing on any hook.
 func TestDisabledObsIsFree(t *testing.T) {
 	var o *Obs
+	ctx := ContextWithTrace(context.Background(), TraceContext{
+		TraceID: "t", SpanID: "s",
+	})
 	allocs := testing.AllocsPerRun(100, func() {
 		sp := o.Span("asp")
 		sp.Attr("dist", 7.25)
 		sp.AttrInt("beacons", 3)
 		sp.AttrStr("reason", "none")
 		sp.End()
+		csp := o.SpanCtx(ctx, "msp")
+		csp.AttrInt("n", 1)
+		csp.End()
+		rsp := o.RequestSpan("server.request", TraceContext{TraceID: "t", SpanID: "s"})
+		rsp.End()
 		o.Inc("pipeline.slide.accepted")
 		o.Add("asp.detections", 12)
 		o.Observe("pde.drift", 0.003)

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), stdlib-only. A
+// Snapshot renders deterministically: counters as `<ns>_<name>_total`,
+// gauges as `<ns>_<name>` plus a `<ns>_<name>_max` high-watermark, and
+// histograms as the standard cumulative `_bucket{le=...}/_sum/_count`
+// triplet. WriteRuntimeMetrics adds the Go runtime's own health signals
+// (goroutines, heap, GC) sampled via runtime/metrics, and
+// WriteQuantileSummary renders a windowed histogram delta as a summary
+// (rolling p50/p95/p99). Names are sanitized by PromName; no escaping
+// beyond that is needed because the only labels emitted are numeric
+// `le` and `quantile` values.
+
+// summaryQuantiles are the quantiles every summary exposition carries.
+var summaryQuantiles = []float64{0.5, 0.95, 0.99}
+
+// PromName sanitizes a registry metric name into the Prometheus
+// identifier charset [a-zA-Z0-9_:], mapping every other rune
+// (the registry's dots, dashes) to '_' and prefixing '_' when the name
+// would start with a digit.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus parsers expect,
+// including the +Inf spelling for bucket bounds.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedKeys returns the map's keys sorted, for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format under the given namespace prefix (e.g. "hyperear"). Output is
+// sorted by metric name within each kind, so identical snapshots encode
+// identically.
+func WritePrometheus(w io.Writer, s Snapshot, namespace string) {
+	for _, name := range sortedKeys(s.Counters) {
+		m := namespace + "_" + PromName(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		m := namespace + "_" + PromName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", m, m, g.Value)
+		fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %d\n", m, m, g.Max)
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		writeHistogram(w, namespace+"_"+PromName(name), s.Histograms[name])
+	}
+}
+
+// writeHistogram renders one fixed-bucket histogram as the cumulative
+// _bucket/_sum/_count triplet.
+func writeHistogram(w io.Writer, m string, h HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", m)
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m, promFloat(bound), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", m, promFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", m, h.Count)
+}
+
+// WriteQuantileSummary renders a histogram delta (typically a rolling
+// window from Window.Rolling) as a Prometheus summary: p50/p95/p99
+// quantile samples plus _sum and _count. The quantiles carry the same
+// within-bucket interpolation caveats as HistSnapshot.Quantile.
+func WriteQuantileSummary(w io.Writer, m string, h HistSnapshot) {
+	fmt.Fprintf(w, "# TYPE %s summary\n", m)
+	for _, q := range summaryQuantiles {
+		fmt.Fprintf(w, "%s{quantile=%q} %s\n", m, promFloat(q), promFloat(h.Quantile(q)))
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", m, promFloat(h.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", m, h.Count)
+}
+
+// runtimeSamples are the runtime/metrics series the exposition carries:
+// scheduler load, heap footprint, and GC behavior — the fleet-dashboard
+// basics for spotting a leaking or thrashing worker.
+var runtimeSamples = []struct {
+	name   string // runtime/metrics key
+	metric string // exposition suffix (namespace is prepended)
+	kind   string // "gauge" or "counter"
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines", "gauge"},
+	{"/memory/classes/heap/objects:bytes", "go_heap_objects_bytes", "gauge"},
+	{"/memory/classes/total:bytes", "go_memory_total_bytes", "gauge"},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total", "counter"},
+}
+
+// gcPausesKey is the runtime histogram rendered as a pause-time summary.
+const gcPausesKey = "/gc/pauses:seconds"
+
+// WriteRuntimeMetrics samples the Go runtime via runtime/metrics and
+// renders the result in exposition format under the namespace. Metrics
+// the running toolchain does not provide are silently skipped, so the
+// output degrades rather than breaks across Go versions.
+func WriteRuntimeMetrics(w io.Writer, namespace string) {
+	samples := make([]metrics.Sample, 0, len(runtimeSamples)+1)
+	for _, rs := range runtimeSamples {
+		samples = append(samples, metrics.Sample{Name: rs.name})
+	}
+	samples = append(samples, metrics.Sample{Name: gcPausesKey})
+	metrics.Read(samples)
+	for i, rs := range runtimeSamples {
+		v := samples[i].Value
+		if v.Kind() != metrics.KindUint64 {
+			continue
+		}
+		m := namespace + "_" + rs.metric
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", m, rs.kind, m, v.Uint64())
+	}
+	if v := samples[len(samples)-1].Value; v.Kind() == metrics.KindFloat64Histogram {
+		writeRuntimeHistSummary(w, namespace+"_go_gc_pause_seconds", v.Float64Histogram())
+	}
+}
+
+// writeRuntimeHistSummary renders a runtime/metrics Float64Histogram as
+// quantile samples plus a count. Runtime bucket boundaries may be ±Inf
+// at the edges; quantiles landing there clamp to the nearest finite
+// boundary.
+func writeRuntimeHistSummary(w io.Writer, m string, h *metrics.Float64Histogram) {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	fmt.Fprintf(w, "# TYPE %s summary\n", m)
+	for _, q := range summaryQuantiles {
+		fmt.Fprintf(w, "%s{quantile=%q} %s\n", m, promFloat(q), promFloat(runtimeHistQuantile(h, total, q)))
+	}
+	fmt.Fprintf(w, "%s_count %d\n", m, total)
+}
+
+// runtimeHistQuantile interpolates the q-quantile of a runtime
+// histogram: bucket i spans [Buckets[i], Buckets[i+1]).
+func runtimeHistQuantile(h *metrics.Float64Histogram, total uint64, q float64) float64 {
+	if total == 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if c == 0 || float64(cum) < rank {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		lo, hi = clampFinite(lo, hi)
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	_, hi := clampFinite(h.Buckets[len(h.Buckets)-2], h.Buckets[len(h.Buckets)-1])
+	return hi
+}
+
+// clampFinite replaces infinite bucket edges by their finite partner so
+// interpolation stays finite.
+func clampFinite(lo, hi float64) (float64, float64) {
+	if math.IsInf(lo, 0) && math.IsInf(hi, 0) {
+		return 0, 0
+	}
+	if math.IsInf(lo, 0) {
+		lo = hi
+	}
+	if math.IsInf(hi, 0) {
+		hi = lo
+	}
+	return lo, hi
+}

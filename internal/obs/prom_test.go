@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSnapshot builds a registry with one of everything and returns its
+// snapshot.
+func promSnapshot() Snapshot {
+	reg := NewRegistry()
+	reg.Add("server.requests.admitted", 7)
+	reg.Add("asp.detections", 123)
+	reg.Gauge("server.queue.depth").Set(3)
+	reg.Gauge("server.queue.depth").Set(1)
+	reg.ObserveDur("span.asp", 2*time.Millisecond)
+	reg.ObserveDur("span.asp", 40*time.Millisecond)
+	reg.ObserveDur("server.request.duration", 120*time.Millisecond)
+	return reg.Snapshot()
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"server.requests.admitted": "server_requests_admitted",
+		"span.chirp.stream.push":   "span_chirp_stream_push",
+		"already_ok:name":          "already_ok:name",
+		"0weird":                   "_0weird",
+		"dash-ed":                  "dash_ed",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusGrammar checks every emitted line against the text
+// exposition line grammar: either a `# TYPE <name> <kind>` comment or a
+// `<series> <number>` sample whose series is a metric name with an
+// optional single-label set.
+func TestPrometheusGrammar(t *testing.T) {
+	var b strings.Builder
+	WritePrometheus(&b, promSnapshot(), "hyperear")
+	checkPromGrammar(t, b.String())
+}
+
+func TestRuntimeMetricsGrammar(t *testing.T) {
+	var b strings.Builder
+	WriteRuntimeMetrics(&b, "hyperear")
+	out := b.String()
+	checkPromGrammar(t, out)
+	if !strings.Contains(out, "hyperear_go_goroutines") {
+		t.Error("runtime exposition missing goroutine gauge")
+	}
+	if !strings.Contains(out, "hyperear_go_heap_objects_bytes") {
+		t.Error("runtime exposition missing heap gauge")
+	}
+}
+
+func checkPromGrammar(t *testing.T, out string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no output")
+	}
+	for _, line := range lines {
+		if line == "" {
+			t.Error("empty line in exposition")
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "TYPE" {
+				t.Errorf("malformed comment line %q", line)
+				continue
+			}
+			switch fields[3] {
+			case "counter", "gauge", "histogram", "summary":
+			default:
+				t.Errorf("unknown TYPE %q in %q", fields[3], line)
+			}
+			continue
+		}
+		// Sample line: <name>[{label="value"}] <float>
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Errorf("sample line %q has no value", line)
+			continue
+		}
+		series, val := line[:sp], line[sp+1:]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Errorf("sample %q: bad value %q", line, val)
+			}
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Errorf("series %q: unterminated label set", series)
+			}
+			name = series[:i]
+			labels := series[i+1 : len(series)-1]
+			eq := strings.IndexByte(labels, '=')
+			if eq <= 0 {
+				t.Errorf("series %q: malformed label %q", series, labels)
+				continue
+			}
+			lv := labels[eq+1:]
+			if len(lv) < 2 || lv[0] != '"' || lv[len(lv)-1] != '"' {
+				t.Errorf("series %q: label value %q not quoted", series, lv)
+			}
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '_' || c == ':' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(c >= '0' && c <= '9' && i > 0)
+			if !ok {
+				t.Errorf("metric name %q: invalid char %q", name, c)
+				break
+			}
+		}
+	}
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	snap := promSnapshot()
+	var a, b strings.Builder
+	WritePrometheus(&a, snap, "hyperear")
+	WritePrometheus(&b, snap, "hyperear")
+	if a.String() != b.String() {
+		t.Error("identical snapshots encoded differently")
+	}
+}
+
+func TestPrometheusContent(t *testing.T) {
+	var b strings.Builder
+	WritePrometheus(&b, promSnapshot(), "hyperear")
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE hyperear_server_requests_admitted_total counter\n",
+		"hyperear_server_requests_admitted_total 7\n",
+		"hyperear_server_queue_depth 1\n",
+		"hyperear_server_queue_depth_max 3\n",
+		"# TYPE hyperear_span_asp histogram\n",
+		"hyperear_span_asp_bucket{le=\"+Inf\"} 2\n",
+		"hyperear_span_asp_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusBucketsCumulative checks the le buckets are cumulative
+// and monotone, ending at the +Inf bucket equal to _count.
+func TestPrometheusBucketsCumulative(t *testing.T) {
+	var b strings.Builder
+	WritePrometheus(&b, promSnapshot(), "hyperear")
+	var prev uint64
+	var sawInf bool
+	var count uint64
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "hyperear_span_asp_bucket{") {
+			sp := strings.LastIndexByte(line, ' ')
+			v, err := strconv.ParseUint(line[sp+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Errorf("bucket counts not monotone at %q", line)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				sawInf = true
+			}
+		}
+		if strings.HasPrefix(line, "hyperear_span_asp_count ") {
+			count, _ = strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		}
+	}
+	if !sawInf {
+		t.Error("no +Inf bucket emitted")
+	}
+	if prev != count {
+		t.Errorf("+Inf bucket %d != _count %d", prev, count)
+	}
+}
+
+func TestQuantileSummary(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 100; i++ {
+		reg.ObserveDur("span.x", 5*time.Millisecond)
+	}
+	h := reg.Snapshot().Histograms["span.x"]
+	var b strings.Builder
+	WriteQuantileSummary(&b, "hyperear_rolling_span_x", h)
+	out := b.String()
+	checkPromGrammar(t, out)
+	for _, want := range []string{
+		"# TYPE hyperear_rolling_span_x summary\n",
+		"hyperear_rolling_span_x{quantile=\"0.5\"} ",
+		"hyperear_rolling_span_x{quantile=\"0.95\"} ",
+		"hyperear_rolling_span_x{quantile=\"0.99\"} ",
+		"hyperear_rolling_span_x_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q\n%s", want, out)
+		}
+	}
+}

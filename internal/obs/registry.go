@@ -28,6 +28,9 @@ type Registry struct {
 	counters map[string]*atomic.Uint64
 	hists    map[string]*Histogram
 	gauges   map[string]*Gauge
+
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -227,6 +230,112 @@ func (h HistSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Quantile estimates the p-quantile (p in [0,1], clamped) with linear
+// interpolation inside the straddling bucket, the same estimator
+// Prometheus's histogram_quantile uses: observations are assumed
+// uniform within a bucket, the lowest bucket's lower edge is 0 (the
+// registry's histograms hold non-negative durations and magnitudes),
+// and a quantile landing in the overflow bucket reports the highest
+// finite bound — the histogram cannot resolve beyond it. Returns 0 on
+// an empty snapshot.
+func (h HistSnapshot) Quantile(p float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if !(p > 0) { // also catches NaN
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.Count)
+	var cum uint64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += c
+		if c == 0 || float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		hi := h.Bounds[i]
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		} else if hi < 0 {
+			lo = hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// CDF estimates the fraction of observations at or below v, with the
+// same within-bucket uniformity assumption as Quantile. Returns 0 on an
+// empty snapshot; 1 when v is at or above the highest finite bound's
+// bucket (the overflow bucket's upper edge is unknowable, so any v past
+// the last bound counts all of it).
+func (h HistSnapshot) CDF(v float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	var below float64
+	for i := range h.Bounds {
+		hi := h.Bounds[i]
+		c := float64(h.Counts[i])
+		if v >= hi {
+			below += c
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		} else if hi < 0 {
+			lo = hi
+		}
+		if v > lo && hi > lo {
+			below += c * (v - lo) / (hi - lo)
+		}
+		return below / float64(h.Count)
+	}
+	// v at or above every bound: the overflow bucket counts wholly.
+	below += float64(h.Counts[len(h.Counts)-1])
+	return below / float64(h.Count)
+}
+
+// Sub returns the observations recorded between old and h (two
+// cumulative snapshots of the same histogram, h the later one): the
+// windowed delta behind rolling quantiles. Mismatched bounds or a
+// counter reset (old ahead of h) return h unchanged — the window
+// restarts rather than reporting negative counts. Sum differences are
+// floored at 0 against concurrent-update skew.
+func (h HistSnapshot) Sub(old HistSnapshot) HistSnapshot {
+	if len(old.Bounds) != len(h.Bounds) || len(old.Counts) != len(h.Counts) || old.Count > h.Count {
+		return h
+	}
+	for i := range h.Bounds {
+		//hyperearvet:allow floatguard exact compare of bucket bounds copied verbatim from the same fixed-at-creation histogram
+		if h.Bounds[i] != old.Bounds[i] {
+			return h
+		}
+	}
+	d := HistSnapshot{
+		Count:  h.Count - old.Count,
+		Sum:    h.Sum - old.Sum,
+		Bounds: h.Bounds,
+		Counts: make([]uint64, len(h.Counts)),
+	}
+	if d.Sum < 0 {
+		d.Sum = 0
+	}
+	for i := range h.Counts {
+		if h.Counts[i] >= old.Counts[i] {
+			d.Counts[i] = h.Counts[i] - old.Counts[i]
+		}
+	}
+	return d
+}
+
 // GaugeSnapshot is a point-in-time copy of a gauge.
 type GaugeSnapshot struct {
 	Value int64 `json:"value"`
@@ -241,8 +350,29 @@ type Snapshot struct {
 	Gauges     map[string]GaugeSnapshot `json:"gauges,omitempty"`
 }
 
-// Snapshot copies every counter, histogram, and gauge.
+// OnSnapshot registers f to run at the start of every Snapshot call —
+// the hook for metrics that are levels refreshed on read rather than
+// incremented per event (the server's batch-coalescing gauges). Hooks
+// run before the registry lock is taken, so they may Set gauges and
+// Add counters; they must not call Snapshot themselves. Every snapshot
+// consumer (HTTP /metrics, expvar, direct Snapshot callers) sees the
+// refreshed values, so all readers agree.
+func (r *Registry) OnSnapshot(f func()) {
+	r.hookMu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.hookMu.Unlock()
+}
+
+// Snapshot copies every counter, histogram, and gauge, after running
+// the OnSnapshot refresh hooks.
 func (r *Registry) Snapshot() Snapshot {
+	r.hookMu.Lock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.hookMu.Unlock()
+	for _, f := range hooks {
+		f()
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped tracing. An HTTP front end mints one TraceContext per
+// request (TraceID plus the root span's SpanID), stores it in the
+// request's context.Context, and every pipeline stage opened with
+// Obs.SpanCtx stamps the emitted Event with that identity — so a
+// request's complete span tree is greppable from one JSONL trace file
+// by its TraceID (which the server also echoes as X-Request-Id).
+//
+// The disabled contract is unchanged: on a nil *Obs, SpanCtx returns
+// the inert zero Span without reading the context, the clock, or
+// allocating, so instrumented code stays free when observability is
+// off (BenchmarkDisabledSpanCtx pins 0 B/op).
+
+// TraceContext is the request identity carried through context.Context:
+// the request's TraceID and the SpanID of the currently enclosing span
+// (the parent for any span opened under this context).
+type TraceContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// traceKey is the private context key for TraceContext values.
+type traceKey struct{}
+
+// ContextWithTrace returns a context carrying tc. Spans opened from it
+// via Obs.SpanCtx inherit tc.TraceID and record tc.SpanID as parent.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceKey{}, tc)
+}
+
+// TraceFromContext extracts the trace context stored by
+// ContextWithTrace, reporting whether one was present.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceKey{}).(TraceContext)
+	return tc, ok
+}
+
+// spanCtr backs NewSpanID: a process-wide monotone counter keeps span
+// IDs unique without per-span entropy reads.
+var spanCtr atomic.Uint64
+
+// NewTraceID mints a 64-bit random trace ID as 16 lowercase hex
+// characters. Entropy failure (never observed on supported platforms)
+// falls back to the span counter so a request is still traceable.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("%016x", spanCtr.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID mints a process-unique span ID as 16 lowercase hex
+// characters.
+func NewSpanID() string {
+	return fmt.Sprintf("%016x", spanCtr.Add(1))
+}
+
+// SpanCtx opens a stage span inheriting the request identity stored in
+// ctx (if any): the span's Event carries the context's TraceID, a fresh
+// SpanID, and the context's SpanID as parent. On a nil receiver it
+// returns an inert Span without touching ctx or the clock — the
+// disabled path stays free.
+func (o *Obs) SpanCtx(ctx context.Context, stage string) Span {
+	if o == nil {
+		return Span{}
+	}
+	sp := Span{o: o, stage: stage, start: time.Now(), spanID: NewSpanID()}
+	if tc, ok := TraceFromContext(ctx); ok {
+		sp.traceID = tc.TraceID
+		sp.parent = tc.SpanID
+	}
+	return sp
+}
+
+// RequestSpan opens the root span of a request trace: the span adopts
+// tc's TraceID and SpanID verbatim with no parent, so child spans
+// opened from a context carrying tc point back at it. Safe on a nil
+// receiver.
+func (o *Obs) RequestSpan(stage string, tc TraceContext) Span {
+	if o == nil {
+		return Span{}
+	}
+	return Span{o: o, stage: stage, start: time.Now(), traceID: tc.TraceID, spanID: tc.SpanID}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: "abc123", SpanID: "0000000000000001"}
+	ctx := ContextWithTrace(context.Background(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok {
+		t.Fatal("TraceFromContext: not found after ContextWithTrace")
+	}
+	if got != tc {
+		t.Fatalf("TraceFromContext = %+v, want %+v", got, tc)
+	}
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Fatal("TraceFromContext on a bare context must report absence")
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if id == "" {
+			t.Fatal("empty trace ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanCtxCarriesTrace(t *testing.T) {
+	sink := &MemSink{}
+	o := New(sink, nil)
+	tc := TraceContext{TraceID: "trace-1", SpanID: "root-span"}
+	ctx := ContextWithTrace(context.Background(), tc)
+
+	sp := o.SpanCtx(ctx, "stage")
+	sp.End()
+
+	evs := sink.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.TraceID != "trace-1" {
+		t.Errorf("TraceID = %q, want trace-1", ev.TraceID)
+	}
+	if ev.ParentID != "root-span" {
+		t.Errorf("ParentID = %q, want root-span", ev.ParentID)
+	}
+	if ev.SpanID == "" || ev.SpanID == "root-span" {
+		t.Errorf("SpanID = %q, want a fresh non-root ID", ev.SpanID)
+	}
+}
+
+func TestSpanCtxWithoutTraceMatchesSpan(t *testing.T) {
+	sink := &MemSink{}
+	o := New(sink, nil)
+	sp := o.SpanCtx(context.Background(), "stage")
+	sp.End()
+	ev := sink.Events()[0]
+	if ev.TraceID != "" || ev.ParentID != "" {
+		t.Errorf("untraced context must emit empty trace fields, got trace=%q parent=%q",
+			ev.TraceID, ev.ParentID)
+	}
+}
+
+func TestRequestSpanUsesContextIDs(t *testing.T) {
+	sink := &MemSink{}
+	o := New(sink, nil)
+	tc := TraceContext{TraceID: "trace-9", SpanID: "root-9"}
+	sp := o.RequestSpan("server.request", tc)
+	sp.End()
+	ev := sink.Events()[0]
+	if ev.TraceID != "trace-9" || ev.SpanID != "root-9" || ev.ParentID != "" {
+		t.Errorf("root span IDs = (%q, %q, parent %q), want (trace-9, root-9, empty)",
+			ev.TraceID, ev.SpanID, ev.ParentID)
+	}
+}
+
+func TestSpanCtxNilObs(t *testing.T) {
+	var o *Obs
+	ctx := ContextWithTrace(context.Background(), TraceContext{TraceID: "t", SpanID: "s"})
+	sp := o.SpanCtx(ctx, "stage")
+	sp.AttrInt("n", 1)
+	sp.End() // must not panic
+	rp := o.RequestSpan("server.request", TraceContext{TraceID: "t", SpanID: "s"})
+	rp.End()
+}

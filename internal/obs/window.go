@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// Window turns the registry's cumulative histograms into rolling ones:
+// a ring of periodic snapshots, where the delta between the live
+// histogram and the oldest retained snapshot is "what happened over the
+// last N minutes" — the windowed p50/p95/p99 a latency SLO is stated
+// over, which a monotone since-process-start histogram cannot answer.
+//
+// The caller drives time explicitly: Tick(now) captures one ring slot
+// (the server's janitor calls it on its sweep interval; tests pass a
+// synthetic clock), and Rolling(now) returns the per-name deltas plus
+// the span of wall clock they actually cover. The ring is primed with
+// a capture at the window's birth, so before it has wrapped the window
+// is simply "since start", shorter than nominal — reported, never
+// extrapolated.
+//
+// A nil *Window is a valid no-op receiver, mirroring the package's
+// nil-disabled convention: a server without a registry skips windowing
+// with no call-site branches.
+type Window struct {
+	reg  *Registry
+	span time.Duration
+	// track selects histograms by exact name, or by prefix for entries
+	// ending in '*' ("span.*" tracks every stage-duration histogram,
+	// including ones created after the window).
+	track []string
+
+	mu    sync.Mutex
+	slots []windowSlot
+	head  int // next slot to overwrite
+	n     int // filled slots
+}
+
+// windowSlot is one captured cumulative state.
+type windowSlot struct {
+	at    time.Time
+	hists map[string]HistSnapshot
+}
+
+// NewWindow builds a rolling window of the given nominal span over reg,
+// assuming Tick is called roughly every tick. start is the window's
+// birth time: the ring is primed with a capture of reg's current state
+// at start, so observations landing before the first periodic Tick are
+// still inside the window (without the priming capture, the first tick
+// would become the base and silently swallow everything before it).
+// track entries are histogram names; a trailing '*' makes an entry a
+// prefix match. Returns nil (the no-op window) when reg is nil or the
+// durations are non-positive.
+func NewWindow(reg *Registry, span, tick time.Duration, start time.Time, track ...string) *Window {
+	if reg == nil || span <= 0 || tick <= 0 {
+		return nil
+	}
+	slots := int(span/tick) + 1
+	if slots < 2 {
+		slots = 2
+	}
+	w := &Window{reg: reg, span: span, track: track, slots: make([]windowSlot, slots)}
+	w.Tick(start)
+	return w
+}
+
+// Span returns the nominal window span (0 on a nil window).
+func (w *Window) Span() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.span
+}
+
+// tracked reports whether the histogram name matches the track list.
+func (w *Window) tracked(name string) bool {
+	for _, t := range w.track {
+		if strings.HasSuffix(t, "*") {
+			if strings.HasPrefix(name, t[:len(t)-1]) {
+				return true
+			}
+		} else if name == t {
+			return true
+		}
+	}
+	return false
+}
+
+// capture copies the tracked histograms' cumulative state.
+func (w *Window) capture() map[string]HistSnapshot {
+	snap := w.reg.Snapshot()
+	hists := make(map[string]HistSnapshot, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		if w.tracked(name) {
+			hists[name] = h
+		}
+	}
+	return hists
+}
+
+// Tick captures one ring slot at the given time. No-op on nil.
+func (w *Window) Tick(now time.Time) {
+	if w == nil {
+		return
+	}
+	hists := w.capture()
+	w.mu.Lock()
+	w.slots[w.head] = windowSlot{at: now, hists: hists}
+	w.head = (w.head + 1) % len(w.slots)
+	if w.n < len(w.slots) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// Rolling returns, per tracked histogram, the observations recorded
+// between the oldest retained capture (at latest the window's birth)
+// and now, and the wall-clock span those deltas cover. Nil returns
+// (nil, 0).
+func (w *Window) Rolling(now time.Time) (map[string]HistSnapshot, time.Duration) {
+	if w == nil {
+		return nil, 0
+	}
+	current := w.capture()
+	w.mu.Lock()
+	var base windowSlot
+	if w.n > 0 {
+		oldest := (w.head - w.n + len(w.slots)) % len(w.slots)
+		base = w.slots[oldest]
+	}
+	w.mu.Unlock()
+	if base.hists == nil {
+		return current, 0
+	}
+	out := make(map[string]HistSnapshot, len(current))
+	for name, h := range current {
+		if old, ok := base.hists[name]; ok {
+			out[name] = h.Sub(old)
+		} else {
+			// Histogram born inside the window: everything it holds is
+			// recent by definition.
+			out[name] = h
+		}
+	}
+	win := now.Sub(base.at)
+	if win < 0 {
+		win = 0
+	}
+	return out, win
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h HistSnapshot
+		if got := h.Quantile(0.5); got != 0 {
+			t.Errorf("empty Quantile = %v, want 0", got)
+		}
+	})
+	t.Run("single bucket interpolation", func(t *testing.T) {
+		// 10 observations all landing in the (0, 1] bucket: the p50
+		// interpolates to the bucket midpoint, p100 to its upper edge.
+		h := HistSnapshot{
+			Count:  10,
+			Bounds: []float64{1, 2},
+			Counts: []uint64{10, 0, 0},
+		}
+		if got := h.Quantile(0.5); !approx(got, 0.5, 1e-12) {
+			t.Errorf("p50 = %v, want 0.5", got)
+		}
+		if got := h.Quantile(1); !approx(got, 1, 1e-12) {
+			t.Errorf("p100 = %v, want 1", got)
+		}
+	})
+	t.Run("within-bucket linear", func(t *testing.T) {
+		// 4 in (0,1], 4 in (1,2]: p75 is halfway into the second bucket.
+		h := HistSnapshot{
+			Count:  8,
+			Bounds: []float64{1, 2},
+			Counts: []uint64{4, 4, 0},
+		}
+		if got := h.Quantile(0.75); !approx(got, 1.5, 1e-12) {
+			t.Errorf("p75 = %v, want 1.5", got)
+		}
+	})
+	t.Run("overflow bucket clamps", func(t *testing.T) {
+		h := HistSnapshot{
+			Count:  10,
+			Bounds: []float64{1, 2},
+			Counts: []uint64{0, 0, 10},
+		}
+		if got := h.Quantile(0.99); !approx(got, 2, 1e-12) {
+			t.Errorf("overflow p99 = %v, want highest bound 2", got)
+		}
+	})
+	t.Run("clamps p", func(t *testing.T) {
+		h := HistSnapshot{Count: 4, Bounds: []float64{1}, Counts: []uint64{4, 0}}
+		if got := h.Quantile(-1); got < 0 || got > 1 {
+			t.Errorf("Quantile(-1) = %v out of range", got)
+		}
+		if got := h.Quantile(2); !approx(got, 1, 1e-12) {
+			t.Errorf("Quantile(2) = %v, want 1", got)
+		}
+	})
+}
+
+func TestHistSnapshotCDF(t *testing.T) {
+	h := HistSnapshot{
+		Count:  8,
+		Bounds: []float64{1, 2},
+		Counts: []uint64{4, 4, 0},
+	}
+	if got := h.CDF(1); !approx(got, 0.5, 1e-12) {
+		t.Errorf("CDF(1) = %v, want 0.5", got)
+	}
+	if got := h.CDF(1.5); !approx(got, 0.75, 1e-12) {
+		t.Errorf("CDF(1.5) = %v, want 0.75", got)
+	}
+	if got := h.CDF(5); !approx(got, 1, 1e-12) {
+		t.Errorf("CDF(5) = %v, want 1", got)
+	}
+	var empty HistSnapshot
+	if got := empty.CDF(1); got != 0 {
+		t.Errorf("empty CDF = %v, want 0", got)
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	old := HistSnapshot{Count: 3, Sum: 3, Bounds: []float64{1, 2}, Counts: []uint64{2, 1, 0}}
+	cur := HistSnapshot{Count: 8, Sum: 11, Bounds: []float64{1, 2}, Counts: []uint64{4, 3, 1}}
+	d := cur.Sub(old)
+	if d.Count != 5 || !approx(d.Sum, 8, 1e-12) {
+		t.Errorf("delta count/sum = %d/%v, want 5/8", d.Count, d.Sum)
+	}
+	want := []uint64{2, 2, 1}
+	for i, c := range d.Counts {
+		if c != want[i] {
+			t.Errorf("delta bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	// Counter reset (old ahead): the window restarts from cur.
+	reset := cur.Sub(HistSnapshot{Count: 99, Bounds: []float64{1, 2}, Counts: []uint64{99, 0, 0}})
+	if reset.Count != cur.Count {
+		t.Errorf("reset delta count = %d, want cur's %d", reset.Count, cur.Count)
+	}
+	// Mismatched bounds: likewise.
+	mis := cur.Sub(HistSnapshot{Count: 1, Bounds: []float64{5, 6}, Counts: []uint64{1, 0, 0}})
+	if mis.Count != cur.Count {
+		t.Errorf("mismatched-bounds delta count = %d, want cur's %d", mis.Count, cur.Count)
+	}
+}
+
+func TestWindowRolling(t *testing.T) {
+	reg := NewRegistry()
+	start := time.Unix(1000, 0)
+	w := NewWindow(reg, time.Minute, 15*time.Second, start, "server.request.duration", "span.*")
+	if w == nil {
+		t.Fatal("NewWindow returned nil for a live registry")
+	}
+	if w.Span() != time.Minute {
+		t.Errorf("Span = %v, want 1m", w.Span())
+	}
+
+	reg.ObserveDur("server.request.duration", 100*time.Millisecond)
+	reg.ObserveDur("span.asp", 10*time.Millisecond)
+	reg.ObserveDur("ignored.histogram", time.Millisecond)
+
+	// Before any periodic tick, the base is the priming capture at
+	// birth: observations landing in the first interval are visible.
+	now := start.Add(5 * time.Second)
+	rolling, win := w.Rolling(now)
+	if win != 5*time.Second {
+		t.Errorf("pre-tick window = %v, want 5s (since birth)", win)
+	}
+	if rolling["server.request.duration"].Count != 1 {
+		t.Errorf("pre-tick count = %d, want 1", rolling["server.request.duration"].Count)
+	}
+	if _, ok := rolling["ignored.histogram"]; ok {
+		t.Error("untracked histogram leaked into the window")
+	}
+
+	// Once the ring wraps past the birth capture, earlier observations
+	// age out and only the delta since the oldest retained tick remains.
+	// Ring = span/tick+1 = 5 slots; birth took one, so five more ticks
+	// push it out.
+	for i := 1; i <= 5; i++ {
+		w.Tick(start.Add(time.Duration(i) * 15 * time.Second))
+	}
+	reg.ObserveDur("server.request.duration", 200*time.Millisecond)
+	reg.ObserveDur("server.request.duration", 300*time.Millisecond)
+	reg.ObserveDur("span.asp", 20*time.Millisecond)
+	now = start.Add(75 * time.Second)
+	rolling, win = w.Rolling(now)
+	if win != time.Minute {
+		t.Errorf("window = %v, want 1m (now - oldest retained tick)", win)
+	}
+	if got := rolling["server.request.duration"].Count; got != 2 {
+		t.Errorf("windowed request count = %d, want 2 (birth-interval observation aged out)", got)
+	}
+	if got := rolling["span.asp"].Count; got != 1 {
+		t.Errorf("windowed span.asp count = %d, want 1", got)
+	}
+
+	// Histogram born inside the window comes through whole.
+	reg.ObserveDur("span.msp", 5*time.Millisecond)
+	rolling, _ = w.Rolling(now)
+	if got := rolling["span.msp"].Count; got != 1 {
+		t.Errorf("newborn histogram count = %d, want 1", got)
+	}
+}
+
+// TestWindowRingEviction checks that old captures age out: after the
+// ring wraps, the base slot is the oldest retained tick, not the first
+// ever.
+func TestWindowRingEviction(t *testing.T) {
+	reg := NewRegistry()
+	tick := 10 * time.Second
+	now := time.Unix(2000, 0)
+	w := NewWindow(reg, 30*time.Second, tick, now, "h")
+	for i := 0; i < 10; i++ {
+		reg.Observe("h", 1)
+		w.Tick(now)
+		now = now.Add(tick)
+	}
+	// 10 observations total, ring holds span/tick+1 = 4 slots: the
+	// base capture saw 7 of them, so the window holds the last 3 plus
+	// anything after the final tick.
+	rolling, win := w.Rolling(now)
+	if got := rolling["h"].Count; got != 3 {
+		t.Errorf("windowed count = %d, want 3", got)
+	}
+	if want := 4 * tick; win != want {
+		t.Errorf("window = %v, want %v", win, want)
+	}
+}
+
+func TestWindowNil(t *testing.T) {
+	var w *Window
+	w.Tick(time.Now())
+	if m, win := w.Rolling(time.Now()); m != nil || win != 0 {
+		t.Error("nil window must report nothing")
+	}
+	if w.Span() != 0 {
+		t.Error("nil window Span must be 0")
+	}
+	if NewWindow(nil, time.Minute, time.Second, time.Unix(0, 0)) != nil {
+		t.Error("NewWindow(nil registry) must return the nil no-op window")
+	}
+	if NewWindow(NewRegistry(), 0, time.Second, time.Unix(0, 0)) != nil {
+		t.Error("NewWindow with zero span must return nil")
+	}
+}
+
+// approx reports |got-want| <= tol, the float comparison idiom the
+// analyzer suite allows.
+func approx(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

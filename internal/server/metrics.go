@@ -21,6 +21,10 @@ const (
 	// MReqRejected counts requests refused before admission for malformed
 	// input (bad content type, oversized body, undecodable bundle).
 	MReqRejected = "server.requests.rejected"
+	// MReqDuration is the end-to-end /v1/* request latency histogram
+	// (seconds), observed by the trace middleware; the rolling SLO
+	// window reads it for windowed p50/p95/p99 and attainment.
+	MReqDuration = "server.request.duration"
 
 	// GQueueDepth is the admitted-work level (running + queued); its Max
 	// must never exceed workers + queue bound.

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+
+	"hyperear/internal/obs"
+)
+
+// Request-scoped observability: the outermost handler mints a trace
+// context per request (reusing a syntactically sane inbound
+// X-Request-Id so a retrying client keeps one ID across attempts),
+// echoes it in the X-Request-Id response header, and carries it via
+// context so every pipeline stage span emitted downstream — ASP, MSP,
+// PDE, TTL, even the streaming detector's push passes — lands in the
+// sink tagged with the request's IDs. /v1/* requests additionally get a
+// "server.request" root span (the stage spans' parent) and a
+// server.request.duration observation feeding the rolling SLO window.
+
+// Access-log outcome codes, recorded where the admission decision is
+// made. "completed" and "failed" both mean the pipeline ran to an
+// answer (mirroring MReqCompleted); "canceled" covers both queue
+// abandonment and mid-pipeline deadline/cancellation.
+const (
+	outcomeCompleted = "completed"
+	outcomeFailed    = "failed"
+	outcomeCanceled  = "canceled"
+	outcomeRejected  = "rejected"
+	// outcomeShedPrefix + reason ("queue_full", "draining") mirrors the
+	// MReqShedPrefix counters.
+	outcomeShedPrefix = "shed:"
+)
+
+// reqInfo is the middleware's per-request state, reachable from
+// handlers via the request context so the admission outcome can be
+// recorded at the decision point and read back when the access-log
+// line is written. Handlers run synchronously in the request
+// goroutine, so no locking is needed.
+type reqInfo struct {
+	outcome string
+}
+
+type reqInfoKey struct{}
+
+// setOutcome records the request's admission outcome (last write
+// wins). No-op when the request did not pass through the middleware
+// (direct handler tests).
+func setOutcome(ctx context.Context, outcome string) {
+	if info, _ := ctx.Value(reqInfoKey{}).(*reqInfo); info != nil {
+		info.outcome = outcome
+	}
+}
+
+// statusWriter captures the response status and body bytes for the
+// root span and the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// status returns the response code, defaulting to 200 for handlers
+// that never called WriteHeader explicitly.
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// maxInboundRequestID bounds how long an inbound X-Request-Id may be
+// before it is replaced rather than echoed.
+const maxInboundRequestID = 64
+
+// requestTraceID returns the inbound X-Request-Id when it is usable as
+// a trace ID (bounded length, [0-9a-zA-Z_-] only, so it is safe to
+// echo into headers and JSON logs), else mints a fresh one.
+func requestTraceID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" || len(id) > maxInboundRequestID {
+		return obs.NewTraceID()
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c == '-' || c == '_' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return obs.NewTraceID()
+		}
+	}
+	return id
+}
+
+// withTrace is the request-scoped observability middleware wrapped
+// around the whole mux (see the file comment).
+func (s *Server) withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tc := obs.TraceContext{TraceID: requestTraceID(r), SpanID: obs.NewSpanID()}
+		w.Header().Set("X-Request-Id", tc.TraceID)
+		info := &reqInfo{}
+		ctx := obs.ContextWithTrace(r.Context(), tc)
+		ctx = context.WithValue(ctx, reqInfoKey{}, info)
+		sw := &statusWriter{ResponseWriter: w}
+		api := strings.HasPrefix(r.URL.Path, "/v1/")
+		var sp obs.Span
+		if api {
+			sp = s.o.RequestSpan("server.request", tc)
+		}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		dur := time.Since(start)
+		if api {
+			sp.AttrStr("route", r.Method+" "+r.URL.Path)
+			sp.AttrInt("status", sw.status())
+			if info.outcome != "" {
+				sp.AttrStr("outcome", info.outcome)
+			}
+			sp.End()
+			if reg := s.o.Registry(); reg != nil {
+				reg.ObserveDur(MReqDuration, dur)
+			}
+		}
+		s.logAccess(r, tc.TraceID, sw, info.outcome, dur)
+	})
+}
+
+// accessEntry is one structured access-log line.
+type accessEntry struct {
+	Time     string  `json:"time"`
+	Trace    string  `json:"trace"`
+	Route    string  `json:"route"`
+	Status   int     `json:"status"`
+	Outcome  string  `json:"outcome,omitempty"`
+	DurMS    float64 `json:"durMs"`
+	BytesIn  int64   `json:"bytesIn"`
+	BytesOut int64   `json:"bytesOut"`
+}
+
+// logAccess writes one JSON line per request to the configured access
+// log (nil disables). Lines are marshaled outside the lock and written
+// with a single Write so concurrent requests never interleave bytes.
+func (s *Server) logAccess(r *http.Request, trace string, sw *statusWriter, outcome string, dur time.Duration) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	in := r.ContentLength
+	if in < 0 {
+		in = 0
+	}
+	line, err := json.Marshal(accessEntry{
+		Time:     time.Now().UTC().Format(time.RFC3339Nano),
+		Trace:    trace,
+		Route:    r.Method + " " + r.URL.Path,
+		Status:   sw.status(),
+		Outcome:  outcome,
+		DurMS:    float64(dur.Nanoseconds()) / 1e6,
+		BytesIn:  in,
+		BytesOut: sw.bytes,
+	})
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.accessMu.Lock()
+	s.cfg.AccessLog.Write(line)
+	s.accessMu.Unlock()
+}

@@ -64,6 +64,22 @@ type Config struct {
 	// batching. The window trades a bounded per-request latency bump for
 	// amortized transform work under concurrency.
 	BatchWindow time.Duration
+	// MetricsWindow is the nominal span of the rolling latency window
+	// behind /debug/slo and the hyperear_rolling_* Prometheus
+	// summaries. 0 selects 5 minutes; negative disables windowing. The
+	// window advances on the janitor's SweepInterval ticks.
+	MetricsWindow time.Duration
+	// SLOTarget is the per-request latency target /debug/slo reports
+	// attainment against. 0 selects 1s.
+	SLOTarget time.Duration
+	// SLOObjective is the attainment fraction the SLO demands, in
+	// (0, 1]. 0 selects 0.99.
+	SLOObjective float64
+	// AccessLog, when non-nil, receives one JSON line per HTTP request
+	// (trace ID, route, status, admission outcome, duration, bytes).
+	// Writes are serialized by the server; the writer itself need not
+	// be concurrency-safe.
+	AccessLog io.Writer
 	// Pipeline is the default localization config (beacon parameters,
 	// geometry, stage tuning). Per-request meta may override Source,
 	// SampleRate and MicSeparation.
@@ -109,6 +125,15 @@ func (c Config) Normalize() Config {
 		// a single-worker pool would pay the window for nothing.
 		c.BatchWindow = 200 * time.Microsecond
 	}
+	if c.MetricsWindow == 0 {
+		c.MetricsWindow = 5 * time.Minute
+	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = time.Second
+	}
+	if c.SLOObjective <= 0 || c.SLOObjective > 1 {
+		c.SLOObjective = 0.99
+	}
 	return c
 }
 
@@ -120,6 +145,9 @@ type Server struct {
 	pool     *pool
 	sessions *sessionTable
 	mux      *http.ServeMux
+	handler  http.Handler
+	window   *obs.Window
+	accessMu sync.Mutex
 	draining atomic.Bool
 
 	// clock is swapped by tests driving idle eviction.
@@ -158,12 +186,22 @@ func New(cfg Config) *Server {
 		janitorDone: make(chan struct{}),
 	}
 	s.mux = s.buildMux()
+	s.handler = s.withTrace(s.mux)
+	s.window = obs.NewWindow(cfg.Obs.Registry(), cfg.MetricsWindow, cfg.SweepInterval,
+		s.clock(), MReqDuration, "span.*")
+	if reg := cfg.Obs.Registry(); reg != nil {
+		// Refresh-on-read levels: registering at the registry (rather
+		// than inside one HTTP handler) keeps every snapshot consumer —
+		// /metrics in any format, the expvar export, direct Snapshot
+		// callers — seeing the same current values.
+		reg.OnSnapshot(s.refreshBatchGauges)
+	}
 	go s.janitor()
 	return s
 }
 
 // Handler returns the root handler (mount at /).
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // QueueBound returns the admission bound (workers + queue), the level
 // the queue-depth gauge's high-watermark must never exceed.
@@ -199,12 +237,19 @@ func (s *Server) janitor() {
 	for {
 		select {
 		case <-t.C:
-			s.sessions.sweepIdle(s.clock())
+			now := s.clock()
+			s.sessions.sweepIdle(now)
+			s.window.Tick(now)
 		case <-s.janitorStop:
 			return
 		}
 	}
 }
+
+// TickWindow advances the rolling latency window by one capture, as the
+// janitor does every SweepInterval; exported for tests driving a
+// synthetic clock.
+func (s *Server) TickWindow(now time.Time) { s.window.Tick(now) }
 
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
@@ -227,6 +272,7 @@ func (s *Server) buildMux() *http.ServeMux {
 		io.WriteString(w, "ready\n")
 	})
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/slo", s.handleSLO)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -250,20 +296,23 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // reject tallies and writes a pre-admission client error.
-func (s *Server) reject(w http.ResponseWriter, code int, msg string) {
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, code int, msg string) {
 	s.o.Inc(MReqRejected)
+	setOutcome(r.Context(), outcomeRejected)
 	writeJSON(w, code, errorBody{Error: msg})
 }
 
 // shed writes an admission refusal with Retry-After.
-func (s *Server) shed(w http.ResponseWriter, err error) {
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, errDraining) {
 		s.o.Inc(MReqShedPrefix + "draining")
+		setOutcome(r.Context(), outcomeShedPrefix+"draining")
 		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	}
 	s.o.Inc(MReqShedPrefix + "queue_full")
+	setOutcome(r.Context(), outcomeShedPrefix+"queue_full")
 	w.Header().Set("Retry-After", "1")
 	writeJSON(w, http.StatusTooManyRequests, errorBody{Error: errQueueFull.Error()})
 }
@@ -275,10 +324,10 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			s.reject(w, http.StatusRequestEntityTooLarge,
+			s.reject(w, r, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("body exceeds %d bytes", mbe.Limit))
 		} else {
-			s.reject(w, http.StatusBadRequest, "reading body: "+err.Error())
+			s.reject(w, r, http.StatusBadRequest, "reading body: "+err.Error())
 		}
 		return nil, false
 	}
@@ -385,11 +434,12 @@ func (s *Server) runLocate(w http.ResponseWriter, r *http.Request, b *sessionio.
 	release, err := s.pool.acquire(r.Context())
 	if err != nil {
 		if errors.Is(err, errQueueFull) || errors.Is(err, errDraining) {
-			s.shed(w, err)
+			s.shed(w, r, err)
 			return
 		}
 		// Client gave up while queued.
 		s.o.Inc(MReqCanceled)
+		setOutcome(r.Context(), outcomeCanceled)
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	}
@@ -402,6 +452,7 @@ func (s *Server) runLocate(w http.ResponseWriter, r *http.Request, b *sessionio.
 	loc, err := s.localizerFor(b.Meta)
 	if err != nil {
 		s.o.Inc(MReqCompleted)
+		setOutcome(r.Context(), outcomeFailed)
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: "pipeline config: " + err.Error()})
 		return
 	}
@@ -410,10 +461,11 @@ func (s *Server) runLocate(w http.ResponseWriter, r *http.Request, b *sessionio.
 	case "2d":
 		res, err := loc.Locate2DContext(ctx, b.Recording, b.IMU)
 		if err != nil {
-			s.writePipelineError(w, err)
+			s.writePipelineError(w, r, err)
 			return
 		}
 		s.o.Inc(MReqCompleted)
+		setOutcome(r.Context(), outcomeCompleted)
 		writeJSON(w, http.StatusOK, locate2DResponse{
 			Mode: "2d", Pos: res.Pos, L: res.L,
 			Fixes: len(res.Fixes), Movements: len(res.Movements),
@@ -423,10 +475,11 @@ func (s *Server) runLocate(w http.ResponseWriter, r *http.Request, b *sessionio.
 	case "3d":
 		res, err := loc.Locate3DContext(ctx, b.Recording, b.IMU)
 		if err != nil {
-			s.writePipelineError(w, err)
+			s.writePipelineError(w, r, err)
 			return
 		}
 		s.o.Inc(MReqCompleted)
+		setOutcome(r.Context(), outcomeCompleted)
 		writeJSON(w, http.StatusOK, locate3DResponse{
 			Mode: "3d", ProjectedDist: res.ProjectedDist, ProjectedPos: res.ProjectedPos,
 			L1: res.L1, L2: res.L2, H: res.H, BetaRad: res.Beta,
@@ -442,14 +495,16 @@ func (s *Server) runLocate(w http.ResponseWriter, r *http.Request, b *sessionio.
 // deadlines are 503 (the work was shed mid-flight, safe to retry);
 // everything else is 422 (the input ran the pipeline and produced no
 // answer — retrying the same bytes will not help).
-func (s *Server) writePipelineError(w http.ResponseWriter, err error) {
+func (s *Server) writePipelineError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		s.o.Inc(MReqCanceled)
+		setOutcome(r.Context(), outcomeCanceled)
 		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		return
 	}
 	s.o.Inc(MReqCompleted)
+	setOutcome(r.Context(), outcomeFailed)
 	writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
 }
 
@@ -471,12 +526,12 @@ func parseMode(r *http.Request) (string, error) {
 func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	mode, err := parseMode(r)
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, err.Error())
+		s.reject(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	mt, params, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	if err != nil || mt != "multipart/form-data" || params["boundary"] == "" {
-		s.reject(w, http.StatusUnsupportedMediaType,
+		s.reject(w, r, http.StatusUnsupportedMediaType,
 			"want multipart/form-data with parts audio (WAV), imu (CSV), meta (JSON)")
 		return
 	}
@@ -487,7 +542,7 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 	}
 	b, err := sessionio.ReadBundleMultipart(multipart.NewReader(bytes.NewReader(raw), params["boundary"]))
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, "decoding bundle: "+err.Error())
+		s.reject(w, r, http.StatusBadRequest, "decoding bundle: "+err.Error())
 		return
 	}
 	s.runLocate(w, r, b, mode)
@@ -504,9 +559,7 @@ type sessionCreateResponse struct {
 // stream detectors.
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		s.o.Inc(MReqShedPrefix + "draining")
-		w.Header().Set("Retry-After", "5")
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: errDraining.Error()})
+		s.shed(w, r, errDraining)
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -516,7 +569,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	var meta sessionio.Meta
 	if len(raw) > 0 {
-		meta, ok = s.parseMetaBody(w, raw)
+		meta, ok = s.parseMetaBody(w, r, raw)
 		if !ok {
 			return
 		}
@@ -541,19 +594,19 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.sessions.create(meta, src, fs, s.clock())
 	if err != nil {
 		if errors.Is(err, errTableFull) {
-			s.shed(w, errQueueFull)
+			s.shed(w, r, errQueueFull)
 			return
 		}
-		s.reject(w, http.StatusBadRequest, err.Error())
+		s.reject(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusCreated, sessionCreateResponse{ID: sess.id})
 }
 
-func (s *Server) parseMetaBody(w http.ResponseWriter, raw []byte) (sessionio.Meta, bool) {
+func (s *Server) parseMetaBody(w http.ResponseWriter, r *http.Request, raw []byte) (sessionio.Meta, bool) {
 	meta, err := sessionio.ParseMeta(raw)
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, "meta: "+err.Error())
+		s.reject(w, r, http.StatusBadRequest, "meta: "+err.Error())
 		return sessionio.Meta{}, false
 	}
 	return meta, true
@@ -562,7 +615,7 @@ func (s *Server) parseMetaBody(w http.ResponseWriter, raw []byte) (sessionio.Met
 func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
 	sess, err := s.sessions.get(r.PathValue("id"))
 	if err != nil {
-		s.reject(w, http.StatusNotFound, err.Error())
+		s.reject(w, r, http.StatusNotFound, err.Error())
 		return nil, false
 	}
 	return sess, true
@@ -594,7 +647,7 @@ func (s *Server) handleSessionAudio(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	dets, err := sess.appendAudio(raw, s.cfg.MaxSessionSamples, s.clock())
+	dets, err := sess.appendAudio(r.Context(), raw, s.cfg.MaxSessionSamples, s.clock())
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, errSessionGone) {
@@ -602,7 +655,7 @@ func (s *Server) handleSessionAudio(w http.ResponseWriter, r *http.Request) {
 		} else if errors.Is(err, errSessionTooLarge) {
 			code = http.StatusRequestEntityTooLarge
 		}
-		s.reject(w, code, err.Error())
+		s.reject(w, r, code, err.Error())
 		return
 	}
 	resp := audioAppendResponse{Detections: make([]detectionJSON, 0, len(dets))}
@@ -632,11 +685,11 @@ func (s *Server) handleSessionIMU(w http.ResponseWriter, r *http.Request) {
 	}
 	tr, err := sessionio.ReadIMU(bytes.NewReader(raw))
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, "imu: "+err.Error())
+		s.reject(w, r, http.StatusBadRequest, "imu: "+err.Error())
 		return
 	}
 	if err := sess.setIMU(tr, s.clock()); err != nil {
-		s.reject(w, http.StatusNotFound, err.Error())
+		s.reject(w, r, http.StatusNotFound, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -647,7 +700,7 @@ func (s *Server) handleSessionIMU(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionLocate(w http.ResponseWriter, r *http.Request) {
 	mode, err := parseMode(r)
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, err.Error())
+		s.reject(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	sess, ok := s.lookupSession(w, r)
@@ -660,7 +713,7 @@ func (s *Server) handleSessionLocate(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, errSessionGone) {
 			code = http.StatusNotFound
 		}
-		s.reject(w, code, err.Error())
+		s.reject(w, r, code, err.Error())
 		return
 	}
 	s.runLocate(w, r, &sessionio.Bundle{Recording: rec, IMU: tr, Meta: sess.meta}, mode)
@@ -669,7 +722,7 @@ func (s *Server) handleSessionLocate(w http.ResponseWriter, r *http.Request) {
 // handleSessionDelete evicts a session explicitly.
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.sessions.evict(r.PathValue("id"), EvictExplicit) {
-		s.reject(w, http.StatusNotFound, errSessionGone.Error())
+		s.reject(w, r, http.StatusNotFound, errSessionGone.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -677,16 +730,12 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 
 // --- metrics ---
 
-// handleMetrics renders the obs registry snapshot as JSON (expvar-style
-// exposure lives on the debug listener; this is the service's own view,
-// including the server.* counters and gauges).
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if s.o == nil || s.o.Registry() == nil {
-		writeJSON(w, http.StatusOK, struct{}{})
-		return
-	}
-	// Refresh the batch-coalescing levels from the localizer cache so the
-	// snapshot carries them without per-correlation obs traffic.
+// refreshBatchGauges mirrors the localizer cache's strided-FFT batch
+// counters into the batch gauges. Registered as an OnSnapshot hook, so
+// the levels are current in every snapshot regardless of which
+// consumer asked (HTTP /metrics, expvar, direct Snapshot callers) —
+// without per-correlation obs traffic.
+func (s *Server) refreshBatchGauges() {
 	var batches, lanes uint64
 	s.locMu.Lock()
 	for _, l := range s.locs {
@@ -697,13 +746,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.locMu.Unlock()
 	s.o.Gauge(GBatchBatches).Set(int64(batches))
 	s.o.Gauge(GBatchLanes).Set(int64(lanes))
+}
+
+// metricsJSON is the default /metrics body: the registry snapshot plus
+// the rolling latency summaries the SLO window maintains.
+type metricsJSON struct {
+	obs.Snapshot
+	// RollingSeconds is the wall clock the rolling summaries cover.
+	RollingSeconds float64 `json:"rollingSeconds,omitempty"`
+	// Rolling maps histogram names to their windowed p50/p95/p99.
+	Rolling map[string]quantilesJSON `json:"rolling,omitempty"`
+}
+
+// handleMetrics renders the obs registry snapshot: JSON by default
+// (snapshot plus rolling quantiles), Prometheus text exposition under
+// ?format=prometheus or a scraper Accept header (see wantsPrometheus),
+// and the human-readable table under ?format=text.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.o == nil || s.o.Registry() == nil {
+		writeJSON(w, http.StatusOK, struct{}{})
+		return
+	}
 	snap := s.o.Registry().Snapshot()
+	if wantsPrometheus(r) {
+		s.writePrometheus(w, snap)
+		return
+	}
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, snap.String())
 		return
 	}
-	writeJSON(w, http.StatusOK, snap)
+	body := metricsJSON{Snapshot: snap}
+	if s.window != nil {
+		rolling, win := s.window.Rolling(s.clock())
+		body.RollingSeconds = win.Seconds()
+		body.Rolling = make(map[string]quantilesJSON, len(rolling))
+		for name, h := range rolling {
+			body.Rolling[name] = quantiles(h)
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // RetryAfterSeconds parses a Retry-After header value written by this

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
@@ -41,8 +42,9 @@ func (s *session) touchLocked(now time.Time) { s.lastTouch = now }
 // appendAudio decodes interleaved stereo int16 little-endian PCM, pushes
 // both channels through the stream detectors, and accumulates the
 // samples. Returns the newly confirmed detections of channel 1 (the
-// client-feedback channel).
-func (s *session) appendAudio(raw []byte, maxSamples int, now time.Time) ([]chirp.Detection, error) {
+// client-feedback channel). ctx carries the request's trace IDs into
+// the detectors' push spans.
+func (s *session) appendAudio(ctx context.Context, raw []byte, maxSamples int, now time.Time) ([]chirp.Detection, error) {
 	if len(raw) == 0 || len(raw)%4 != 0 {
 		return nil, fmt.Errorf("audio chunk must be interleaved stereo int16 (got %d bytes)", len(raw))
 	}
@@ -63,8 +65,8 @@ func (s *session) appendAudio(raw []byte, maxSamples int, now time.Time) ([]chir
 	}
 	s.mic1 = append(s.mic1, c1...)
 	s.mic2 = append(s.mic2, c2...)
-	dets := s.det1.Push(c1)
-	s.det2.Push(c2)
+	dets := s.det1.PushContext(ctx, c1)
+	s.det2.PushContext(ctx, c2)
 	s.detections += len(dets)
 	s.touchLocked(now)
 	return dets, nil
@@ -154,6 +156,11 @@ func (t *sessionTable) create(meta sessionio.Meta, src chirp.Params, fs float64,
 	if err != nil {
 		return nil, err
 	}
+	// The table's obs hook doubles as the detectors' counter/span sink,
+	// so streaming ingest is visible in the same registry and traces as
+	// the batch path.
+	det1.SetObs(t.o)
+	det2.SetObs(t.o)
 	id, err := newID()
 	if err != nil {
 		return nil, err
