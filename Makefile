@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all check vet lint fmt-check build test race bench-smoke bench bench-json bench-compare obs-check serve server-soak
+.PHONY: all check vet lint fmt-check build test race bench-smoke bench bench-json bench-compare bench-profile obs-check serve server-soak
 
 all: check
 
@@ -85,17 +85,37 @@ server-soak:
 # DisabledSpan/EnabledSpan pin the per-hook observability overhead (the
 # disabled path must stay 0 B/op) and PromExposition the /metrics
 # scrape-render cost.
-BENCH_RE := CrossCorrelate|Correlator|Envelope|FFTForward|Detect|Stream|PipelineLocate2D|ServerThroughput|DisabledSpan|EnabledSpan|PromExposition
+BENCH_RE := CrossCorrelate|Correlator|Envelope|FFTForward|Detect|DetectSegmented|Stream|PipelineLocate2D|ServerThroughput|DisabledSpan|EnabledSpan|PromExposition
 BENCH_PKGS := ./ ./internal/dsp/ ./internal/chirp/ ./internal/obs/ ./internal/server/
 
 bench:
 	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS)
 
 # Same measurement run, archived as a dated JSON snapshot (name, ns/op,
-# B/op, allocs/op per benchmark) for cross-commit comparison.
+# B/op, allocs/op per benchmark) for cross-commit comparison. A second
+# pass re-runs the block-parallel hot paths at GOMAXPROCS=4 so the
+# snapshot records the single-core vs multi-core separation side by side
+# (the -4 suffixed entries; benchjson -compare strips the suffix and
+# never fails on entries present in only one report).
+SCALING_RE := DetectSegmented|PipelineLocate2D$$|ServerThroughput
+SCALING_PKGS := ./ ./internal/chirp/ ./internal/server/
+
 bench-json:
-	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS) \
+	{ $(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS); \
+	  $(GO) test -run NONE -bench '$(SCALING_RE)' -benchmem -cpu 4 $(SCALING_PKGS); } \
 		| $(GO) run ./cmd/benchjson -out BENCH_$$(date +%Y-%m-%d).json
+
+# CPU and heap profiles of the end-to-end pipeline benchmark, for
+# finding where a locate actually spends its time. Profiles and the
+# test binary to read them with land in bench-profile/ (CI's bench-smoke
+# job uploads the directory as an artifact):
+#
+#	go tool pprof bench-profile/pipeline.test bench-profile/cpu.pprof
+bench-profile:
+	mkdir -p bench-profile
+	$(GO) test -run NONE -bench 'PipelineLocate2D$$' -benchtime 5x -benchmem \
+		-cpuprofile bench-profile/cpu.pprof -memprofile bench-profile/mem.pprof \
+		-o bench-profile/pipeline.test .
 
 # Regression guard: fresh measurement vs the latest committed BENCH_*.json
 # snapshot, failing on >30% ns/op slowdowns or >10%+2 allocs/op growth

@@ -1,6 +1,7 @@
 package chirp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -178,6 +179,10 @@ type DetectScratch struct {
 	absSamp  []float64
 	cands    []envCand
 	accepted []envCand
+	// seg holds the segmented kernel's per-worker spectrum buffers; when
+	// DetectIntoCtx runs with block workers, each worker indexes its own
+	// buffer, so one scratch still serves the whole call.
+	seg dsp.SegScratch
 }
 
 // Detect returns all chirp arrivals in x, sorted by time.
@@ -203,27 +208,65 @@ func (d *Detector) Detect(x []float64) []Detection {
 // allocations once warm. A nil scratch is allowed and degrades to
 // per-call buffers.
 func (d *Detector) DetectInto(dst []Detection, x []float64, s *DetectScratch) []Detection {
+	dst, _ = d.DetectIntoCtx(context.Background(), dst, x, s, 1)
+	return dst
+}
+
+// DetectIntoCtx is DetectInto with intra-recording block parallelism and
+// mid-recording cancellation. The matched filter and the envelope run as
+// fixed-size overlap-save blocks (dsp.Correlator.SegmentSize — the same
+// kernel the streaming detector extends incrementally) fanned across
+// workers (≤ 0 selects GOMAXPROCS; 1 runs serial and allocation-free
+// once warm), and ctx is checked before every block, so a canceled
+// locate aborts between blocks instead of finishing a session-length
+// transform. On cancellation the partial dst plus ctx's error are
+// returned. Results are independent of workers: the block layout is
+// fixed by the input length alone, workers only schedule it.
+func (d *Detector) DetectIntoCtx(ctx context.Context, dst []Detection, x []float64, s *DetectScratch, workers int) ([]Detection, error) {
 	dst = dst[:0]
 	if len(x) < len(d.ref) {
-		return dst
+		return dst, ctx.Err()
 	}
 	if s == nil {
 		s = &DetectScratch{}
 	}
+	var err error
 	if d.batch != nil {
-		s.corr = d.batch.CrossCorrelateInto(s.corr, x)
+		s.corr, err = d.batch.CrossCorrelateSegmentedCtx(ctx, s.corr, x, &s.seg, workers)
 	} else {
-		s.corr = d.corr.CrossCorrelateInto(s.corr, x)
+		s.corr, err = d.corr.CrossCorrelateSegmentedCtx(ctx, s.corr, x, &s.seg, workers)
 	}
-	return d.detectFromCorr(dst, s.corr, s)
+	if err != nil {
+		return dst, err
+	}
+	return d.detectCore(ctx, dst, s.corr, s, true, workers)
 }
 
 // detectFromCorr runs the envelope/threshold/NMS/timing stages on a
 // precomputed matched-filter output r (r[k] is the correlation at lag k).
 // The streaming detector calls it directly with correlation it maintains
-// incrementally via overlap-save.
+// incrementally via overlap-save. The envelope stays monolithic here: the
+// stream's buffer is itself one sliding block, and blocked-envelope seams
+// whose positions depend on the chunk-dependent buffer origin would break
+// the stream's chunk-size invariance.
 func (d *Detector) detectFromCorr(dst []Detection, r []float64, s *DetectScratch) []Detection {
-	s.env = dsp.EnvelopeInto(s.env, r)
+	dst, _ = d.detectCore(context.Background(), dst, r, s, false, 1)
+	return dst
+}
+
+// detectCore is the shared envelope/threshold/NMS/timing pass. segEnv
+// selects the blocked envelope (the batch path; per-block ctx checks and
+// worker fan-out) versus the monolithic one (the streaming path).
+func (d *Detector) detectCore(ctx context.Context, dst []Detection, r []float64, s *DetectScratch, segEnv bool, workers int) ([]Detection, error) {
+	if segEnv {
+		var err error
+		s.env, err = dsp.EnvelopeSegmentedCtx(ctx, s.env, r, &s.seg, workers)
+		if err != nil {
+			return dst, err
+		}
+	} else {
+		s.env = dsp.EnvelopeInto(s.env, r)
+	}
 	env := s.env
 	var floor float64
 	floor, s.absSamp = correlationFloor(env, s.absSamp)
@@ -315,7 +358,7 @@ func (d *Detector) detectFromCorr(dst []Detection, r []float64, s *DetectScratch
 			SNR:      env[c.idx] / floor,
 		})
 	}
-	return dst
+	return dst, nil
 }
 
 // floorQuantileNum/floorQuantileDen select the quantile of the sampled

@@ -1,6 +1,8 @@
 package chirp
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -375,5 +377,110 @@ func TestDetectorBatchMatchesUnbatched(t *testing.T) {
 	}
 	if batches, lanes := batched.BatchStats(); lanes == 0 || batches == 0 {
 		t.Fatalf("batch-enabled detector never batched (batches=%d lanes=%d)", batches, lanes)
+	}
+}
+
+// TestDetectSegmentedMatchesMonolithic is the chirp-level differential
+// check for the overlap-save refactor: DetectIntoCtx (segmented matched
+// filter + blocked envelope, any worker count) must report the same
+// beacons as the pre-refactor monolithic pass (one session-length FFT
+// correlation through detectFromCorr's monolithic envelope). Indices and
+// interpolated times come from the raw correlation, which the segmented
+// kernel reproduces to ~1e-12, so they must match (nearly) exactly;
+// strength and SNR pass through the blocked envelope, whose seam error
+// is bounded at ~1e-4 relative by the dsp-level tests.
+func TestDetectSegmentedMatchesMonolithic(t *testing.T) {
+	p := Default()
+	fs := 44100.0
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lengths straddling the envelope-segmentation threshold (1<<15) and
+	// the correlator's block step, with non-pow2 tails.
+	lengths := []int{
+		len(d.Reference()) + 1,
+		12345,
+		1 << 15,
+		1<<15 + 1,
+		int(fs),
+		3*int(fs) + 777,
+	}
+	for _, n := range lengths {
+		x := synth(p, fs, n, 0.0173, 0.05, int64(n))
+
+		corrMono := d.corr.CrossCorrelateInto(nil, x)
+		var sMono DetectScratch
+		want := d.detectFromCorr(nil, corrMono, &sMono)
+
+		for _, workers := range []int{1, 3} {
+			var s DetectScratch
+			got, err := d.DetectIntoCtx(context.Background(), nil, x, &s, workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d workers=%d: segmented %d detections, monolithic %d",
+					n, workers, len(got), len(want))
+			}
+			for i := range want {
+				g, w := got[i], want[i]
+				if g.Index != w.Index {
+					t.Errorf("n=%d workers=%d det %d: index %d != %d", n, workers, i, g.Index, w.Index)
+				}
+				if math.Abs(g.Time-w.Time) > 1e-9 {
+					t.Errorf("n=%d workers=%d det %d: time %v != %v", n, workers, i, g.Time, w.Time)
+				}
+				if relErr(g.Strength, w.Strength) > 1e-3 {
+					t.Errorf("n=%d workers=%d det %d: strength %v != %v", n, workers, i, g.Strength, w.Strength)
+				}
+				if relErr(g.SNR, w.SNR) > 1e-3 {
+					t.Errorf("n=%d workers=%d det %d: SNR %v != %v", n, workers, i, g.SNR, w.SNR)
+				}
+			}
+		}
+	}
+}
+
+// relErr is |a-b| / max(|a|, |b|, 1e-30).
+func relErr(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den < 1e-30 {
+		den = 1e-30
+	}
+	return math.Abs(a-b) / den
+}
+
+// BenchmarkDetectSegmented measures the segmented batch detection pass
+// (DetectIntoCtx) on a 30 s recording at different block-worker counts.
+// workers1 is the serial overlap-save path (the per-lane cost inside the
+// ASP fan-out); workers4 shows the intra-recording block parallelism a
+// multi-core box buys on a single locate. Run with -cpu 1,4 to see the
+// GOMAXPROCS separation.
+func BenchmarkDetectSegmented(b *testing.B) {
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, 30*int(fs), 0.02, 0.3, 7)
+	d, err := NewDetector(p, fs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			var scratch DetectScratch
+			dst, err := d.DetectIntoCtx(ctx, nil, x, &scratch, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(dst) == 0 {
+				b.Fatal("no detections in warm-up pass")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst, _ = d.DetectIntoCtx(ctx, dst, x, &scratch, w)
+			}
+		})
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 
-	"hyperear/internal/dsp"
 	"hyperear/internal/obs"
 )
 
@@ -16,13 +15,6 @@ const (
 	MStreamDeduped  = "chirp.stream.deduped"
 	MStreamWithheld = "chirp.stream.withheld"
 )
-
-// streamFFTMul sizes the stream's fixed overlap-save transform at
-// NextPow2(streamFFTMul·template) samples. Four template lengths keeps the
-// alias-free step (N - template + 1) at ≳3 templates per transform, so the
-// per-lag FFT cost is within ~35% of the asymptotic optimum while the
-// working set stays small enough for a phone's cache.
-const streamFFTMul = 4
 
 // StreamDetector is an incremental version of Detector for live capture:
 // audio arrives in arbitrary-size chunks (as from a phone's audio
@@ -76,9 +68,12 @@ type StreamDetector struct {
 	// buffer would produce — and are recomputed once more audio arrives.
 	corr      []float64
 	corrValid int
-	// scratch and dets are the detection pass's reusable working set.
+	// scratch and dets are the detection pass's reusable working set; out
+	// is the emission slice handed back from Push, reused across pushes
+	// (see PushContext's aliasing contract).
 	scratch DetectScratch
 	dets    []Detection
+	out     []Detection
 	// obs counts emissions, dedupe hits, and withheld detections; nil
 	// (the default) disables at zero cost.
 	obs *obs.Obs
@@ -106,10 +101,9 @@ func NewStreamDetector(p Params, fs float64) (*StreamDetector, error) {
 		// grow the block so every pass still makes progress.
 		blockSize = 2 * tailKeep
 	}
-	fftSize := dsp.NextPow2(streamFFTMul * refLen)
-	if fftSize < 2 {
-		fftSize = 2
-	}
+	// The transform size is the segmented kernel's (the batch path runs
+	// the same blocks), so the template spectrum is cached once for both.
+	fftSize := det.corr.SegmentSize()
 	return &StreamDetector{
 		det:           det,
 		fs:            fs,
@@ -117,7 +111,7 @@ func NewStreamDetector(p Params, fs float64) (*StreamDetector, error) {
 		tailKeep:      tailKeep,
 		minSepSamples: minSep,
 		fftSize:       fftSize,
-		step:          fftSize - refLen + 1,
+		step:          det.corr.SegmentStep(),
 	}, nil
 }
 
@@ -143,10 +137,14 @@ func (s *StreamDetector) Reset() {
 	s.corr = s.corr[:0]
 	s.corrValid = 0
 	s.dets = s.dets[:0]
+	s.out = s.out[:0]
 }
 
 // Push appends a chunk of samples and returns any newly confirmed
-// detections, in time order, with absolute stream timestamps.
+// detections, in time order, with absolute stream timestamps. The
+// returned slice is reused by the next Push/Flush call — callers that
+// keep detections past that point must copy them out (every current
+// caller appends into its own storage immediately).
 func (s *StreamDetector) Push(chunk []float64) []Detection {
 	return s.PushContext(context.Background(), chunk)
 }
@@ -163,23 +161,32 @@ func (s *StreamDetector) PushContext(ctx context.Context, chunk []float64) []Det
 		return nil
 	}
 	sp := s.obs.SpanCtx(ctx, "chirp.stream.push")
-	var out []Detection
+	out := s.out[:0]
 	for len(s.buf) >= s.blockSize {
-		out = append(out, s.process(false)...)
+		out = s.process(false, out)
 	}
+	s.out = out
 	sp.AttrInt("samples", len(chunk))
 	sp.AttrInt("emitted", len(out))
 	sp.End()
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
 // Flush processes whatever remains in the buffer (end of stream) and
-// returns the final detections.
+// returns the final detections. Like Push, the returned slice is reused
+// by later calls.
 func (s *StreamDetector) Flush() []Detection {
 	if len(s.buf) < len(s.det.ref) {
 		return nil
 	}
-	return s.process(true)
+	s.out = s.process(true, s.out[:0])
+	if len(s.out) == 0 {
+		return nil
+	}
+	return s.out
 }
 
 // alreadyEmitted reports whether a detection at absolute time abs is a
@@ -195,12 +202,14 @@ func (s *StreamDetector) alreadyEmitted(abs float64) bool {
 }
 
 // extendCorr brings the cached matched-filter output up to date with the
-// buffer: overlap-save blocks starting at the first non-final lag, each
-// one fixed fftSize transform yielding up to step alias-free lags. Input
-// past the buffer end is implicit zero padding, which makes the trailing
-// template-length of lags equal what a batch correlation of exactly this
-// buffer would produce. Lags that were complete on a previous pass are
-// never touched.
+// buffer via the shared segmented kernel: overlap-save blocks starting at
+// the first non-final lag, each one fixed fftSize transform yielding up
+// to step alias-free lags (dsp.Correlator.CorrelateSegmentedRange — the
+// same block core the batch detector fans out over a whole recording).
+// Input past the buffer end is implicit zero padding, which makes the
+// trailing template-length of lags equal what a batch correlation of
+// exactly this buffer would produce. Lags that were complete on a
+// previous pass are never touched.
 func (s *StreamDetector) extendCorr() {
 	n := len(s.buf)
 	if cap(s.corr) < n {
@@ -210,20 +219,9 @@ func (s *StreamDetector) extendCorr() {
 	} else {
 		s.corr = s.corr[:n]
 	}
-	refLen := len(s.det.ref)
-	for at := s.corrValid; at < n; at += s.step {
-		end := at + s.step
-		if end > n {
-			end = n
-		}
-		in := at + s.fftSize
-		if in > n {
-			in = n
-		}
-		s.det.corr.CorrelateCircularInto(s.corr[at:end], s.buf[at:in], s.fftSize)
-	}
+	s.det.corr.CorrelateSegmentedRange(s.corr, s.buf, s.corrValid, &s.scratch.seg, 1)
 	// Everything with the full template inside the buffer is final.
-	s.corrValid = n - refLen + 1
+	s.corrValid = n - len(s.det.ref) + 1
 	if s.corrValid < 0 {
 		s.corrValid = 0
 	}
@@ -237,7 +235,7 @@ func (s *StreamDetector) extendCorr() {
 // own template and a full minimum-separation window after it, so that any
 // stronger competitor the batch detector's non-maximum suppression would
 // have preferred is already visible before the detection is committed.
-func (s *StreamDetector) process(final bool) []Detection {
+func (s *StreamDetector) process(final bool, out []Detection) []Detection {
 	s.extendCorr()
 	s.dets = s.det.detectFromCorr(s.dets[:0], s.corr, &s.scratch)
 	dets := s.dets
@@ -245,7 +243,6 @@ func (s *StreamDetector) process(final bool) []Detection {
 	if final {
 		horizon = len(s.buf)
 	}
-	var out []Detection
 	lastIdx := 0
 	for _, d := range dets {
 		if d.Index >= horizon {

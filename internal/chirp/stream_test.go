@@ -357,6 +357,43 @@ func BenchmarkStreamDetectorPush(b *testing.B) {
 	}
 }
 
+// TestStreamPushZeroAllocs pins Push at zero steady-state heap
+// allocations once the carry buffer, correlation cache, segmented-FFT
+// scratch, and emission slices have grown to working size — the
+// continuous-listening contract: a phone (or a server session) streaming
+// for an hour must not churn the heap per audio callback.
+func TestStreamPushZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	p := Default()
+	fs := 44100.0
+	x := synth(p, fs, 4*int(fs), 0.0173, 0.2, 31)
+	s, err := NewStreamDetector(p, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 1024
+	push := func() int {
+		n := 0
+		for pos := 0; pos < len(x); pos += chunk {
+			end := pos + chunk
+			if end > len(x) {
+				end = len(x)
+			}
+			n += len(s.Push(x[pos:end]))
+		}
+		return n
+	}
+	// Warm-up pass grows every buffer to steady-state capacity.
+	if push() == 0 {
+		t.Fatal("no detections in warm-up pass")
+	}
+	if allocs := testing.AllocsPerRun(5, func() { push() }); allocs > 0.5 {
+		t.Errorf("Push: %.2f allocs/run, want 0 in steady state", allocs)
+	}
+}
+
 // TestStreamResetReuse: a Reset detector must reproduce, bit-for-bit, the
 // detections of a fresh run over the same stream — the contract a service
 // pooling per-session detectors relies on.

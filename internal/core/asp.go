@@ -186,22 +186,36 @@ func (a *ASP) ProcessContext(ctx context.Context, rec *mic.Recording) (*ASPResul
 	}
 	// The two channels are independent and the detector is stateless
 	// after construction (the template spectrum cache is lock-protected),
-	// so detection fans out per channel. The band-pass lives inside the
-	// matched-filter template (see NewASP), so detection runs on the raw
-	// channels directly.
+	// so detection fans out on a two-level channel×block schedule: up to
+	// two channel workers, each running the segmented matched filter with
+	// its share of the configured parallelism as block workers. A single
+	// locate therefore uses all of Parallelism even though there are only
+	// two channels — the old 2-wide fan-out left the rest of the machine
+	// idle. The band-pass lives inside the matched-filter template (see
+	// NewASP), so detection runs on the raw channels directly. Block
+	// workers only schedule work; the block layout (and hence the result)
+	// is fixed by the recording length alone.
 	chans := [2][]float64{rec.Mic1, rec.Mic2}
 	var dets [2][]chirp.Detection
-	parallelFor(2, a.cfg.Parallelism, func(i int) {
+	var detErrs [2]error
+	chanWorkers, blockWorkers := splitParallelism(a.cfg.Parallelism)
+	parallelFor(2, chanWorkers, func(i int) {
 		if ctx.Err() != nil {
 			return
 		}
 		sc := a.scratch.Get().(*chirp.DetectScratch)
-		dets[i] = a.det.DetectInto(nil, chans[i], sc)
+		dets[i], detErrs[i] = a.det.DetectIntoCtx(ctx, nil, chans[i], sc, blockWorkers)
 		a.scratch.Put(sc)
 	})
 	if err := ctxErr(ctx); err != nil {
 		sp.AttrStr("error", err.Error())
 		return nil, err
+	}
+	for _, err := range detErrs {
+		if err != nil {
+			sp.AttrStr("error", err.Error())
+			return nil, err
+		}
 	}
 	d1, d2 := dets[0], dets[1]
 	a.cfg.Obs.Add(MASPDetections, uint64(len(d1)+len(d2)))

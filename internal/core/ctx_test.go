@@ -76,6 +76,52 @@ func TestASPProcessContextCanceled(t *testing.T) {
 	}
 }
 
+// countdownCtx is a context whose Err flips to context.Canceled after a
+// fixed number of Err calls, so cancellation deterministically lands in
+// the middle of a detection pass rather than before it starts.
+type countdownCtx struct {
+	context.Context
+	calls, after int64
+}
+
+func (c *countdownCtx) Err() error {
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestASPProcessContextCancelMidRecording: the two-level channel×block
+// schedule checks ctx between overlap-save blocks, so a context canceled
+// only after the detection pass has started still aborts the stage — and
+// the per-block checks actually happen (the Err call count exceeds the
+// handful of stage-boundary checks by at least the block count).
+func TestASPProcessContextCancelMidRecording(t *testing.T) {
+	loc, s := ctxLocalizer(t)
+
+	// A never-canceling counter proves detection polls the context per
+	// block: one full pass must consult Err far more often than the ~4
+	// stage-boundary checks the pre-segmented pipeline made.
+	counting := &countdownCtx{Context: context.Background(), after: 1 << 62}
+	if _, err := loc.asp.ProcessContext(counting, s.Recording); err != nil {
+		t.Fatal(err)
+	}
+	if counting.calls < 8 {
+		t.Fatalf("ProcessContext consulted ctx.Err only %d times; want per-block checks", counting.calls)
+	}
+
+	// Cancel mid-pass: the entry checks pass, then the countdown expires
+	// between blocks and the stage must surface context.Canceled.
+	mid := &countdownCtx{Context: context.Background(), after: 3}
+	if _, err := loc.asp.ProcessContext(mid, s.Recording); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-recording cancel: got %v, want context.Canceled", err)
+	}
+	if mid.calls <= mid.after {
+		t.Fatalf("countdown never expired (%d calls); cancel did not land mid-pass", mid.calls)
+	}
+}
+
 func TestLocateFull3DContextCanceled(t *testing.T) {
 	loc, s := ctxLocalizer(t)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -19,6 +19,25 @@ func effectiveWorkers(n, workers int) int {
 	return workers
 }
 
+// splitParallelism divides a total worker budget across the two-level
+// channel×block schedule used by ASP detection: up to two channel workers
+// (one per microphone), with the remaining budget multiplied into
+// per-channel block workers for the segmented matched filter. total ≤ 0
+// means GOMAXPROCS. The product chanWorkers·blockWorkers never exceeds
+// the budget (rounding down), so a configured Parallelism stays an upper
+// bound on concurrently running goroutines.
+func splitParallelism(total int) (chanWorkers, blockWorkers int) {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	if total <= 1 {
+		return 1, 1
+	}
+	chanWorkers = 2
+	blockWorkers = total / chanWorkers
+	return chanWorkers, blockWorkers
+}
+
 // parallelFor runs fn(i) for every i in [0, n) on a bounded worker pool.
 // workers ≤ 0 selects GOMAXPROCS; workers == 1 (or n == 1) runs inline on
 // the calling goroutine with no synchronization, which keeps the serial

@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -312,6 +313,25 @@ func (b *BatchCorrelator) CrossCorrelateInto(dst, x []float64) []float64 {
 		b.run(g)
 	}
 	return <-req.done
+}
+
+// CrossCorrelateSegmentedCtx is the batcher's segmented execution mode.
+// The rendezvous window makes no sense per block — a lone session would
+// pay it dozens of times per recording — so the lane fusion comes from
+// within the call instead: the recording's own consecutive overlap-save
+// blocks run as strided groups of up to maxBatch lanes, the same
+// shared-plan pass the cross-call path uses (and bit-identical to the
+// unfused segmented kernel, per batch.go's strided contract). Groups are
+// counted in Batches() with one lane per block carried.
+func (b *BatchCorrelator) CrossCorrelateSegmentedCtx(ctx context.Context, dst, x []float64, s *SegScratch, workers int) ([]float64, error) {
+	if b.maxBatch < 2 || len(x) == 0 || b.c.RefLen() == 0 {
+		return b.c.CrossCorrelateSegmentedCtx(ctx, dst, x, s, workers)
+	}
+	dst = resizeF64(dst, len(x))
+	groups, lanes, err := b.c.segmentedGroups(ctx, dst, x, s, workers, b.maxBatch)
+	b.batches.Add(groups)
+	b.lanes.Add(lanes)
+	return dst, err
 }
 
 // flush executes a group whose window expired. The map identity check

@@ -364,12 +364,22 @@ func (c *Correlator) correlateAt(dst, x []float64, n int) {
 	spec := c.spectrum(n)
 	h := p.SpectrumLen()
 	fx := getComplexPrefix(h, h)
-	p.ForwardReal(*fx, x)
-	for i, s := range spec {
-		(*fx)[i] *= s
-	}
-	p.InverseReal(dst, *fx)
+	c.correlateAtWith(dst, x, p, spec, *fx)
 	putComplex(fx)
+}
+
+// correlateAtWith is correlateAt on caller-provided scratch: fx is the
+// SpectrumLen()-bin working buffer and spec the template half spectrum at
+// p's size, so block loops resolve the plan and spectrum once and hand
+// each worker its own pinned buffer. The arithmetic is identical to
+// correlateAt — the segmented path stays bit-identical to the monolithic
+// one at equal transform sizes.
+func (c *Correlator) correlateAtWith(dst, x []float64, p *RealPlan, spec, fx []complex128) {
+	p.ForwardReal(fx, x)
+	for i, s := range spec {
+		fx[i] *= s
+	}
+	p.InverseReal(dst, fx)
 }
 
 // CorrelateCircularInto computes dst[i] = Σ_j x[i+j]·ref[j] for lags i in

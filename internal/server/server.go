@@ -19,6 +19,7 @@ import (
 	"mime/multipart"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -101,6 +102,18 @@ func (c Config) Normalize() Config {
 		c.Queue = 0
 	} else if c.Queue == 0 {
 		c.Queue = 2 * c.Workers
+	}
+	if c.Pipeline.Parallelism == 0 {
+		// Divide the machine across the worker pool: each admitted
+		// localization gets its share of cores as intra-recording block
+		// parallelism (the core two-level channel×block schedule) instead
+		// of every locate assuming it owns all of GOMAXPROCS — with a
+		// full worker pool that would oversubscribe the box W-fold.
+		p := runtime.GOMAXPROCS(0) / c.Workers
+		if p < 1 {
+			p = 1
+		}
+		c.Pipeline.Parallelism = p
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -317,11 +330,36 @@ func (s *Server) shed(w http.ResponseWriter, r *http.Request, err error) {
 	writeJSON(w, http.StatusTooManyRequests, errorBody{Error: errQueueFull.Error()})
 }
 
-// readBody drains the (already size-limited) body, mapping the
-// over-limit error to 413.
-func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	raw, err := io.ReadAll(r.Body)
-	if err != nil {
+// bodyPool recycles request-body buffers across requests; a locate
+// upload is around a megabyte of WAV, and draining it into a fresh
+// io.ReadAll slice every request was the single biggest allocator on the
+// ingestion path.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBodyBytes caps what returns to bodyPool so one oversized
+// upload cannot pin tens of megabytes in the pool.
+const maxPooledBodyBytes = 1 << 25
+
+// readBody drains the (already size-limited) body into a pooled buffer,
+// mapping the over-limit error to 413. On success the caller owns the
+// buffer until it hands it back with putBody (handlers defer that);
+// nothing decoded from the bytes may alias them past that point — every
+// decoder on these paths copies what it keeps.
+//
+//hyperearvet:pooled
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, bool) {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if n := r.ContentLength; n > 0 {
+		// Pre-size to skip growth doublings; a lying Content-Length
+		// cannot balloon this past the MaxBytesReader bound.
+		if n > s.cfg.MaxBodyBytes {
+			n = s.cfg.MaxBodyBytes
+		}
+		buf.Grow(int(n))
+	}
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		putBody(buf)
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			s.reject(w, r, http.StatusRequestEntityTooLarge,
@@ -331,7 +369,14 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 		}
 		return nil, false
 	}
-	return raw, true
+	return buf, true
+}
+
+// putBody returns a readBody buffer to the pool.
+func putBody(buf *bytes.Buffer) {
+	if buf != nil && buf.Cap() <= maxPooledBodyBytes {
+		bodyPool.Put(buf)
+	}
 }
 
 // --- localizer cache ---
@@ -536,15 +581,20 @@ func (s *Server) handleLocate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	raw, ok := s.readBody(w, r)
+	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	b, err := sessionio.ReadBundleMultipart(multipart.NewReader(bytes.NewReader(raw), params["boundary"]))
+	defer putBody(body)
+	b, err := sessionio.ReadBundleMultipart(multipart.NewReader(bytes.NewReader(body.Bytes()), params["boundary"]))
 	if err != nil {
 		s.reject(w, r, http.StatusBadRequest, "decoding bundle: "+err.Error())
 		return
 	}
+	// The response is fully written inside runLocate and the pipeline
+	// keeps nothing aliasing the recording, so the decoded sample buffers
+	// go back to the sessionio pool on the way out.
+	defer sessionio.RecycleBundle(b)
 	s.runLocate(w, r, b, mode)
 }
 
@@ -563,13 +613,14 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	raw, ok := s.readBody(w, r)
+	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
+	defer putBody(body)
 	var meta sessionio.Meta
-	if len(raw) > 0 {
-		meta, ok = s.parseMetaBody(w, r, raw)
+	if body.Len() > 0 {
+		meta, ok = s.parseMetaBody(w, r, body.Bytes())
 		if !ok {
 			return
 		}
@@ -643,11 +694,12 @@ func (s *Server) handleSessionAudio(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	raw, ok := s.readBody(w, r)
+	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	dets, err := sess.appendAudio(r.Context(), raw, s.cfg.MaxSessionSamples, s.clock())
+	defer putBody(body)
+	dets, err := sess.appendAudio(r.Context(), body.Bytes(), s.cfg.MaxSessionSamples, s.clock())
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, errSessionGone) {
@@ -679,11 +731,12 @@ func (s *Server) handleSessionIMU(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	raw, ok := s.readBody(w, r)
+	body, ok := s.readBody(w, r)
 	if !ok {
 		return
 	}
-	tr, err := sessionio.ReadIMU(bytes.NewReader(raw))
+	defer putBody(body)
+	tr, err := sessionio.ReadIMU(bytes.NewReader(body.Bytes()))
 	if err != nil {
 		s.reject(w, r, http.StatusBadRequest, "imu: "+err.Error())
 		return

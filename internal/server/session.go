@@ -49,8 +49,12 @@ func (s *session) appendAudio(ctx context.Context, raw []byte, maxSamples int, n
 		return nil, fmt.Errorf("audio chunk must be interleaved stereo int16 (got %d bytes)", len(raw))
 	}
 	n := len(raw) / 4
-	c1 := make([]float64, n)
-	c2 := make([]float64, n)
+	// The decoded chunks are copied by everything downstream (the sample
+	// accumulator and the stream detectors' carry buffers), so they can
+	// come from — and go straight back to — the sessionio sample pool.
+	c1 := sessionio.BorrowSamples(n)
+	c2 := sessionio.BorrowSamples(n)
+	defer sessionio.RecycleSamples(c1, c2)
 	for i := 0; i < n; i++ {
 		c1[i] = float64(int16(binary.LittleEndian.Uint16(raw[i*4:]))) / 32767
 		c2[i] = float64(int16(binary.LittleEndian.Uint16(raw[i*4+2:]))) / 32767
@@ -69,7 +73,14 @@ func (s *session) appendAudio(ctx context.Context, raw []byte, maxSamples int, n
 	s.det2.PushContext(ctx, c2)
 	s.detections += len(dets)
 	s.touchLocked(now)
-	return dets, nil
+	// PushContext reuses its returned slice on the detector's next push;
+	// copy while the lock still excludes that push so the handler can
+	// serialize the detections after unlocking.
+	var out []chirp.Detection
+	if len(dets) > 0 {
+		out = append(out, dets...)
+	}
+	return out, nil
 }
 
 // setIMU attaches the session's inertial trace.

@@ -109,8 +109,17 @@ func ReadBundleParts(audio, imuCSV io.Reader, metaJSON []byte) (*Bundle, error) 
 // the upload format of the localization service's POST /v1/locate. Parts
 // may arrive in any order; unknown part names are rejected so a typoed
 // field name fails loudly instead of localizing without its IMU trace.
+// The bundle aliases nothing from the upload bytes (the decoders copy
+// into their own structures), so the part bodies live in pooled buffers
+// released before returning; the recording's sample slices come from the
+// sample pool via ReadWAV (see RecycleBundle).
+//
+//hyperearvet:pooled
 func ReadBundleMultipart(mr *multipart.Reader) (*Bundle, error) {
-	var audio, imuCSV []byte
+	audio, imuCSV := getBuf(), getBuf()
+	defer putBuf(audio)
+	defer putBuf(imuCSV)
+	var haveAudio, haveIMU bool
 	var metaJSON []byte
 	seen := map[string]bool{}
 	for {
@@ -129,9 +138,11 @@ func ReadBundleMultipart(mr *multipart.Reader) (*Bundle, error) {
 		seen[name] = true
 		switch name {
 		case PartAudio:
-			audio, err = io.ReadAll(part)
+			_, err = audio.ReadFrom(part)
+			haveAudio = true
 		case PartIMU:
-			imuCSV, err = io.ReadAll(part)
+			_, err = imuCSV.ReadFrom(part)
+			haveIMU = true
 		case PartMeta:
 			metaJSON, err = io.ReadAll(io.LimitReader(part, maxMetaBytes+1))
 			if err == nil && len(metaJSON) > maxMetaBytes {
@@ -145,8 +156,8 @@ func ReadBundleMultipart(mr *multipart.Reader) (*Bundle, error) {
 			return nil, fmt.Errorf("sessionio: part %q: %w", name, err)
 		}
 	}
-	if audio == nil || imuCSV == nil {
+	if !haveAudio || !haveIMU {
 		return nil, fmt.Errorf("sessionio: multipart upload needs %q and %q parts", PartAudio, PartIMU)
 	}
-	return ReadBundleParts(bytes.NewReader(audio), bytes.NewReader(imuCSV), metaJSON)
+	return ReadBundleParts(bytes.NewReader(audio.Bytes()), bytes.NewReader(imuCSV.Bytes()), metaJSON)
 }

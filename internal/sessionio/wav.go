@@ -6,6 +6,7 @@
 package sessionio
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -70,6 +71,13 @@ func WriteWAV(w io.Writer, rate int, channels ...[]float64) error {
 }
 
 // ReadWAV parses a 16-bit PCM WAV stream into float channels in [-1, 1].
+//
+// The data chunk is decoded incrementally through a small pooled window
+// rather than buffered whole, and the channel slices come from the
+// package sample pool — callers that are finished with them may hand
+// them back via RecycleSamples (letting the GC take them is also fine).
+//
+//hyperearvet:pooled
 func ReadWAV(r io.Reader) (rate int, channels [][]float64, err error) {
 	var riff [12]byte
 	if _, err := io.ReadFull(r, riff[:]); err != nil {
@@ -79,7 +87,15 @@ func ReadWAV(r io.Reader) (rate int, channels [][]float64, err error) {
 		return 0, nil, fmt.Errorf("sessionio: not a RIFF/WAVE stream")
 	}
 	var nCh, bits int
-	var data []byte
+	// pending buffers a data chunk that arrives before "fmt " (the chunk
+	// order is unconstrained); with the usual fmt-first layout the data
+	// chunk streams straight into sample slices instead.
+	var pending *bytes.Buffer
+	defer func() {
+		if pending != nil {
+			putBuf(pending)
+		}
+	}()
 	for {
 		var chunk [8]byte
 		if _, err := io.ReadFull(r, chunk[:]); err != nil {
@@ -89,15 +105,15 @@ func ReadWAV(r io.Reader) (rate int, channels [][]float64, err error) {
 			return 0, nil, fmt.Errorf("sessionio: read chunk header: %w", err)
 		}
 		id := string(chunk[0:4])
-		size := binary.LittleEndian.Uint32(chunk[4:8])
-		body := make([]byte, size)
-		if _, err := io.ReadFull(r, body); err != nil {
-			return 0, nil, fmt.Errorf("sessionio: read %q chunk: %w", id, err)
-		}
-		switch id {
-		case "fmt ":
+		size := int64(binary.LittleEndian.Uint32(chunk[4:8]))
+		switch {
+		case id == "fmt ":
 			if size < 16 {
 				return 0, nil, fmt.Errorf("sessionio: fmt chunk too short (%d bytes)", size)
+			}
+			var body [16]byte
+			if _, err := io.ReadFull(r, body[:]); err != nil {
+				return 0, nil, fmt.Errorf("sessionio: read %q chunk: %w", id, err)
 			}
 			if format := binary.LittleEndian.Uint16(body[0:2]); format != 1 {
 				return 0, nil, fmt.Errorf("sessionio: unsupported WAV format %d (want PCM)", format)
@@ -105,8 +121,33 @@ func ReadWAV(r io.Reader) (rate int, channels [][]float64, err error) {
 			nCh = int(binary.LittleEndian.Uint16(body[2:4]))
 			rate = int(binary.LittleEndian.Uint32(body[4:8]))
 			bits = int(binary.LittleEndian.Uint16(body[14:16]))
-		case "data":
-			data = body
+			if _, err := io.CopyN(io.Discard, r, size-16); err != nil {
+				return 0, nil, fmt.Errorf("sessionio: read %q chunk: %w", id, err)
+			}
+		case id == "data" && nCh > 0 && bits == 16:
+			// A later data chunk wins (mirroring the pre-streaming
+			// behavior), so drop anything decoded or buffered already.
+			RecycleSamples(channels...)
+			if pending != nil {
+				putBuf(pending)
+				pending = nil
+			}
+			channels, err = readPCM16(r, size, nCh)
+			if err != nil {
+				return 0, nil, err
+			}
+		case id == "data":
+			if pending == nil {
+				pending = getBuf()
+			}
+			pending.Reset()
+			if _, err := io.CopyN(pending, r, size); err != nil {
+				return 0, nil, fmt.Errorf("sessionio: read %q chunk: %w", id, err)
+			}
+		default:
+			if _, err := io.CopyN(io.Discard, r, size); err != nil {
+				return 0, nil, fmt.Errorf("sessionio: read %q chunk: %w", id, err)
+			}
 		}
 		if size%2 == 1 {
 			// Chunks are word-aligned; skip the pad byte.
@@ -122,22 +163,69 @@ func ReadWAV(r io.Reader) (rate int, channels [][]float64, err error) {
 	if bits != 16 {
 		return 0, nil, fmt.Errorf("sessionio: %d-bit WAV unsupported (want 16)", bits)
 	}
-	if data == nil {
-		return 0, nil, fmt.Errorf("sessionio: missing data chunk")
-	}
-	frame := nCh * 2
-	n := len(data) / frame
-	channels = make([][]float64, nCh)
-	for c := range channels {
-		channels[c] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for c := 0; c < nCh; c++ {
-			raw := int16(binary.LittleEndian.Uint16(data[i*frame+c*2:]))
-			channels[c][i] = float64(raw) / 32767
+	if pending != nil {
+		RecycleSamples(channels...)
+		channels, err = readPCM16(pending, int64(pending.Len()), nCh)
+		if err != nil {
+			return 0, nil, err
 		}
 	}
+	if channels == nil {
+		return 0, nil, fmt.Errorf("sessionio: missing data chunk")
+	}
 	return rate, channels, nil
+}
+
+// readPCM16 stream-decodes size bytes of interleaved 16-bit PCM into
+// nCh pooled channel slices, reading through a fixed pooled window so
+// the raw bytes are never buffered whole. Trailing bytes that do not
+// fill a frame are discarded, matching the buffered decoder's n =
+// len(data)/frame truncation.
+//
+//hyperearvet:pooled
+func readPCM16(r io.Reader, size int64, nCh int) ([][]float64, error) {
+	frame := int64(nCh * 2)
+	n := int(size / frame)
+	channels := make([][]float64, nCh)
+	for c := range channels {
+		// The container is this pooled function's own return value:
+		// ownership of the borrowed slices transfers to the caller, who
+		// hands them back via RecycleSamples (or lets the GC take them).
+		//hyperearvet:allow poolleak borrowed slices are the pooled return value; RecycleSamples is the give-back
+		channels[c] = BorrowSamples(n)
+	}
+	wp := pcmScratchPool.Get().(*[]byte)
+	defer pcmScratchPool.Put(wp)
+	win := *wp
+	done := 0
+	for rem := int64(n) * frame; rem > 0; {
+		want := int64(len(win))
+		if want > rem {
+			want = rem
+		}
+		// len(win) and rem are both frame multiples, so the window holds
+		// whole frames only.
+		if _, err := io.ReadFull(r, win[:want]); err != nil {
+			RecycleSamples(channels...)
+			return nil, fmt.Errorf("sessionio: read \"data\" chunk: %w", err)
+		}
+		frames := int(want / frame)
+		for i := 0; i < frames; i++ {
+			for c := 0; c < nCh; c++ {
+				raw := int16(binary.LittleEndian.Uint16(win[i*int(frame)+c*2:]))
+				channels[c][done+i] = float64(raw) / 32767
+			}
+		}
+		done += frames
+		rem -= want
+	}
+	if tail := size - int64(n)*frame; tail > 0 {
+		if _, err := io.CopyN(io.Discard, r, tail); err != nil {
+			RecycleSamples(channels...)
+			return nil, fmt.Errorf("sessionio: read \"data\" chunk: %w", err)
+		}
+	}
+	return channels, nil
 }
 
 // WriteRecording saves a stereo mic.Recording as WAV.
