@@ -1,21 +1,34 @@
 // Command hyperearvet is the repo's domain-specific vet: a
-// multichecker of five analyzers guarding invariants go vet cannot see
-// (see DESIGN.md "Static analysis").
+// multichecker of eight analyzers guarding invariants go vet cannot
+// see (see DESIGN.md "Static analysis").
 //
 //	poolleak   pooled scratch must not escape its borrowing function
 //	obsnil     obs handles only via the nil-safe wrapper API
 //	unitmix    no samples/seconds/Hz/meters arithmetic without conversion
 //	floatguard no float ==/!= outside epsilon helpers; NaN/Inf rejected at ingestion
 //	detrand    simulation packages use injected seeded randomness only
+//	ctxflow    ctx threads into *Context/*Ctx call variants; no minted roots in libraries
+//	lockguard  `// guarded by mu` fields only touched under that mutex; no lock copies
+//	zeroalloc  //hyperearvet:zeroalloc functions contain no allocation sites
 //
 // Standalone (what `make lint` runs):
 //
 //	hyperearvet ./...
 //
+// -sarif renders the findings as SARIF 2.1.0 for CI annotation upload;
+// -fixable lists only mechanically fixable findings (stale
+// suppressions, malformed or missing guarded-by annotations) as
+// file:line lines and always exits 0.
+//
 // It also speaks the go vet driver protocol, so after `go build -o
 // $GOBIN/hyperearvet ./cmd/hyperearvet` it can run as
 //
 //	go vet -vettool=$(which hyperearvet) ./...
+//
+// Under that protocol, cross-package annotation facts (guarded fields,
+// zeroalloc promises) ride in each package's .vetx file: a package's
+// payload carries its own facts plus everything it imported, making
+// the flow transitive without driver cooperation.
 //
 // Findings are suppressed by an inline annotation on the offending
 // line or the line above, justification mandatory:
@@ -24,31 +37,46 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/ast"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"strings"
 
 	"hyperear/internal/analysis"
+	"hyperear/internal/analysis/ctxflow"
 	"hyperear/internal/analysis/detrand"
 	"hyperear/internal/analysis/floatguard"
+	"hyperear/internal/analysis/lockguard"
 	"hyperear/internal/analysis/obsnil"
 	"hyperear/internal/analysis/poolleak"
 	"hyperear/internal/analysis/unitmix"
+	"hyperear/internal/analysis/zeroalloc"
 )
 
 var all = []*analysis.Analyzer{
+	ctxflow.Analyzer,
 	detrand.Analyzer,
 	floatguard.Analyzer,
+	lockguard.Analyzer,
 	obsnil.Analyzer,
 	poolleak.Analyzer,
 	unitmix.Analyzer,
+	zeroalloc.Analyzer,
 }
 
-const version = "hyperearvet version v1.0.0"
+// version feeds the go vet -V=full handshake, which keys go's result
+// cache; bump it whenever analyzer or fact semantics change so stale
+// cached verdicts (and stale .vetx payloads) are invalidated.
+const version = "hyperearvet version v1.1.0"
+
+// semanticVersion is the bare form for SARIF output.
+const semanticVersion = "1.1.0"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -61,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flagsDump := fs.Bool("flags", false, "print the tool's flag definitions as JSON (go vet driver handshake)")
 	tests := fs.Bool("tests", true, "also lint _test.go files")
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	fixable := fs.Bool("fixable", false, "list only auto-fixable findings as file:line lines; exit 0")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	dir := fs.String("C", ".", "module directory to analyze from")
 	if err := fs.Parse(args); err != nil {
@@ -109,7 +139,94 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hyperearvet:", err)
 		return 2
 	}
+	if *fixable {
+		return reportFixable(findings, pkgs, fset, stdout)
+	}
+	if *sarifOut {
+		if err := writeSARIF(findings, all, *dir, stdout); err != nil {
+			fmt.Fprintln(stderr, "hyperearvet:", err)
+			return 2
+		}
+		if len(findings) > 0 {
+			return 1
+		}
+		return 0
+	}
 	return report(findings, *jsonOut, stdout)
+}
+
+// reportFixable prints the mechanically fixable subset — stale
+// suppressions, malformed guarded-by annotations — plus advisory
+// lines for structs that have a mutex but annotate nothing with it,
+// as file:line lines suitable for piping. Always exits 0: this is a
+// worklist, not a gate.
+func reportFixable(findings []analysis.Finding, pkgs []*analysis.Package, fset *token.FileSet, out io.Writer) int {
+	for _, f := range findings {
+		switch {
+		case f.Rule == "suppress":
+			fmt.Fprintf(out, "%s:%d: delete: %s\n", f.Position.Filename, f.Position.Line, f.Message)
+		case f.Rule == "lockguard" && strings.HasPrefix(f.Message, "guarded-by annotation names"):
+			fmt.Fprintf(out, "%s:%d: fix: %s\n", f.Position.Filename, f.Position.Line, f.Message)
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok {
+					return true
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				var mutex string
+				plain, guarded := 0, 0
+				for _, field := range st.Fields.List {
+					text := ""
+					if field.Doc != nil {
+						text += field.Doc.Text()
+					}
+					if field.Comment != nil {
+						text += field.Comment.Text()
+					}
+					if strings.Contains(text, "guarded by ") {
+						guarded++
+						continue
+					}
+					isMu := false
+					for _, name := range field.Names {
+						if obj, ok := pkg.TypesInfo.Defs[name].(*types.Var); ok && isMutexVar(obj.Type()) {
+							mutex = name.Name
+							isMu = true
+						}
+					}
+					if !isMu && len(field.Names) > 0 {
+						plain++
+					}
+				}
+				if mutex != "" && guarded == 0 && plain > 0 {
+					pos := fset.Position(ts.Pos())
+					fmt.Fprintf(out, "%s:%d: annotate: struct %s has mutex field %s but no `// guarded by %s` annotations\n",
+						pos.Filename, pos.Line, ts.Name.Name, mutex, mutex)
+				}
+				return true
+			})
+		}
+	}
+	return 0
+}
+
+func isMutexVar(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex")
 }
 
 func report(findings []analysis.Finding, asJSON bool, out io.Writer) int {
@@ -149,15 +266,42 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
-// runVetTool analyzes the single package described by cfgPath. The
-// driver expects a facts file at VetxOutput (we keep no cross-package
-// facts, so it is empty), diagnostics on stderr, and a non-zero exit
-// when any are found.
+// factMarkers are the annotation substrings whose presence makes a
+// package worth type-checking in VetxOnly mode; dependency packages
+// without them (almost all of the stdlib) export no facts, so their
+// vetx payload is just the pass-through of what they imported.
+var factMarkers = [][]byte{
+	[]byte("guarded by "),
+	[]byte("hyperearvet:zeroalloc"),
+}
+
+func hasFactMarkers(goFiles []string) bool {
+	for _, name := range goFiles {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		for _, m := range factMarkers {
+			if bytes.Contains(data, m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// runVetTool analyzes the single package described by cfgPath,
+// following the go vet driver protocol: dependency facts arrive via
+// PackageVetx, this package's accumulated facts (its own plus the
+// imported ones, making flow transitive) are written to VetxOutput,
+// diagnostics go to stderr, and the exit code is non-zero when any
+// are found.
 func runVetTool(cfgPath string, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -169,28 +313,64 @@ func runVetTool(cfgPath string, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "hyperearvet: parsing %s: %v\n", cfgPath, err)
 		return 2
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+
+	store := analysis.FactStore{}
+	for path, vetxFile := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // no facts from that dep; analysis degrades, not fails
+		}
+		if err := store.MergeEncoded(payload); err != nil {
+			fmt.Fprintf(stderr, "hyperearvet: warning: facts of %s: %v\n", path, err)
+		}
+	}
+	writeVetx := func() int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		payload, err := store.Encode()
+		if err != nil {
 			fmt.Fprintln(stderr, "hyperearvet:", err)
 			return 2
 		}
-	}
-	if cfg.VetxOnly {
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			fmt.Fprintln(stderr, "hyperearvet:", err)
+			return 2
+		}
 		return 0
 	}
+
 	fset := token.NewFileSet()
+	if cfg.VetxOnly {
+		// Dependency-only visit: contribute facts, report nothing.
+		// Type-check only when an annotation marker is present; errors
+		// here (cgo-heavy stdlib corners) just mean no facts.
+		if hasFactMarkers(cfg.GoFiles) {
+			if pkg, err := analysis.CheckVetPackage(fset, cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile); err == nil {
+				analysis.CollectFacts(fset, []*analysis.Package{pkg}, all, store)
+			}
+		}
+		return writeVetx()
+	}
+
 	pkg, err := analysis.CheckVetPackage(fset, cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
 	if err != nil {
+		if rc := writeVetx(); rc != 0 {
+			return rc
+		}
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
 		fmt.Fprintf(stderr, "hyperearvet: %s: %v\n", cfg.ImportPath, err)
 		return 2
 	}
-	findings, err := analysis.Run(fset, []*analysis.Package{pkg}, all)
+	findings, err := analysis.RunWithFacts(fset, []*analysis.Package{pkg}, all, store)
 	if err != nil {
 		fmt.Fprintln(stderr, "hyperearvet:", err)
 		return 2
+	}
+	if rc := writeVetx(); rc != 0 {
+		return rc
 	}
 	for _, f := range findings {
 		fmt.Fprintln(stderr, f)

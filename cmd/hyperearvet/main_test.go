@@ -21,13 +21,17 @@ func TestStandaloneFindsSeededViolations(t *testing.T) {
 	for _, wantSub := range []string{
 		"[floatguard] == on floating-point operands",
 		"[unitmix] durSamples (samples) + durSec (sec) mixes unit families",
+		"[ctxflow] call to Do drops ctx; DoCtx accepts a context",
+		"[lockguard] field n is guarded by mu; access without holding c.mu",
+		"[lockguard] field Names is guarded by Mu; access without holding r.Mu",
+		"[zeroalloc] make allocates on the zeroalloc path",
 	} {
 		if !strings.Contains(got, wantSub) {
 			t.Errorf("output missing %q:\n%s", wantSub, got)
 		}
 	}
-	if n := strings.Count(got, "\n"); n != 2 {
-		t.Errorf("want exactly 2 findings, got %d:\n%s", n, got)
+	if n := strings.Count(got, "\n"); n != 6 {
+		t.Errorf("want exactly 6 findings, got %d:\n%s", n, got)
 	}
 }
 
@@ -61,7 +65,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"poolleak", "obsnil", "unitmix", "floatguard", "detrand"} {
+	for _, name := range []string{"ctxflow", "detrand", "floatguard", "lockguard", "obsnil", "poolleak", "unitmix", "zeroalloc"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -85,7 +89,12 @@ func TestGoVetVettool(t *testing.T) {
 	if err == nil {
 		t.Fatalf("go vet -vettool succeeded on a dirty module\n%s", out)
 	}
-	for _, wantSub := range []string{"[floatguard]", "[unitmix]"} {
+	for _, wantSub := range []string{
+		"[floatguard]", "[unitmix]", "[ctxflow]", "[zeroalloc]",
+		// Cross-package: the guard annotation lives in vetmod/state, the
+		// access in vetmod — only exported facts can connect them.
+		"field Names is guarded by Mu; access without holding r.Mu",
+	} {
 		if !strings.Contains(string(out), wantSub) {
 			t.Errorf("go vet output missing %q:\n%s", wantSub, out)
 		}

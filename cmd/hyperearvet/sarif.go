@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"hyperear/internal/analysis"
+)
+
+// SARIF 2.1.0 output (-sarif), shaped for GitHub code scanning's
+// upload-sarif action: one run, one rule per analyzer (plus the
+// "suppress" pseudo-rule for stale allow annotations), one result per
+// finding with a repo-relative %SRCROOT%-based location. Only the
+// schema subset code scanning consumes is emitted; the structure is
+// held to the spec's required properties by TestSARIFOutput.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name            string      `json:"name"`
+	SemanticVersion string      `json:"semanticVersion"`
+	Rules           []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+func buildSARIF(findings []analysis.Finding, analyzers []*analysis.Analyzer, srcRoot string) sarifLog {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	index := map[string]int{}
+	for _, a := range analyzers {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	index["suppress"] = len(rules)
+	rules = append(rules, sarifRule{
+		ID:               "suppress",
+		ShortDescription: sarifText{Text: "hyperearvet:allow suppression that matches no finding; delete or update it"},
+	})
+
+	absRoot, err := filepath.Abs(srcRoot)
+	if err != nil {
+		absRoot = srcRoot
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := index[f.Rule]
+		if !ok {
+			// An unregistered rule name would make ruleIndex lie; grow
+			// the table instead of guessing.
+			idx = len(rules)
+			index[f.Rule] = idx
+			rules = append(rules, sarifRule{ID: f.Rule, ShortDescription: sarifText{Text: f.Rule}})
+		}
+		// Positions may carry absolute or root-relative filenames
+		// depending on how the loader was invoked; try both bases.
+		uri := f.Position.Filename
+		if rel, ok := relWithin(absRoot, uri); ok {
+			uri = rel
+		} else if rel, ok := relWithin(srcRoot, uri); ok {
+			uri = rel
+		}
+		line, col := f.Position.Line, f.Position.Column
+		if line < 1 {
+			line = 1
+		}
+		if col < 1 {
+			col = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:    f.Rule,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(uri),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: line, StartColumn: col},
+				},
+			}},
+		})
+	}
+	// Findings arrive sorted; keep results deterministic regardless.
+	sort.SliceStable(results, func(i, j int) bool {
+		a, b := results[i].Locations[0].PhysicalLocation, results[j].Locations[0].PhysicalLocation
+		if a.ArtifactLocation.URI != b.ArtifactLocation.URI {
+			return a.ArtifactLocation.URI < b.ArtifactLocation.URI
+		}
+		return a.Region.StartLine < b.Region.StartLine
+	})
+
+	return sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "hyperearvet", SemanticVersion: semanticVersion, Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// relWithin reports path relative to base when path actually sits
+// under base; climbing out via ".." disqualifies it.
+func relWithin(base, path string) (string, bool) {
+	rel, err := filepath.Rel(base, path)
+	if err != nil || rel == "" || rel == ".." ||
+		len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator) {
+		return "", false
+	}
+	return rel, true
+}
+
+func writeSARIF(findings []analysis.Finding, analyzers []*analysis.Analyzer, srcRoot string, out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(buildSARIF(findings, analyzers, srcRoot))
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hyperear/internal/analysis"
+)
+
+// TestSARIFOutput validates the emitted document against the SARIF
+// 2.1.0 structural requirements GitHub code scanning enforces: the
+// $schema/version pair, a run with a named driver, rule metadata for
+// every ruleId, in-range ruleIndex back-references, and %SRCROOT%-based
+// relative artifact URIs with 1-based regions. The check decodes into
+// an untyped map so a field renamed or dropped from the sarif* structs
+// fails here rather than at upload time.
+func TestSARIFOutput(t *testing.T) {
+	findings := []analysis.Finding{
+		{
+			Rule:     "lockguard",
+			Message:  "field c.n is guarded by mu; access without holding mu",
+			Position: token.Position{Filename: filepath.Join("root", "internal", "server", "session.go"), Line: 42, Column: 3},
+		},
+		{
+			Rule:     "suppress",
+			Message:  "suppression matches no finding",
+			Position: token.Position{Filename: filepath.Join("root", "cmd", "hyperear", "main.go"), Line: 7, Column: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(findings, all, "root", &buf); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got := doc["$schema"]; got != sarifSchema {
+		t.Errorf("$schema = %v, want %s", got, sarifSchema)
+	}
+	if got := doc["version"]; got != sarifVersion {
+		t.Errorf("version = %v, want %s", got, sarifVersion)
+	}
+
+	runs, ok := doc["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("runs = %v, want exactly one run", doc["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "hyperearvet" {
+		t.Errorf("driver.name = %v, want hyperearvet", driver["name"])
+	}
+	if driver["semanticVersion"] != semanticVersion {
+		t.Errorf("driver.semanticVersion = %v, want %s", driver["semanticVersion"], semanticVersion)
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != len(all)+1 {
+		t.Fatalf("len(rules) = %d, want %d (all analyzers + suppress)", len(rules), len(all)+1)
+	}
+	ruleIDs := make([]string, len(rules))
+	for i, r := range rules {
+		rule := r.(map[string]any)
+		id, _ := rule["id"].(string)
+		if id == "" {
+			t.Fatalf("rule %d has no id: %v", i, r)
+		}
+		desc := rule["shortDescription"].(map[string]any)
+		if text, _ := desc["text"].(string); text == "" {
+			t.Errorf("rule %s has empty shortDescription.text", id)
+		}
+		ruleIDs[i] = id
+	}
+
+	results, ok := run["results"].([]any)
+	if !ok || len(results) != len(findings) {
+		t.Fatalf("results = %v, want %d entries", run["results"], len(findings))
+	}
+	for i, r := range results {
+		res := r.(map[string]any)
+		ruleID, _ := res["ruleId"].(string)
+		idx, okIdx := res["ruleIndex"].(float64)
+		if !okIdx || int(idx) < 0 || int(idx) >= len(ruleIDs) {
+			t.Fatalf("result %d ruleIndex %v out of range", i, res["ruleIndex"])
+		}
+		if ruleIDs[int(idx)] != ruleID {
+			t.Errorf("result %d: ruleIndex %d points at %s, ruleId says %s", i, int(idx), ruleIDs[int(idx)], ruleID)
+		}
+		if res["level"] != "error" {
+			t.Errorf("result %d level = %v, want error", i, res["level"])
+		}
+		msg := res["message"].(map[string]any)
+		if text, _ := msg["text"].(string); text == "" {
+			t.Errorf("result %d has empty message.text", i)
+		}
+		locs := res["locations"].([]any)
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		art := phys["artifactLocation"].(map[string]any)
+		uri, _ := art["uri"].(string)
+		if strings.Contains(uri, "\\") || strings.HasPrefix(uri, "/") || strings.HasPrefix(uri, "root/") {
+			t.Errorf("result %d uri %q not srcroot-relative slash form", i, uri)
+		}
+		if art["uriBaseId"] != "%SRCROOT%" {
+			t.Errorf("result %d uriBaseId = %v, want %%SRCROOT%%", i, art["uriBaseId"])
+		}
+		region := phys["region"].(map[string]any)
+		if line := region["startLine"].(float64); line < 1 {
+			t.Errorf("result %d startLine = %v, want >= 1", i, line)
+		}
+		if col := region["startColumn"].(float64); col < 1 {
+			t.Errorf("result %d startColumn = %v, want >= 1", i, col)
+		}
+	}
+}
+
+// TestSARIFEmpty checks a clean run still yields a well-formed log —
+// upload-sarif rejects files with no runs entry.
+func TestSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(nil, all, ".", &buf); err != nil {
+		t.Fatalf("writeSARIF: %v", err)
+	}
+	var doc sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(doc.Runs))
+	}
+	if doc.Runs[0].Results == nil {
+		t.Error("results is null; upload-sarif wants an empty array")
+	}
+}

@@ -1,0 +1,49 @@
+package vetmod
+
+import (
+	"context"
+	"sync"
+
+	"vetmod/state"
+)
+
+// DoCtx is the context-accepting variant of Do.
+func DoCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Do is the legacy entry point.
+func Do(n int) int { return n }
+
+// DropsCtx has a ctx parameter but calls the ctx-less variant: ctxflow.
+func DropsCtx(ctx context.Context, n int) int {
+	return Do(n) // finding: drops ctx
+}
+
+// Counter seeds a same-package lockguard violation.
+type Counter struct {
+	mu sync.Mutex
+	// n counts bumps.
+	//
+	// guarded by mu
+	n int
+}
+
+// Bump increments without holding mu: lockguard.
+func (c *Counter) Bump() {
+	c.n++ // finding: unguarded write
+}
+
+// Grow allocates on a declared zero-alloc path: zeroalloc.
+//
+//hyperearvet:zeroalloc
+func Grow(n int) []int {
+	return make([]int, n) // finding: make on zeroalloc path
+}
+
+// ReadNames touches state.Registry.Names without its mutex; the guard
+// annotation is only visible through exported lockguard facts.
+func ReadNames(r *state.Registry) []string {
+	return r.Names // finding: cross-package unguarded read
+}

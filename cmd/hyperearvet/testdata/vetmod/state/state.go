@@ -1,0 +1,15 @@
+// Package state seeds a cross-package lockguard fixture: the guarded
+// annotation lives here, the violating access lives in the parent
+// package, so a finding proves facts flow between compilation units.
+package state
+
+import "sync"
+
+// Registry is a tiny shared name table.
+type Registry struct {
+	Mu sync.Mutex
+	// Names is the registered name list.
+	//
+	// guarded by Mu
+	Names []string
+}

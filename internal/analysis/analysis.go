@@ -31,6 +31,12 @@ type Analyzer struct {
 	Doc string
 	// Run performs the check on one package.
 	Run func(*Pass) error
+	// Facts, when set, extracts the analyzer's exported facts from one
+	// package (see FactStore): a flat string map such as
+	// "session.det1" → "mu" or "Correlator.CorrelateInto" → "zeroalloc".
+	// It runs for every package before any Run and must derive its
+	// result from the package's own syntax and types alone.
+	Facts func(*Pass) map[string]string
 }
 
 // Pass carries one package's syntax and types to an Analyzer.
@@ -49,6 +55,16 @@ type Pass struct {
 	PkgPath string
 
 	report func(Diagnostic)
+	facts  FactStore
+}
+
+// PackageFacts returns the running analyzer's facts previously
+// exported for the package with the given import path, or nil. During
+// Run the store covers every package the driver loaded (standalone) or
+// every dependency's .vetx payload (go vet), including the current
+// package's own facts.
+func (p *Pass) PackageFacts(pkgPath string) map[string]string {
+	return p.facts[pkgPath][p.Analyzer.Name]
 }
 
 // Diagnostic is one finding.

@@ -51,20 +51,39 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 		exports: map[string]string{},
 	}
 	for _, path := range pkgPaths {
-		pkg, err := ld.load(path)
-		if err != nil {
+		if _, err := ld.load(path); err != nil {
 			t.Fatalf("loading testdata package %s: %v", path, err)
 		}
-		for _, err := range pkg.typeErrs {
-			t.Errorf("testdata package %s: type error: %v", path, err)
-		}
-		findings, err := analysis.Run(fset, []*analysis.Package{{
+	}
+	// Collect facts from every local package the loads pulled in —
+	// named packages and the sibling dependencies their imports reached
+	// — so cross-package annotations (guarded fields, zeroalloc
+	// promises) are visible exactly as the real drivers would see them.
+	store := analysis.FactStore{}
+	var seen []*analysis.Package
+	for path, pkg := range ld.local {
+		seen = append(seen, &analysis.Package{
 			PkgPath:   path,
 			Dir:       filepath.Join(ld.srcRoot, path),
 			Files:     pkg.files,
 			Pkg:       pkg.pkg,
 			TypesInfo: pkg.info,
-		}}, []*analysis.Analyzer{a})
+		})
+	}
+	analysis.CollectFacts(fset, seen, []*analysis.Analyzer{a}, store)
+
+	for _, path := range pkgPaths {
+		pkg := ld.local[path]
+		for _, err := range pkg.typeErrs {
+			t.Errorf("testdata package %s: type error: %v", path, err)
+		}
+		findings, err := analysis.RunWithFacts(fset, []*analysis.Package{{
+			PkgPath:   path,
+			Dir:       filepath.Join(ld.srcRoot, path),
+			Files:     pkg.files,
+			Pkg:       pkg.pkg,
+			TypesInfo: pkg.info,
+		}}, []*analysis.Analyzer{a}, store)
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
@@ -136,6 +155,10 @@ type loader struct {
 	srcRoot string
 	local   map[string]*localPkg
 	exports map[string]string
+	// gc is shared across every package load so stdlib packages
+	// type-check to one identity (two importer instances would give a
+	// sibling package and its consumer incompatible context.Contexts).
+	gc types.Importer
 }
 
 type localPkg struct {
@@ -234,8 +257,7 @@ func (l *loader) loadExports(paths []string) error {
 // testImporter resolves imports against testdata siblings first, then
 // toolchain export data.
 type testImporter struct {
-	l  *loader
-	gc types.Importer
+	l *loader
 }
 
 func (ti *testImporter) Import(path string) (*types.Package, error) {
@@ -249,8 +271,8 @@ func (ti *testImporter) Import(path string) (*types.Package, error) {
 		}
 		return p.pkg, nil
 	}
-	if ti.gc == nil {
-		ti.gc = importer.ForCompiler(ti.l.fset, "gc", func(path string) (io.ReadCloser, error) {
+	if ti.l.gc == nil {
+		ti.l.gc = importer.ForCompiler(ti.l.fset, "gc", func(path string) (io.ReadCloser, error) {
 			f, ok := ti.l.exports[path]
 			if !ok {
 				return nil, fmt.Errorf("no export data for %q", path)
@@ -258,5 +280,5 @@ func (ti *testImporter) Import(path string) (*types.Package, error) {
 			return os.Open(f)
 		})
 	}
-	return ti.gc.Import(path)
+	return ti.l.gc.Import(path)
 }

@@ -1,0 +1,248 @@
+// Package ctxflow checks that context.Context flows through the call
+// graph instead of silently stopping:
+//
+//   - a function holding a ctx parameter must not call the plain
+//     variant of an API that has a ctx-accepting sibling (Locate2D
+//     when Locate2DContext exists, Push when PushContext exists) —
+//     that is how a per-request deadline quietly stops applying to
+//     the hottest part of the request;
+//   - library packages (internal/*, tests excluded) must not mint
+//     fresh roots with context.Background()/context.TODO(), except a
+//     Background passed directly as the ctx argument of a non-context
+//     call — the documented compat-wrapper shape (Push delegating to
+//     PushContext) — since the caller visibly chose to have no
+//     deadline there;
+//   - the ctx parameter must not be shadowed by a non-context value,
+//     which makes every later call in the block compile against the
+//     wrong object.
+//
+// The ctx-variant lookup is purely name-based (callee name + "Context"
+// or + "Ctx", in the callee's own package or method set) so it works
+// through export data with no facts: a cross-package variant worth
+// threading into is necessarily exported.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hyperear/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "context must thread through ctx-accepting call variants, not be dropped or re-minted",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	lib := isLibraryPath(pass.PkgPath)
+	for _, file := range pass.Files {
+		inTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		sanctioned := sanctionedMints(pass, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c := &checker{pass: pass, lib: lib && !inTest, sanctioned: sanctioned}
+			ctxObj, ctxName := ctxParam(pass, fn.Type)
+			c.funcBody(fn.Body, ctxObj, ctxName)
+		}
+	}
+	return nil
+}
+
+// checker walks one top-level function, tracking the innermost
+// context parameter in scope (an enclosing function's ctx stays
+// usable inside a FuncLit through capture).
+type checker struct {
+	pass *analysis.Pass
+	// lib is set for non-test files of internal/* packages, where
+	// minting fresh context roots is a finding.
+	lib bool
+	// sanctioned holds context.Background() calls appearing directly
+	// as the ctx argument of a non-context call (compat wrappers).
+	sanctioned map[*ast.CallExpr]bool
+}
+
+func (c *checker) funcBody(body *ast.BlockStmt, ctxObj types.Object, ctxName string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal with its own ctx parameter rebinds the name;
+			// otherwise the outer parameter remains reachable by capture.
+			if obj, name := ctxParam(c.pass, n.Type); obj != nil {
+				c.funcBody(n.Body, obj, name)
+			} else {
+				c.funcBody(n.Body, ctxObj, ctxName)
+			}
+			return false
+		case *ast.CallExpr:
+			c.call(n, ctxObj, ctxName)
+		case *ast.Ident:
+			if ctxObj != nil && n.Name == ctxName {
+				if obj := c.pass.TypesInfo.Defs[n]; obj != nil && obj != ctxObj {
+					if v, ok := obj.(*types.Var); ok && !v.IsField() && !isContextType(v.Type()) {
+						c.pass.Reportf(n.Pos(), "%s shadows the context parameter with a non-context %s", ctxName, v.Type())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) call(call *ast.CallExpr, ctxObj types.Object, ctxName string) {
+	callee := calleeFunc(c.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	if mint := mintName(callee); mint != "" {
+		switch {
+		case ctxObj != nil:
+			c.pass.Reportf(call.Pos(), "context.%s minted in a function that already has a context parameter %s", mint, ctxName)
+		case c.lib && (mint == "TODO" || !c.sanctioned[call]):
+			c.pass.Reportf(call.Pos(), "library package mints context.%s; accept a ctx parameter instead", mint)
+		}
+		return
+	}
+	if ctxObj == nil {
+		return
+	}
+	if variant := ctxVariant(callee); variant != nil {
+		c.pass.Reportf(call.Pos(), "call to %s drops %s; %s accepts a context", callee.Name(), ctxName, variant.Name())
+	}
+}
+
+// sanctionedMints collects context.Background() calls passed directly
+// in a ctx-typed argument position of a call outside package context.
+// `return FooContext(context.Background(), x)` is the blessed compat
+// shape; `ctx := context.Background()` and derived-root wrapping like
+// context.WithTimeout(context.Background(), d) are not.
+func sanctionedMints(pass *analysis.Pass, file *ast.File) map[*ast.CallExpr]bool {
+	out := map[*ast.CallExpr]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass.TypesInfo, call)
+		if callee == nil || (callee.Pkg() != nil && callee.Pkg().Path() == "context") {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i, arg := range call.Args {
+			inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			argee := calleeFunc(pass.TypesInfo, inner)
+			if argee == nil || mintName(argee) != "Background" {
+				continue
+			}
+			if i < sig.Params().Len() && isContextType(sig.Params().At(i).Type()) {
+				out[inner] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ctxVariant returns a ctx-accepting sibling of f (f's name plus
+// "Context" or "Ctx", in f's package scope for functions or the
+// receiver's method set for methods), or nil when f already accepts a
+// context or no sibling exists.
+func ctxVariant(f *types.Func) *types.Func {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sigHasCtx(sig) {
+		return nil
+	}
+	for _, suffix := range []string{"Context", "Ctx"} {
+		name := f.Name() + suffix
+		var cand types.Object
+		if recv := sig.Recv(); recv != nil {
+			cand, _, _ = types.LookupFieldOrMethod(recv.Type(), true, f.Pkg(), name)
+		} else if f.Pkg() != nil {
+			cand = f.Pkg().Scope().Lookup(name)
+		}
+		if g, ok := cand.(*types.Func); ok {
+			if gsig, ok := g.Type().(*types.Signature); ok && sigHasCtx(gsig) {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// ctxParam returns the declared object and name of the first usable
+// (named, non-blank) context.Context parameter of fnType.
+func ctxParam(pass *analysis.Pass, fnType *ast.FuncType) (types.Object, string) {
+	if fnType.Params == nil {
+		return nil, ""
+	}
+	for _, field := range fnType.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				return obj, name.Name
+			}
+		}
+	}
+	return nil, ""
+}
+
+// calleeFunc resolves a call's static callee, or nil for builtins,
+// conversions, and func-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// mintName reports whether f is context.Background or context.TODO.
+func mintName(f *types.Func) string {
+	if f.Pkg() != nil && f.Pkg().Path() == "context" && (f.Name() == "Background" || f.Name() == "TODO") {
+		return f.Name()
+	}
+	return ""
+}
+
+func sigHasCtx(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isLibraryPath reports whether pkgPath is an internal library package
+// (the mint rule's scope); commands and the public facade may build
+// fresh roots at their entry points.
+func isLibraryPath(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "internal/") || strings.Contains(pkgPath, "/internal/")
+}

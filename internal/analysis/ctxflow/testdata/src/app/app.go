@@ -1,0 +1,18 @@
+// Package app sits outside internal/, where entry points may mint
+// context roots; the drop rule is path-independent.
+package app
+
+import (
+	"context"
+
+	"hyperear/internal/ctxfix"
+)
+
+func Main() int {
+	ctx := context.Background() // ok: not a library package
+	return ctxfix.WorkContext(ctx, 1)
+}
+
+func handler(ctx context.Context, n int) int {
+	return ctxfix.Work(n) // want `call to Work drops ctx; WorkContext accepts a context`
+}

@@ -1,0 +1,89 @@
+// Package ctxfix exercises every ctxflow rule inside a library
+// (internal/*) import path, where minting context roots is a finding.
+package ctxfix
+
+import "context"
+
+// WorkContext is the ctx-accepting variant the analyzer should steer
+// callers toward.
+func WorkContext(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Work is the blessed compat-wrapper shape: no ctx parameter of its
+// own, Background passed directly in the delegated call's ctx slot.
+func Work(n int) int {
+	return WorkContext(context.Background(), n) // ok: direct delegation argument
+}
+
+func caller(ctx context.Context, n int) int {
+	return Work(n) // want `call to Work drops ctx; WorkContext accepts a context`
+}
+
+func threaded(ctx context.Context, n int) int {
+	return WorkContext(ctx, n) // ok
+}
+
+func mintsDespiteParam(ctx context.Context) int {
+	return WorkContext(context.Background(), 1) // want `context.Background minted in a function that already has a context parameter ctx`
+}
+
+func mintsTODO(n int) int {
+	return WorkContext(context.TODO(), n) // want `library package mints context.TODO; accept a ctx parameter instead`
+}
+
+func storesRoot() context.Context {
+	ctx := context.Background() // want `library package mints context.Background; accept a ctx parameter instead`
+	return ctx
+}
+
+func wrapsRoot() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background()) // want `library package mints context.Background`
+}
+
+type Detector struct{}
+
+func (d *Detector) Detect(n int) int { return n }
+
+func (d *Detector) DetectCtx(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+func methodDrop(ctx context.Context, d *Detector) int {
+	return d.Detect(3) // want `call to Detect drops ctx; DetectCtx accepts a context`
+}
+
+func closureDrop(ctx context.Context, d *Detector) func() int {
+	// The literal captures ctx from the enclosing signature, so calls
+	// inside it still count as dropping it.
+	return func() int {
+		return d.Detect(1) // want `call to Detect drops ctx; DetectCtx accepts a context`
+	}
+}
+
+func closureOwnCtx(ctx context.Context, d *Detector) func(context.Context) int {
+	return func(inner context.Context) int {
+		return d.DetectCtx(inner, 1) // ok: literal rebinds its own ctx
+	}
+}
+
+func shadowed(ctx context.Context, xs []int) int {
+	total := 0
+	for _, ctx := range xs { // want `ctx shadows the context parameter with a non-context int`
+		total += ctx
+	}
+	return total
+}
+
+func rederived(ctx context.Context, n int) int {
+	ctx, cancel := context.WithCancel(ctx) // ok: still a context
+	defer cancel()
+	return WorkContext(ctx, n)
+}
+
+func suppressedMint() context.Context {
+	//hyperearvet:allow ctxflow detached audit trail must outlive any request
+	return context.Background()
+}

@@ -1,0 +1,14 @@
+package ctxfix
+
+import "context"
+
+// Test files are exempt from the mint rule (tests legitimately build
+// fresh roots), but the drop rule still applies to ctx-bearing helpers.
+func helperMint() int {
+	ctx := context.Background() // ok: _test.go
+	return WorkContext(ctx, 1)
+}
+
+func helperDrop(ctx context.Context) int {
+	return Work(2) // want `call to Work drops ctx; WorkContext accepts a context`
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+)
+
+// FactStore accumulates analyzers' exported package facts:
+// package path → analyzer name → flat string facts.
+//
+// Facts are the cross-package half of annotations like
+// `// guarded by mu` and `//hyperearvet:zeroalloc`: the defining
+// package exports what its syntax declares (which fields are guarded,
+// which functions promise zero allocation), and analyzers consult the
+// store when they meet those objects through export data, where the
+// source comments are no longer visible.
+//
+// In the standalone driver one store spans the whole `go list` result
+// (facts are collected for every loaded package before any analyzer
+// runs, so load order never matters). Under `go vet -vettool=` each
+// package's accumulated store is serialized to its .vetx file and
+// re-imported by dependents, which makes fact flow transitive without
+// the driver having to schedule anything.
+type FactStore map[string]map[string]map[string]string
+
+// add merges one analyzer's facts for one package into the store.
+func (s FactStore) add(pkgPath, analyzer string, facts map[string]string) {
+	if len(facts) == 0 {
+		return
+	}
+	byAnalyzer := s[pkgPath]
+	if byAnalyzer == nil {
+		byAnalyzer = map[string]map[string]string{}
+		s[pkgPath] = byAnalyzer
+	}
+	dst := byAnalyzer[analyzer]
+	if dst == nil {
+		dst = map[string]string{}
+		byAnalyzer[analyzer] = dst
+	}
+	for k, v := range facts {
+		dst[k] = v
+	}
+}
+
+// merge folds another store (e.g. a dependency's decoded .vetx
+// payload) into this one.
+func (s FactStore) merge(other FactStore) {
+	for pkgPath, byAnalyzer := range other {
+		for analyzer, facts := range byAnalyzer {
+			s.add(pkgPath, analyzer, facts)
+		}
+	}
+}
+
+// MergeEncoded decodes a serialized store (one .vetx payload) and
+// folds it in. Empty payloads are valid: packages with nothing to
+// export (and the pre-facts suite) write zero-byte vetx files.
+func (s FactStore) MergeEncoded(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var other FactStore
+	if err := json.Unmarshal(data, &other); err != nil {
+		return fmt.Errorf("decoding facts: %v", err)
+	}
+	s.merge(other)
+	return nil
+}
+
+// Encode serializes the store for a .vetx file. The JSON form is
+// stable enough for the go vet result cache: map keys marshal sorted.
+func (s FactStore) Encode() ([]byte, error) {
+	if len(s) == 0 {
+		return []byte{}, nil
+	}
+	return json.Marshal(s)
+}
+
+// CollectFacts runs every analyzer's Facts hook over every package and
+// merges the results into store. Hooks are syntax-only by contract
+// (they may look at the package's own types but must not need other
+// packages' facts), so collection is a single flat pass with no
+// dependency ordering.
+func CollectFacts(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, store FactStore) {
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Facts == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+				PkgPath:   pkg.PkgPath,
+				// Facts hooks must not report; diagnostics belong to Run,
+				// where suppressions are applied.
+				report: func(Diagnostic) {},
+			}
+			store.add(pkg.PkgPath, a.Name, a.Facts(pass))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module under a temp dir and returns
+// its root. files maps module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// A module-internal import of a package that does not exist must load
+// with type errors attached, not fail the whole run: `go list -e`
+// tolerates it and the type checker's diagnostics land in TypeErrors
+// for the driver to surface as warnings.
+func TestLoadBrokenImport(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module brokenmod\n\ngo 1.22\n",
+		"a.go":   "package a\n\nimport \"brokenmod/missing\"\n\nvar _ = missing.X\n",
+	})
+	pkgs, err := Load(token.NewFileSet(), dir, false, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v (broken imports should degrade to TypeErrors, not fail)", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if len(pkgs[0].TypeErrors) == 0 {
+		t.Fatalf("package with missing import loaded without TypeErrors")
+	}
+}
+
+// A syntax error in a listed file is a hard load failure: nothing can
+// be type-checked, so Load must report which package failed.
+func TestLoadParseError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module parsefail\n\ngo 1.22\n",
+		"a.go":   "package a\n\nfunc broken( {\n",
+	})
+	_, err := Load(token.NewFileSet(), dir, false, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded on a file with a syntax error")
+	}
+	if !strings.Contains(err.Error(), "parsefail") {
+		t.Fatalf("error does not name the failing package: %v", err)
+	}
+}
+
+// go list itself failing (here: module dir does not exist) must come
+// back as an error naming go list, not a panic or empty result.
+func TestLoadGoListFailure(t *testing.T) {
+	_, err := Load(token.NewFileSet(), filepath.Join(t.TempDir(), "nope"), false, "./...")
+	if err == nil {
+		t.Fatal("Load succeeded with a nonexistent module directory")
+	}
+	if !strings.Contains(err.Error(), "go list") {
+		t.Fatalf("error does not mention go list: %v", err)
+	}
+}
+
+// CheckVetPackage with no export data for an import must fail with a
+// diagnostic: the vet driver feeds PackageFile from the vet config, and
+// a gap there (stale cache, truncated config) should name the import it
+// could not resolve.
+func TestCheckVetPackageMissingExportData(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a.go": "package a\n\nimport \"fmt\"\n\nfunc F() { fmt.Println() }\n",
+	})
+	_, err := CheckVetPackage(token.NewFileSet(), "vetmod/a",
+		[]string{filepath.Join(dir, "a.go")}, nil, map[string]string{})
+	if err == nil {
+		t.Fatal("CheckVetPackage succeeded without export data for fmt")
+	}
+	if !strings.Contains(err.Error(), "fmt") {
+		t.Fatalf("error does not name the unresolved import: %v", err)
+	}
+}
+
+// CheckVetPackage must honor the vet config's ImportMap: the same
+// missing-export failure, but routed through a test-variant redirect,
+// should report the mapped path so the operator sees what was actually
+// looked up.
+func TestCheckVetPackageImportMapRedirect(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"a.go": "package a\n\nimport \"other/pkg\"\n\nvar _ = pkg.X\n",
+	})
+	_, err := CheckVetPackage(token.NewFileSet(), "vetmod/a",
+		[]string{filepath.Join(dir, "a.go")},
+		map[string]string{"other/pkg": "other/pkg [other/pkg.test]"},
+		map[string]string{})
+	if err == nil {
+		t.Fatal("CheckVetPackage succeeded without export data for redirected import")
+	}
+	if !strings.Contains(err.Error(), "other/pkg [other/pkg.test]") {
+		t.Fatalf("error does not show the ImportMap-redirected path: %v", err)
+	}
+}

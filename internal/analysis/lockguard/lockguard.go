@@ -1,0 +1,681 @@
+// Package lockguard enforces the `// guarded by <mu>` annotation on
+// struct fields: every read or write of an annotated field must happen
+// with the named sibling mutex held in the same function. Lock state
+// is tracked along AST paths — Lock/RLock/Unlock/RUnlock calls,
+// `defer mu.Unlock()` (held to function end), branch intersection
+// across if/switch/select, loop bodies — rather than guessed from
+// function names, with two documented exceptions: methods whose name
+// ends in "Locked" are callee-side helpers whose contract is "caller
+// holds the receiver's mutex", and constructors (New*/new*) build
+// objects no other goroutine can see yet.
+//
+// The analyzer also flags three classic sync mistakes independent of
+// annotations: copying a value whose type contains a sync.Mutex or
+// sync.RWMutex, re-locking a mutex already held on the same path, and
+// mixing sync/atomic access with plain access to one field.
+//
+// Annotations on exported types travel to other packages as facts
+// ("Type.Field" → "mu"), so a dependent package reading a guarded
+// field through export data is checked identically.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"hyperear/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:  "lockguard",
+	Doc:   "fields annotated `// guarded by mu` are only touched with that mutex held; no lock copies, double-locks, or atomic/plain mixing",
+	Run:   run,
+	Facts: facts,
+}
+
+var guardedRe = regexp.MustCompile(`\bguarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// facts exports this package's guarded-field annotations as
+// "TypeName.FieldName" → mutex field name.
+func facts(pass *analysis.Pass) map[string]string {
+	_, out := collectGuards(pass, false)
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	guards, _ := collectGuards(pass, true)
+	c := &checker{
+		pass:         pass,
+		guards:       guards,
+		atomicFields: map[*types.Var]token.Pos{},
+		atomicOK:     map[ast.Expr]bool{},
+	}
+	c.collectAtomicFields()
+	for _, file := range pass.Files {
+		inTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fc := &funcChecker{
+				c: c,
+				// Tests poke fields single-threaded by design; racing
+				// test access is the race detector's department. The
+				// copy/double-lock/atomic rules still apply there.
+				skipGuard: inTest || isConstructor(fn.Name.Name),
+				locked:    strings.HasSuffix(fn.Name.Name, "Locked"),
+			}
+			if fn.Recv != nil && len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+				fc.recv = pass.TypesInfo.Defs[fn.Recv.List[0].Names[0]]
+			}
+			st := state{}
+			fc.stmts(fn.Body.List, st)
+		}
+	}
+	return nil
+}
+
+func isConstructor(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// collectGuards parses `// guarded by <mu>` field annotations in this
+// package's struct declarations. When report is set, annotations
+// naming a sibling that is not a mutex field are diagnosed.
+func collectGuards(pass *analysis.Pass, report bool) (map[*types.Var]string, map[string]string) {
+	byObj := map[*types.Var]string{}
+	flat := map[string]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			// First pass: the struct's mutex fields, so annotations can
+			// be validated against real siblings.
+			mutexes := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok && isMutexType(obj.Type()) {
+						mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				if !mutexes[mu] {
+					if report {
+						pass.Reportf(field.Pos(), "guarded-by annotation names %s, which is not a mutex field of %s", mu, ts.Name.Name)
+					}
+					continue
+				}
+				for _, name := range field.Names {
+					if obj, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						byObj[obj] = mu
+						flat[ts.Name.Name+"."+name.Name] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return byObj, flat
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or
+// trailing comment, or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checker holds per-package state.
+type checker struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]string
+	// atomicFields maps struct fields touched via sync/atomic free
+	// functions to one such call site; atomicOK holds the selector
+	// nodes inside those calls (they are the sanctioned accesses).
+	atomicFields map[*types.Var]token.Pos
+	atomicOK     map[ast.Expr]bool
+}
+
+func (c *checker) collectAtomicFields() {
+	for _, file := range c.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			fieldSel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := c.pass.TypesInfo.Selections[fieldSel]
+			if s == nil || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if _, seen := c.atomicFields[v]; !seen {
+				c.atomicFields[v] = call.Pos()
+			}
+			c.atomicOK[fieldSel] = true
+			return true
+		})
+	}
+}
+
+// state maps a rendered mutex path ("s.mu") to its held mode:
+// true = write (Lock), false = read (RLock).
+type state map[string]bool
+
+func clone(st state) state {
+	out := make(state, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func intersect(a, b state) state {
+	out := state{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = va && vb
+		}
+	}
+	return out
+}
+
+// funcChecker walks one function body.
+type funcChecker struct {
+	c         *checker
+	recv      types.Object
+	locked    bool // name ends in "Locked": receiver mutexes assumed held
+	skipGuard bool // _test.go or constructor: guarded-access rule off
+}
+
+// stmts runs the list through the tracker, returning the out state and
+// whether flow terminated (return/branch on every path).
+func (fc *funcChecker) stmts(list []ast.Stmt, st state) (state, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = fc.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (fc *funcChecker) stmt(s ast.Stmt, st state) (state, bool) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+	case *ast.ExprStmt:
+		fc.expr(s.X, st, false)
+	case *ast.AssignStmt:
+		for i, r := range s.Rhs {
+			fc.expr(r, st, false)
+			// `_ = x` compiles to nothing; only assignments into a
+			// real destination copy.
+			if len(s.Lhs) == len(s.Rhs) {
+				if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+			}
+			fc.checkLockCopy(r, "assignment")
+		}
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			fc.expr(l, st, true)
+		}
+	case *ast.IncDecStmt:
+		fc.expr(s.X, st, true)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						fc.expr(v, st, false)
+						fc.checkLockCopy(v, "assignment")
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if base, op := fc.lockOp(s.Call); base != "" {
+			// `defer mu.Unlock()` keeps the mutex held to function end;
+			// a deferred Lock is nonsense we leave to code review.
+			_ = op
+			break
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			// Deferred closures run before deferred unlocks registered
+			// earlier, so the current lock set is the right context.
+			fc.stmts(lit.Body.List, clone(st))
+		} else {
+			fc.expr(s.Call.Fun, st, false)
+		}
+		for _, a := range s.Call.Args {
+			fc.expr(a, st, false)
+			fc.checkLockCopy(a, "call")
+		}
+	case *ast.GoStmt:
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			// A new goroutine starts with no locks held.
+			fc.stmts(lit.Body.List, state{})
+		} else {
+			fc.expr(s.Call.Fun, st, false)
+		}
+		for _, a := range s.Call.Args {
+			fc.expr(a, st, false)
+			fc.checkLockCopy(a, "call")
+		}
+	case *ast.SendStmt:
+		fc.expr(s.Chan, st, false)
+		fc.expr(s.Value, st, false)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			fc.expr(r, st, false)
+			fc.checkLockCopy(r, "return")
+		}
+		return st, true
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.LabeledStmt:
+		return fc.stmt(s.Stmt, st)
+	case *ast.BlockStmt:
+		return fc.stmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = fc.stmt(s.Init, st)
+		}
+		fc.expr(s.Cond, st, false)
+		thenOut, thenTerm := fc.stmts(s.Body.List, clone(st))
+		if s.Else == nil {
+			if thenTerm {
+				return st, false
+			}
+			return intersect(st, thenOut), false
+		}
+		elseOut, elseTerm := fc.stmt(s.Else, clone(st))
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return intersect(thenOut, elseOut), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = fc.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			fc.expr(s.Cond, st, false)
+		}
+		bodyOut, bodyTerm := fc.stmts(s.Body.List, clone(st))
+		if s.Post != nil {
+			fc.stmt(s.Post, bodyOut)
+		}
+		if bodyTerm {
+			return st, false
+		}
+		// The loop may run zero times; only locks held both before and
+		// at the end of an iteration survive it.
+		return intersect(st, bodyOut), false
+	case *ast.RangeStmt:
+		fc.expr(s.X, st, false)
+		bodyOut, bodyTerm := fc.stmts(s.Body.List, clone(st))
+		if bodyTerm {
+			return st, false
+		}
+		return intersect(st, bodyOut), false
+	case *ast.SwitchStmt:
+		return fc.switchLike(s.Init, s.Tag, s.Body, st)
+	case *ast.TypeSwitchStmt:
+		var tag ast.Expr
+		if s.Init != nil {
+			st, _ = fc.stmt(s.Init, st)
+		}
+		fc.stmt(s.Assign, clone(st))
+		return fc.switchLike(nil, tag, s.Body, st)
+	case *ast.SelectStmt:
+		return fc.switchLike(nil, nil, s.Body, st)
+	}
+	return st, false
+}
+
+// switchLike merges lock state across switch/select clause bodies: the
+// out state is the intersection of every non-terminating clause, plus
+// the entry state when no default clause guarantees a body ran.
+func (fc *funcChecker) switchLike(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, st state) (state, bool) {
+	if init != nil {
+		st, _ = fc.stmt(init, st)
+	}
+	if tag != nil {
+		fc.expr(tag, st, false)
+	}
+	outs := []state{}
+	hasDefault := false
+	allTerm := true
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				fc.expr(e, st, false)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				fc.stmt(cl.Comm, clone(st))
+			}
+			stmts = cl.Body
+		}
+		out, term := fc.stmts(stmts, clone(st))
+		if !term {
+			allTerm = false
+			outs = append(outs, out)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, st)
+		allTerm = false
+	}
+	if len(outs) == 0 {
+		return st, allTerm
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged = intersect(merged, o)
+	}
+	return merged, false
+}
+
+// expr checks accesses inside e under lock state st. write marks an
+// lvalue context (assignment target, ++/--, &-taken operand).
+func (fc *funcChecker) expr(e ast.Expr, st state, write bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		fc.expr(e.X, st, write)
+	case *ast.SelectorExpr:
+		fc.checkAccess(e, st, write)
+		fc.expr(e.X, st, false)
+	case *ast.CallExpr:
+		if base, op := fc.lockOp(e); base != "" {
+			fc.applyLock(e, st, base, op)
+		} else {
+			fc.expr(e.Fun, st, false)
+		}
+		for _, a := range e.Args {
+			fc.expr(a, st, false)
+			fc.checkLockCopy(a, "call")
+		}
+	case *ast.UnaryExpr:
+		fc.expr(e.X, st, e.Op == token.AND || write)
+	case *ast.StarExpr:
+		fc.expr(e.X, st, write)
+	case *ast.BinaryExpr:
+		fc.expr(e.X, st, false)
+		fc.expr(e.Y, st, false)
+	case *ast.IndexExpr:
+		fc.expr(e.X, st, write)
+		fc.expr(e.Index, st, false)
+	case *ast.IndexListExpr:
+		fc.expr(e.X, st, write)
+		for _, i := range e.Indices {
+			fc.expr(i, st, false)
+		}
+	case *ast.SliceExpr:
+		fc.expr(e.X, st, write)
+		fc.expr(e.Low, st, false)
+		fc.expr(e.High, st, false)
+		fc.expr(e.Max, st, false)
+	case *ast.TypeAssertExpr:
+		fc.expr(e.X, st, false)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				fc.expr(kv.Value, st, false)
+				continue
+			}
+			fc.expr(el, st, false)
+		}
+	case *ast.FuncLit:
+		// A literal not tied to go/defer may run on any goroutine at
+		// any time (pool hooks, parallel fan-out callbacks); check its
+		// body with no locks assumed.
+		fc.stmts(e.Body.List, state{})
+	}
+}
+
+// lockOp recognizes mu.Lock/Unlock/RLock/RUnlock calls on sync.Mutex /
+// sync.RWMutex values and returns the rendered mutex path and method.
+func (fc *funcChecker) lockOp(call *ast.CallExpr) (base, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	f, ok := fc.c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	key := exprKey(sel.X)
+	if key == "" {
+		return "", ""
+	}
+	return key, sel.Sel.Name
+}
+
+func (fc *funcChecker) applyLock(call *ast.CallExpr, st state, base, op string) {
+	switch op {
+	case "Lock", "RLock":
+		if _, held := st[base]; held {
+			fc.c.pass.Reportf(call.Pos(), "%s is already held on this path (double %s)", base, op)
+		}
+		st[base] = op == "Lock"
+	case "Unlock", "RUnlock":
+		delete(st, base)
+	}
+}
+
+// checkAccess verifies one selector against the guarded-field table.
+func (fc *funcChecker) checkAccess(sel *ast.SelectorExpr, st state, write bool) {
+	s := fc.c.pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	// Atomic/plain mixing is checked even where the guarded rule is
+	// off: a racing plain read in a constructor is still impossible,
+	// so constructors stay exempt.
+	if pos, mixed := fc.c.atomicFields[v]; mixed && !fc.c.atomicOK[sel] && !fc.skipGuard {
+		p := fc.c.pass.Fset.Position(pos)
+		fc.c.pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic at %s:%d; plain access races with it", v.Name(), p.Filename, p.Line)
+	}
+	mu := fc.guardFor(v, s)
+	if mu == "" || fc.skipGuard {
+		return
+	}
+	base := exprKey(sel.X)
+	if base == "" {
+		return // unkeyable path (index/call result); nothing to match a Lock against
+	}
+	if fc.locked && fc.recv != nil && rootObj(fc.c.pass.TypesInfo, sel.X) == fc.recv {
+		return // *Locked helper: caller holds the receiver's mutexes by contract
+	}
+	key := base + "." + mu
+	mode, held := st[key]
+	switch {
+	case !held:
+		fc.c.pass.Reportf(sel.Pos(), "field %s is guarded by %s; access without holding %s", v.Name(), mu, key)
+	case write && !mode:
+		fc.c.pass.Reportf(sel.Pos(), "write to %s while %s is only read-locked (RLock)", v.Name(), key)
+	}
+}
+
+// guardFor resolves a field's guard mutex name from same-package
+// syntax or cross-package facts.
+func (fc *funcChecker) guardFor(v *types.Var, s *types.Selection) string {
+	if mu, ok := fc.c.guards[v]; ok {
+		return mu
+	}
+	if v.Pkg() == nil || v.Pkg() == fc.c.pass.Pkg {
+		return ""
+	}
+	named, ok := types.Unalias(deref(s.Recv())).(*types.Named)
+	if !ok {
+		return ""
+	}
+	return fc.c.pass.PackageFacts(v.Pkg().Path())[named.Obj().Name()+"."+v.Name()]
+}
+
+// checkLockCopy flags value copies of types that (transitively)
+// contain a sync.Mutex or sync.RWMutex.
+func (fc *funcChecker) checkLockCopy(e ast.Expr, context string) {
+	tv, ok := fc.c.pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	// Address-of, pointers, and composite literals construct or refer;
+	// only plain value uses copy.
+	switch ast.Unparen(e).(type) {
+	case *ast.CompositeLit, *ast.UnaryExpr, *ast.FuncLit, *ast.BasicLit, *ast.CallExpr:
+		return
+	}
+	if t := containsMutex(tv.Type, 0); t != "" {
+		fc.c.pass.Reportf(e.Pos(), "%s copies %s by value, which contains %s", context, tv.Type, t)
+	}
+}
+
+// containsMutex reports the mutex type a value of t would copy, or "".
+func containsMutex(t types.Type, depth int) string {
+	if depth > 4 {
+		return ""
+	}
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return "sync." + obj.Name()
+		}
+		t = named.Underlying()
+	}
+	st, ok := t.(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if m := containsMutex(st.Field(i).Type(), depth+1); m != "" {
+			return m
+		}
+	}
+	return ""
+}
+
+// exprKey renders a selector path ("s.mu", "t.shards") for lock-state
+// keys, or "" for unkeyable expressions.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// rootObj resolves the leftmost identifier of a selector chain.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func isMutexType(t types.Type) bool {
+	t = deref(t)
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

@@ -1,0 +1,13 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"hyperear/internal/analysis/analysistest"
+	"hyperear/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", lockguard.Analyzer,
+		"a", "hyperear/internal/guarddef", "hyperear/internal/guarduse")
+}

@@ -1,0 +1,155 @@
+// Package a exercises lockguard's same-package rules: guarded-field
+// tracking across branches, defers, goroutines and loops; RLock write
+// demotion; double-lock; lock copies; atomic/plain mixing; and the
+// Locked-suffix and constructor exemptions.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type table struct {
+	mu sync.Mutex
+	// guarded by mu
+	count int
+	data  map[string]int // guarded by mu
+	rw    sync.RWMutex
+	// guarded by rw
+	snapshot []int
+	// guarded by missing
+	ready bool // want `guarded-by annotation names missing, which is not a mutex field of table`
+	_        struct{}
+}
+
+func (t *table) good() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count // ok
+}
+
+func (t *table) bad() int {
+	return t.count // want `field count is guarded by mu; access without holding t.mu`
+}
+
+func (t *table) badWrite(k string) {
+	t.data[k] = 1 // want `field data is guarded by mu; access without holding t.mu`
+}
+
+func (t *table) earlyUnlockBranch(cond bool) {
+	t.mu.Lock()
+	if cond {
+		t.mu.Unlock()
+		return
+	}
+	t.count++ // ok: the unlocked branch returned
+	t.mu.Unlock()
+}
+
+func (t *table) conditionalHold(cond bool) {
+	if cond {
+		t.mu.Lock()
+	}
+	t.count++ // want `field count is guarded by mu; access without holding t.mu`
+	if cond {
+		t.mu.Unlock()
+	}
+}
+
+func (t *table) loopHold(keys []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range keys {
+		t.data[k]++ // ok: deferred unlock holds to function end
+	}
+}
+
+func (t *table) rlockWrite() {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	t.snapshot = nil // want `write to snapshot while t.rw is only read-locked \(RLock\)`
+}
+
+func (t *table) rlockRead() int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return len(t.snapshot) // ok
+}
+
+func (t *table) double() {
+	t.mu.Lock()
+	t.mu.Lock() // want `t.mu is already held on this path \(double Lock\)`
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+func (t *table) goroutineEscape() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() {
+		t.count++ // want `field count is guarded by mu; access without holding t.mu`
+	}()
+}
+
+func (t *table) deferredClosure() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer func() {
+		t.count = 0 // ok: runs before the earlier-registered Unlock
+	}()
+	t.count++
+}
+
+// touchLocked carries the *Locked caller-holds-the-lock contract.
+func (t *table) touchLocked() {
+	t.count++ // ok: Locked suffix
+}
+
+func (t *table) viaLocked() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.touchLocked()
+}
+
+func newTable() *table {
+	t := &table{data: map[string]int{}}
+	t.count = 1 // ok: constructor, not yet shared
+	return t
+}
+
+func (t *table) suppressed() int {
+	//hyperearvet:allow lockguard single-goroutine benchmark reader
+	return t.count
+}
+
+func copyReturn(t *table) table {
+	return *t // want `return copies a.table by value, which contains sync.Mutex`
+}
+
+func copyAssign(t *table) {
+	u := *t // want `assignment copies a.table by value, which contains sync.Mutex`
+	_ = u
+}
+
+func sink(any interface{}) {}
+
+func copyArg(t *table) {
+	sink(*t) // want `call copies a.table by value, which contains sync.Mutex`
+}
+
+type stats struct {
+	n     int64
+	other int64
+}
+
+func (s *stats) inc() {
+	atomic.AddInt64(&s.n, 1) // ok: the sanctioned access
+}
+
+func (s *stats) read() int64 {
+	return s.n // want `field n is accessed with sync/atomic at .*; plain access races with it`
+}
+
+func (s *stats) plainOther() int64 {
+	return s.other // ok: never touched atomically
+}

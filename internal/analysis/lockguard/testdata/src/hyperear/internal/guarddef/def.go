@@ -1,0 +1,11 @@
+// Package guarddef exports a guarded type so lockguard's cross-package
+// fact flow can be exercised from guarduse.
+package guarddef
+
+import "sync"
+
+type Registry struct {
+	Mu sync.Mutex
+	// guarded by Mu
+	Names []string
+}

@@ -1,0 +1,15 @@
+// Package guarduse reads guarddef.Registry through export data; the
+// `// guarded by Mu` annotation arrives as a fact, not as syntax.
+package guarduse
+
+import "hyperear/internal/guarddef"
+
+func ok(r *guarddef.Registry) int {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return len(r.Names)
+}
+
+func bad(r *guarddef.Registry) int {
+	return len(r.Names) // want `field Names is guarded by Mu; access without holding r.Mu`
+}

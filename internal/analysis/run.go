@@ -24,6 +24,21 @@ func (f Finding) String() string {
 // considers rules that actually ran, letting a single analyzer be
 // exercised in isolation (analysistest) without noise.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	return RunWithFacts(fset, pkgs, analyzers, nil)
+}
+
+// RunWithFacts is Run with an explicit fact store, for drivers that
+// pre-seed cross-package facts (the go vet protocol decodes dependency
+// .vetx payloads into the store before analyzing). Runs in two phases:
+// every loaded package's Facts hooks first — so `go list -deps` order,
+// which interleaves test variants and their dependents unpredictably,
+// can never hide an annotation — then every analyzer's Run.
+func RunWithFacts(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, store FactStore) ([]Finding, error) {
+	if store == nil {
+		store = FactStore{}
+	}
+	CollectFacts(fset, pkgs, analyzers, store)
+
 	ran := map[string]bool{}
 	for _, a := range analyzers {
 		ran[a.Name] = true
@@ -43,6 +58,7 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 				TypesInfo: pkg.TypesInfo,
 				PkgPath:   pkg.PkgPath,
 				report:    report,
+				facts:     store,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)

@@ -1,0 +1,7 @@
+// Package obs is a stub of the real observability package, which the
+// zeroalloc callee rule exempts by path.
+package obs
+
+type Span struct{ n int }
+
+func (s *Span) AttrInt(k string, v int) { s.n = v }

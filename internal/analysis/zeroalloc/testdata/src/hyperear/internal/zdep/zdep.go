@@ -1,0 +1,15 @@
+// Package zdep is the module-internal dependency of the zeroalloc
+// fixtures: Kernel's annotation travels to zfix as a fact, Alloc's
+// absence of one is the cross-package finding.
+package zdep
+
+//hyperearvet:zeroalloc
+func Kernel(dst, src []float64) {
+	for i := range src {
+		dst[i] = src[i] * 2
+	}
+}
+
+func Alloc(n int) []float64 {
+	return make([]float64, n)
+}

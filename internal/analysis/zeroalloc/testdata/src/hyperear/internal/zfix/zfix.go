@@ -1,0 +1,170 @@
+// Package zfix exercises every zeroalloc rule: direct allocation
+// sites, the cap-guard and cold-exit exemptions, self-append, closure
+// captures, interface boxing, and the annotated-callee rule against
+// both same-package and cross-package (zdep) targets.
+package zfix
+
+import (
+	"fmt"
+
+	"hyperear/internal/obs"
+	"hyperear/internal/zdep"
+)
+
+type buf struct {
+	data []float64
+	out  []float64
+}
+
+//hyperearvet:zeroalloc
+func selfAppend(b *buf, xs []float64) {
+	b.data = b.data[:0]
+	b.data = append(b.data, xs...) // ok: self append into reused capacity
+}
+
+//hyperearvet:zeroalloc
+func crossAppend(b *buf, xs []float64) {
+	b.out = append(b.data, xs...) // want `append into a different destination may allocate`
+}
+
+//hyperearvet:zeroalloc
+func growGuard(b *buf, n int) {
+	if cap(b.data) < n {
+		b.data = make([]float64, n) // ok: cap-guarded grow path
+	}
+	b.data = b.data[:n]
+}
+
+//hyperearvet:zeroalloc
+func coldError(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("bad n %d", n) // ok: cold early-exit body
+	}
+	return float64(n), nil
+}
+
+//hyperearvet:zeroalloc
+func hotMake(n int) []float64 {
+	return make([]float64, n) // want `make allocates on the zeroalloc path`
+}
+
+//hyperearvet:zeroalloc
+func hotNew() *buf {
+	return new(buf) // want `new allocates on the zeroalloc path`
+}
+
+//hyperearvet:zeroalloc
+func hotSprintf(id int) string {
+	return fmt.Sprintf("rq-%d", id) // want `call to fmt.Sprintf allocates on the zeroalloc path`
+}
+
+//hyperearvet:zeroalloc
+func mapLit() map[string]int {
+	return map[string]int{} // want `map literal allocates on the zeroalloc path`
+}
+
+//hyperearvet:zeroalloc
+func sliceLit() []int {
+	return []int{1, 2} // want `slice literal allocates on the zeroalloc path`
+}
+
+//hyperearvet:zeroalloc
+func escapingLit() *buf {
+	return &buf{} // want `&composite literal escapes to the heap on the zeroalloc path`
+}
+
+//hyperearvet:zeroalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates on the zeroalloc path`
+}
+
+//hyperearvet:zeroalloc
+func byteConv(s string) []byte {
+	return []byte(s) // want `conversion between string and \[\]byte allocates on the zeroalloc path`
+}
+
+//hyperearvet:zeroalloc
+func spawns(ch chan int) {
+	go send(ch) // want `go statement allocates a goroutine on the zeroalloc path`
+}
+
+func send(ch chan int) { ch <- 1 }
+
+// sink is annotated so call sites only test boxing.
+//
+//hyperearvet:zeroalloc
+func sink(v interface{}) { _ = v }
+
+//hyperearvet:zeroalloc
+func boxes(id int) {
+	sink(id) // want `passing int as interface interface\{\} boxes and may allocate`
+}
+
+//hyperearvet:zeroalloc
+func pointerOK(b *buf) {
+	sink(b) // ok: pointers store directly in the interface word
+}
+
+//hyperearvet:zeroalloc
+func each(xs []float64, f func(float64)) {
+	for _, v := range xs {
+		f(v)
+	}
+}
+
+//hyperearvet:zeroalloc
+func captures(xs []float64) float64 {
+	total := 0.0
+	each(xs, func(v float64) { total += v }) // want `closure captures total and may allocate on the zeroalloc path`
+	return total
+}
+
+//hyperearvet:zeroalloc
+func nonCapturingBody(xs []float64) {
+	each(xs, func(v float64) {
+		_ = make([]int, 1) // want `make allocates on the zeroalloc path`
+	})
+}
+
+//hyperearvet:zeroalloc
+func callsKernel(dst, src []float64) {
+	zdep.Kernel(dst, src) // ok: annotated cross-package callee
+}
+
+//hyperearvet:zeroalloc
+func callsAlloc(n int) []float64 {
+	return zdep.Alloc(n) // want `calls Alloc, which is not marked //hyperearvet:zeroalloc`
+}
+
+//hyperearvet:zeroalloc
+func traced(sp *obs.Span, n int) {
+	sp.AttrInt("samples", n) // ok: internal/obs is exempt by rule
+}
+
+type Detector struct{ scratch []float64 }
+
+//hyperearvet:zeroalloc
+func (d *Detector) DetectInto(dst, src []float64) {
+	d.prep(src)   // ok: annotated same-package method
+	zeroFill(dst) // want `calls zeroFill, which is not marked //hyperearvet:zeroalloc`
+}
+
+//hyperearvet:zeroalloc
+func (d *Detector) prep(src []float64) {
+	d.scratch = append(d.scratch, src...) // ok
+}
+
+func zeroFill(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+//hyperearvet:zeroalloc
+func suppressed(n int) []float64 {
+	//hyperearvet:allow zeroalloc one-time cache fill, amortized across the session
+	return make([]float64, n)
+}
+
+// unannotated functions may allocate freely.
+func free(n int) []float64 { return make([]float64, n) }

@@ -1,0 +1,594 @@
+// Package zeroalloc turns the repo's runtime AllocsPerRun pins into a
+// compile-time review: a function carrying the //hyperearvet:zeroalloc
+// directive promises an allocation-free steady state, and every
+// syntactic allocation site inside it is a finding —
+//
+//	make / new                    composite literals of map or slice type
+//	&T{} (escaping literal)       non-self append (not x = append(x, ...))
+//	fmt/errors/strconv/strings    string concatenation, string<->[]byte
+//	interface boxing              closures that capture variables
+//	go statements                 calls to unannotated module-internal code
+//
+// — unless the site sits on a recognized cold path: the body of an if
+// whose condition consults len/cap (the grow-guard idiom of the pooled
+// scratch helpers) or an if body that exits early (error paths ending
+// in return/panic/break/continue). Amortized growth via self-append
+// (x = append(x, ...)) is the repo's steady-state idiom and stays
+// legal. Everything else needs an explicit
+// //hyperearvet:allow zeroalloc <justification>.
+//
+// The promise composes through the call graph: a zeroalloc function
+// may only call module-internal code that is itself annotated (facts
+// carry the annotation across packages), with hyperear/internal/obs
+// exempt — its disabled path is benchmark-pinned to 0 B/op, and
+// tracing being enabled is an explicit opt-in to allocation.
+package zeroalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hyperear/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:  "zeroalloc",
+	Doc:   "//hyperearvet:zeroalloc functions contain no allocation sites outside cap-guards, cold exits, and allow suppressions",
+	Run:   run,
+	Facts: facts,
+}
+
+// modulePrefix scopes the annotated-callee rule to this module's own
+// packages; stdlib callees are vouched for by the benchmark pins.
+const modulePrefix = "hyperear"
+
+// obsPath is exempt from the annotated-callee rule (see package doc).
+const obsPath = "hyperear/internal/obs"
+
+// facts exports the package's zeroalloc promises: "Func" or
+// "Type.Method" → "zeroalloc".
+func facts(pass *analysis.Pass) map[string]string {
+	out := map[string]string{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !pass.FuncHasDirective(fn, "zeroalloc") {
+				continue
+			}
+			if key := declKey(fn); key != "" {
+				out[key] = "zeroalloc"
+			}
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.FuncHasDirective(fn, "zeroalloc") {
+				continue
+			}
+			z := &zchecker{pass: pass, results: resultTypes(pass, fn)}
+			z.block(fn.Body)
+		}
+	}
+	return nil
+}
+
+// declKey names a declared function the way calleeKey names its
+// call sites: "Func" or "RecvType.Method".
+func declKey(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return fn.Name.Name
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name + "." + fn.Name.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func resultTypes(pass *analysis.Pass, fn *ast.FuncDecl) []types.Type {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	out := make([]types.Type, sig.Results().Len())
+	for i := range out {
+		out[i] = sig.Results().At(i).Type()
+	}
+	return out
+}
+
+type zchecker struct {
+	pass    *analysis.Pass
+	results []types.Type
+	// sanctioned holds append calls in x = append(x, ...) form.
+	sanctioned map[*ast.CallExpr]bool
+}
+
+func (z *zchecker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		z.stmt(s)
+	}
+}
+
+// stmt walks hot-path statements; cold bodies (grow guards, early
+// exits) are simply not descended into.
+func (z *zchecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+	case *ast.BlockStmt:
+		z.block(s)
+	case *ast.ExprStmt:
+		z.scan(s.X)
+	case *ast.IncDecStmt:
+		z.scan(s.X)
+	case *ast.SendStmt:
+		z.scan(s.Chan)
+		z.scan(s.Value)
+	case *ast.LabeledStmt:
+		z.stmt(s.Stmt)
+	case *ast.AssignStmt:
+		z.sanctionSelfAppends(s)
+		for _, e := range s.Lhs {
+			z.scan(e)
+		}
+		for _, e := range s.Rhs {
+			z.scan(e)
+		}
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				if lt, ok := z.pass.TypesInfo.Types[s.Lhs[i]]; ok {
+					z.checkBoxing(s.Rhs[i], lt.Type, "assigning")
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						z.scan(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for i, e := range s.Results {
+			z.scan(e)
+			if i < len(z.results) && len(s.Results) == len(z.results) {
+				z.checkBoxing(e, z.results[i], "returning")
+			}
+		}
+	case *ast.GoStmt:
+		z.pass.Reportf(s.Pos(), "go statement allocates a goroutine on the zeroalloc path")
+	case *ast.DeferStmt:
+		z.scan(s.Call.Fun)
+		for _, a := range s.Call.Args {
+			z.scan(a)
+		}
+	case *ast.IfStmt:
+		z.stmt(s.Init)
+		z.scan(s.Cond)
+		if !isGrowGuard(z.pass, s.Cond) && !terminates(s.Body) {
+			z.block(s.Body)
+		}
+		switch e := s.Else.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			if !terminates(e) {
+				z.block(e)
+			}
+		default:
+			z.stmt(e)
+		}
+	case *ast.ForStmt:
+		z.stmt(s.Init)
+		z.scan(s.Cond)
+		z.stmt(s.Post)
+		z.block(s.Body)
+	case *ast.RangeStmt:
+		z.scan(s.X)
+		z.block(s.Body)
+	case *ast.SwitchStmt:
+		z.stmt(s.Init)
+		z.scan(s.Tag)
+		z.clauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		z.stmt(s.Init)
+		z.stmt(s.Assign)
+		z.clauses(s.Body)
+	case *ast.SelectStmt:
+		z.clauses(s.Body)
+	}
+}
+
+func (z *zchecker) clauses(body *ast.BlockStmt) {
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				z.scan(e)
+			}
+			for _, s := range cl.Body {
+				z.stmt(s)
+			}
+		case *ast.CommClause:
+			z.stmt(cl.Comm)
+			for _, s := range cl.Body {
+				z.stmt(s)
+			}
+		}
+	}
+}
+
+// sanctionSelfAppends marks append calls whose destination is their
+// own first argument: x = append(x, ...) grows amortized into
+// reused capacity and is the steady-state idiom.
+func (z *zchecker) sanctionSelfAppends(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, r := range s.Rhs {
+		call, ok := ast.Unparen(r).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !isBuiltin(z.pass, call.Fun, "append") {
+			continue
+		}
+		dst := exprKey(s.Lhs[i])
+		src := exprKey(call.Args[0])
+		if dst != "" && dst == src {
+			if z.sanctioned == nil {
+				z.sanctioned = map[*ast.CallExpr]bool{}
+			}
+			z.sanctioned[call] = true
+		}
+	}
+}
+
+// scan flags allocation sites in one hot-path expression tree.
+func (z *zchecker) scan(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			z.call(n)
+		case *ast.CompositeLit:
+			if t := z.typeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					z.pass.Reportf(n.Pos(), "map literal allocates on the zeroalloc path")
+				case *types.Slice:
+					z.pass.Reportf(n.Pos(), "slice literal allocates on the zeroalloc path")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					z.pass.Reportf(n.Pos(), "&composite literal escapes to the heap on the zeroalloc path")
+				}
+			}
+		case *ast.BinaryExpr:
+			if t := z.typeOf(n); t != nil && n.Op == token.ADD {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					if tv := z.pass.TypesInfo.Types[n]; tv.Value == nil { // non-constant
+						z.pass.Reportf(n.Pos(), "string concatenation allocates on the zeroalloc path")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			z.funcLit(n)
+			return false
+		}
+		return true
+	})
+}
+
+// funcLit checks a literal for captures; non-capturing literals (e.g.
+// sort comparators) run on the hot path, so their bodies are scanned.
+func (z *zchecker) funcLit(lit *ast.FuncLit) {
+	var captured types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured != nil {
+			return captured == nil
+		}
+		obj := z.pass.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == types.Universe || v.Pkg() == nil {
+			return true
+		}
+		// Package-level vars aren't captures; anything declared outside
+		// the literal's own span but inside the enclosing function is.
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v
+		}
+		return captured == nil
+	})
+	if captured != nil {
+		z.pass.Reportf(lit.Pos(), "closure captures %s and may allocate on the zeroalloc path", captured.Name())
+		return
+	}
+	for _, s := range lit.Body.List {
+		z.stmt(s)
+	}
+}
+
+func (z *zchecker) call(call *ast.CallExpr) {
+	// Type conversions: only the string<->[]byte pair copies.
+	if tv, ok := z.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, z.typeOf(call.Args[0])
+		if to != nil && from != nil && isStringByteConv(to, from) {
+			z.pass.Reportf(call.Pos(), "conversion between string and []byte allocates on the zeroalloc path")
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := z.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				z.pass.Reportf(call.Pos(), "make allocates on the zeroalloc path; grow only behind a cap guard")
+			case "new":
+				z.pass.Reportf(call.Pos(), "new allocates on the zeroalloc path")
+			case "append":
+				if !z.sanctioned[call] {
+					z.pass.Reportf(call.Pos(), "append into a different destination may allocate; zeroalloc appends must be x = append(x, ...)")
+				}
+			}
+			return
+		}
+	}
+
+	callee := calleeFunc(z.pass.TypesInfo, call)
+	if callee != nil {
+		if pkg := callee.Pkg(); pkg != nil {
+			if deny := denylisted(pkg.Path(), callee.Name()); deny {
+				z.pass.Reportf(call.Pos(), "call to %s.%s allocates on the zeroalloc path", pkg.Name(), callee.Name())
+				return
+			}
+			if isModuleInternal(pkg.Path()) && pkg.Path() != obsPath {
+				if key := calleeKey(callee); key != "" {
+					if z.pass.PackageFacts(pkg.Path())[key] != "zeroalloc" {
+						z.pass.Reportf(call.Pos(), "calls %s, which is not marked //hyperearvet:zeroalloc", key)
+					}
+				}
+			}
+		}
+	}
+
+	// Interface boxing at argument positions.
+	sig, ok := types.Unalias(z.typeOf(call.Fun)).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil {
+			continue
+		}
+		z.checkBoxing(arg, pt, "passing")
+	}
+}
+
+// checkBoxing flags storing a concrete, non-pointer-shaped value into
+// an interface-typed slot (param, result, assignment target).
+func (z *zchecker) checkBoxing(e ast.Expr, target types.Type, verb string) {
+	target = types.Unalias(target)
+	if _, isTP := target.(*types.TypeParam); isTP {
+		return
+	}
+	if !types.IsInterface(target) {
+		return
+	}
+	at := z.typeOf(e)
+	if at == nil {
+		return
+	}
+	if b, ok := at.(*types.Basic); ok && (b.Kind() == types.UntypedNil || b.Kind() == types.Invalid) {
+		return
+	}
+	if types.IsInterface(at) || pointerShaped(at) {
+		return
+	}
+	z.pass.Reportf(e.Pos(), "%s %s as interface %s boxes and may allocate on the zeroalloc path", verb, at, target)
+}
+
+func (z *zchecker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := z.pass.TypesInfo.Types[e]; ok && tv.Type != nil {
+		return types.Unalias(tv.Type)
+	}
+	return nil
+}
+
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		if sl, ok := types.Unalias(sig.Params().At(n - 1).Type()).(*types.Slice); ok {
+			return sl.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// pointerShaped reports types whose interface conversion stores the
+// word directly without allocating.
+func pointerShaped(t types.Type) bool {
+	switch t := types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringByteConv(to, from types.Type) bool {
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := types.Unalias(t).Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := types.Unalias(t).Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := types.Unalias(sl.Elem()).Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// denylisted lists stdlib helpers that always allocate their result.
+func denylisted(pkgPath, name string) bool {
+	switch pkgPath {
+	case "fmt", "errors":
+		return true
+	case "strconv":
+		return strings.HasPrefix(name, "Format") || strings.HasPrefix(name, "Quote") || name == "Itoa"
+	case "strings":
+		switch name {
+		case "Join", "Repeat", "Replace", "ReplaceAll", "ToUpper", "ToLower",
+			"Map", "Split", "SplitN", "Fields", "Clone", "Title":
+			return true
+		}
+	}
+	return false
+}
+
+func isModuleInternal(pkgPath string) bool {
+	return pkgPath == modulePrefix || strings.HasPrefix(pkgPath, modulePrefix+"/")
+}
+
+// calleeKey names a callee the way facts name declarations.
+func calleeKey(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return f.Name()
+	}
+	t := types.Unalias(recv.Type())
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "" // interface method or weird receiver: unresolvable target
+	}
+	if types.IsInterface(named) {
+		return ""
+	}
+	return named.Obj().Name() + "." + f.Name()
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isGrowGuard reports conditions consulting len or cap — the pooled
+// scratch grow idiom whose body is an expected allocation site.
+func isGrowGuard(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isBuiltin(pass, call.Fun, "cap") || isBuiltin(pass, call.Fun, "len") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// terminates reports blocks whose last statement exits the enclosing
+// flow (early-error cold paths).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprKey renders an lvalue path for self-append matching; slice
+// expressions reduce to their base (x = append(x[:0], ...) is self).
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.SliceExpr:
+		return exprKey(e.X)
+	case *ast.IndexExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[i]"
+	}
+	return ""
+}

@@ -1,0 +1,13 @@
+package zeroalloc_test
+
+import (
+	"testing"
+
+	"hyperear/internal/analysis/analysistest"
+	"hyperear/internal/analysis/zeroalloc"
+)
+
+func TestZeroalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", zeroalloc.Analyzer,
+		"hyperear/internal/zfix", "hyperear/internal/zdep")
+}

@@ -207,6 +207,8 @@ func (d *Detector) Detect(x []float64) []Detection {
 // one scratch per worker and run the whole detection pass without heap
 // allocations once warm. A nil scratch is allowed and degrades to
 // per-call buffers.
+//
+//hyperearvet:zeroalloc
 func (d *Detector) DetectInto(dst []Detection, x []float64, s *DetectScratch) []Detection {
 	dst, _ = d.DetectIntoCtx(context.Background(), dst, x, s, 1)
 	return dst
@@ -222,12 +224,15 @@ func (d *Detector) DetectInto(dst []Detection, x []float64, s *DetectScratch) []
 // transform. On cancellation the partial dst plus ctx's error are
 // returned. Results are independent of workers: the block layout is
 // fixed by the input length alone, workers only schedule it.
+//
+//hyperearvet:zeroalloc
 func (d *Detector) DetectIntoCtx(ctx context.Context, dst []Detection, x []float64, s *DetectScratch, workers int) ([]Detection, error) {
 	dst = dst[:0]
 	if len(x) < len(d.ref) {
 		return dst, ctx.Err()
 	}
 	if s == nil {
+		//hyperearvet:allow zeroalloc nil scratch is the caller opting out of reuse; hot loops pass a warm DetectScratch
 		s = &DetectScratch{}
 	}
 	var err error
@@ -249,6 +254,8 @@ func (d *Detector) DetectIntoCtx(ctx context.Context, dst []Detection, x []float
 // stream's buffer is itself one sliding block, and blocked-envelope seams
 // whose positions depend on the chunk-dependent buffer origin would break
 // the stream's chunk-size invariance.
+//
+//hyperearvet:zeroalloc
 func (d *Detector) detectFromCorr(dst []Detection, r []float64, s *DetectScratch) []Detection {
 	dst, _ = d.detectCore(context.Background(), dst, r, s, false, 1)
 	return dst
@@ -257,6 +264,8 @@ func (d *Detector) detectFromCorr(dst []Detection, r []float64, s *DetectScratch
 // detectCore is the shared envelope/threshold/NMS/timing pass. segEnv
 // selects the blocked envelope (the batch path; per-block ctx checks and
 // worker fan-out) versus the monolithic one (the streaming path).
+//
+//hyperearvet:zeroalloc
 func (d *Detector) detectCore(ctx context.Context, dst []Detection, r []float64, s *DetectScratch, segEnv bool, workers int) ([]Detection, error) {
 	if segEnv {
 		var err error
@@ -377,6 +386,8 @@ const (
 // (sparse) chirp peaks themselves barely shift that quantile. The sample
 // buffer is reused across calls via scratch and returned for the caller to
 // keep.
+//
+//hyperearvet:zeroalloc
 func correlationFloor(r, scratch []float64) (float64, []float64) {
 	if len(r) == 0 {
 		return 0, scratch
@@ -391,6 +402,7 @@ func correlationFloor(r, scratch []float64) (float64, []float64) {
 	return abs[len(abs)*floorQuantileNum/floorQuantileDen] + 1e-30, abs
 }
 
+//hyperearvet:zeroalloc
 func abs(x int) int {
 	if x < 0 {
 		return -x

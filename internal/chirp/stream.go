@@ -145,6 +145,8 @@ func (s *StreamDetector) Reset() {
 // returned slice is reused by the next Push/Flush call — callers that
 // keep detections past that point must copy them out (every current
 // caller appends into its own storage immediately).
+//
+//hyperearvet:zeroalloc
 func (s *StreamDetector) Push(chunk []float64) []Detection {
 	return s.PushContext(context.Background(), chunk)
 }
@@ -155,6 +157,8 @@ func (s *StreamDetector) Push(chunk []float64) []Detection {
 // streaming ingest shows up in the same trace as the locate call that
 // consumes the session. Chunks too small to trigger a pass emit no span
 // (the common per-callback case stays counter-only).
+//
+//hyperearvet:zeroalloc
 func (s *StreamDetector) PushContext(ctx context.Context, chunk []float64) []Detection {
 	s.buf = append(s.buf, chunk...)
 	if len(s.buf) < s.blockSize {
@@ -192,6 +196,8 @@ func (s *StreamDetector) Flush() []Detection {
 // alreadyEmitted reports whether a detection at absolute time abs is a
 // re-detection of something already reported from an earlier overlapping
 // block.
+//
+//hyperearvet:zeroalloc
 func (s *StreamDetector) alreadyEmitted(abs float64) bool {
 	for _, e := range s.emitted {
 		if math.Abs(abs-e) < s.det.MinSeparation {
@@ -210,6 +216,8 @@ func (s *StreamDetector) alreadyEmitted(abs float64) bool {
 // trailing template-length of lags equal what a batch correlation of
 // exactly this buffer would produce. Lags that were complete on a
 // previous pass are never touched.
+//
+//hyperearvet:zeroalloc
 func (s *StreamDetector) extendCorr() {
 	n := len(s.buf)
 	if cap(s.corr) < n {
@@ -235,6 +243,8 @@ func (s *StreamDetector) extendCorr() {
 // own template and a full minimum-separation window after it, so that any
 // stronger competitor the batch detector's non-maximum suppression would
 // have preferred is already visible before the detection is committed.
+//
+//hyperearvet:zeroalloc
 func (s *StreamDetector) process(final bool, out []Detection) []Detection {
 	s.extendCorr()
 	s.dets = s.det.detectFromCorr(s.dets[:0], s.corr, &s.scratch)

@@ -204,6 +204,8 @@ func integrateYawDev(gyroZ []float64, fs float64, segs []Segment) []float64 {
 
 // integrateYawDevInto is integrateYawDev writing into out, with raw and
 // moving as caller-provided staging (all three len(gyroZ)).
+//
+//hyperearvet:zeroalloc
 func integrateYawDevInto(out, raw []float64, moving []bool, gyroZ []float64, fs float64, segs []Segment) {
 	n := len(gyroZ)
 	yaw := 0.0
@@ -285,6 +287,8 @@ func slidingMean(x []float64, w int) []float64 {
 
 // slidingMeanInto is slidingMean writing into out (len(x)); out must not
 // alias x.
+//
+//hyperearvet:zeroalloc
 func slidingMeanInto(out, x []float64, w int) {
 	var sum float64
 	// Initialize with the first window.
@@ -312,6 +316,8 @@ func segment(power []float64, thresh float64, quiet int) []Segment {
 }
 
 // segmentInto is segment appending to segs (pass segs[:0] to reuse).
+//
+//hyperearvet:zeroalloc
 func segmentInto(segs []Segment, power []float64, thresh float64, quiet int) []Segment {
 	inMove := false
 	start := 0

@@ -104,6 +104,8 @@ func CorrectVelocity(accel []float64, fs float64) (vel []float64, slope float64)
 // correctVelocityInto is CorrectVelocity writing into dst (grown/reused
 // as needed) and returning it — the per-segment buffer reuse the PDE
 // fan-out's per-worker scratch relies on.
+//
+//hyperearvet:zeroalloc
 func correctVelocityInto(dst, accel []float64, fs float64) (vel []float64, slope float64) {
 	vel = growF64(dst, len(accel))
 	dt := 1 / fs

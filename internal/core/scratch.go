@@ -66,6 +66,8 @@ func (s *Scratch) growPDE(n int) {
 
 // growF64 returns a length-n float64 slice, reusing buf's storage when it
 // is large enough. Contents are unspecified.
+//
+//hyperearvet:zeroalloc
 func growF64(buf []float64, n int) []float64 {
 	if cap(buf) < n {
 		return make([]float64, n)

@@ -28,6 +28,8 @@ import (
 
 // transformStrided is Plan.transform over k interleaved transforms:
 // element i of transform j at buf[i*k+j], len(buf) == n*k.
+//
+//hyperearvet:zeroalloc
 func (p *Plan) transformStrided(buf []complex128, k int, w []complex128) {
 	n := p.n
 	if len(buf) != n*k {
@@ -67,10 +69,14 @@ func (p *Plan) transformStrided(buf []complex128, k int, w []complex128) {
 }
 
 // forwardStrided runs the forward DFT over k interleaved transforms.
+//
+//hyperearvet:zeroalloc
 func (p *Plan) forwardStrided(buf []complex128, k int) { p.transformStrided(buf, k, p.wFwd) }
 
 // inverseStrided runs the inverse DFT (with 1/N scaling) over k
 // interleaved transforms.
+//
+//hyperearvet:zeroalloc
 func (p *Plan) inverseStrided(buf []complex128, k int) {
 	p.transformStrided(buf, k, p.wInv)
 	scale := complex(1/float64(p.n), 0)
@@ -82,6 +88,8 @@ func (p *Plan) inverseStrided(buf []complex128, k int) {
 // forwardRealStrided is RealPlan.ForwardReal over k lanes: the half
 // spectrum of real signal xs[j] lands at spec[i*k+j] for bin i.
 // len(spec) == SpectrumLen()*k; each len(xs[j]) may be at most Size().
+//
+//hyperearvet:zeroalloc
 func (p *RealPlan) forwardRealStrided(spec []complex128, xs [][]float64, k int) {
 	m := p.n / 2
 	if len(spec) != (m+1)*k {
@@ -132,6 +140,8 @@ func (p *RealPlan) forwardRealStrided(spec []complex128, xs [][]float64, k int) 
 // inverseRealStrided is RealPlan.InverseReal over k lanes: lane j's
 // leading len(dsts[j]) samples are reconstructed from the interleaved
 // half spectra in spec. spec is used as scratch and destroyed.
+//
+//hyperearvet:zeroalloc
 func (p *RealPlan) inverseRealStrided(dsts [][]float64, spec []complex128, k int) {
 	m := p.n / 2
 	if len(spec) != (m+1)*k {
@@ -177,9 +187,12 @@ func (p *RealPlan) inverseRealStrided(dsts [][]float64, spec []complex128, k int
 // dsts[j] is grown/reused like CrossCorrelateInto's dst (a nil dsts
 // allocates the slice headers). Results are bit-identical to k
 // independent CrossCorrelateInto calls.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) CrossCorrelateBatchInto(dsts, xs [][]float64) [][]float64 {
 	k := len(xs)
 	if dsts == nil {
+		//hyperearvet:allow zeroalloc nil dsts is the caller opting out of reuse; steady-state callers pass their own headers
 		dsts = make([][]float64, k)
 	}
 	if len(dsts) != k {
@@ -323,6 +336,8 @@ func (b *BatchCorrelator) CrossCorrelateInto(dst, x []float64) []float64 {
 // shared-plan pass the cross-call path uses (and bit-identical to the
 // unfused segmented kernel, per batch.go's strided contract). Groups are
 // counted in Batches() with one lane per block carried.
+//
+//hyperearvet:zeroalloc
 func (b *BatchCorrelator) CrossCorrelateSegmentedCtx(ctx context.Context, dst, x []float64, s *SegScratch, workers int) ([]float64, error) {
 	if b.maxBatch < 2 || len(x) == 0 || b.c.RefLen() == 0 {
 		return b.c.CrossCorrelateSegmentedCtx(ctx, dst, x, s, workers)

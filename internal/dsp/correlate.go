@@ -131,6 +131,8 @@ func FindPeak(r []float64, lo, hi, excl int) NormalizedPeak {
 // the raw resolution is 7.78 mm of path difference; parabolic interpolation
 // recovers a large fraction of the information between samples (paper §III,
 // "Interpolation").
+//
+//hyperearvet:zeroalloc
 func ParabolicInterp(r []float64, i int) (offset, value float64) {
 	if i <= 0 || i >= len(r)-1 {
 		if i < 0 || i >= len(r) {

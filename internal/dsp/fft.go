@@ -12,6 +12,8 @@ import (
 )
 
 // NextPow2 returns the smallest power of two >= n (and >= 1).
+//
+//hyperearvet:zeroalloc
 func NextPow2(n int) int {
 	if n <= 1 {
 		return 1
@@ -20,6 +22,8 @@ func NextPow2(n int) int {
 }
 
 // IsPow2 reports whether n is a positive power of two.
+//
+//hyperearvet:zeroalloc
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // FFT computes the in-place forward discrete Fourier transform of x using

@@ -174,6 +174,8 @@ func MovingAverage(x []float64, n int) []float64 {
 // MovingAverageInto is MovingAverage writing into dst (grown/reused as
 // needed) and returning it. dst must not alias x: the filter reads
 // x[i-n] after position i-n has been written.
+//
+//hyperearvet:zeroalloc
 func MovingAverageInto(dst, x []float64, n int) []float64 {
 	if n < 1 {
 		n = 1

@@ -26,19 +26,27 @@ type Plan struct {
 // stays tiny while every correlation after the first reuses its tables.
 var planCache sync.Map
 
-// PlanFor returns the shared FFT plan for size n (a power of two).
+// PlanFor returns the shared FFT plan for size n (a power of two). The
+// steady state is one lock-free cache hit; the first call per size pays
+// the table build once.
+//
+//hyperearvet:zeroalloc
 func PlanFor(n int) (*Plan, error) {
 	if !IsPow2(n) {
 		return nil, fmt.Errorf("dsp: FFT plan size %d is not a power of two", n)
 	}
+	//hyperearvet:allow zeroalloc sync.Map.Load boxes the int key; sizes repeat so the box is the only steady-state byte
 	if v, ok := planCache.Load(n); ok {
 		return v.(*Plan), nil
 	}
+	//hyperearvet:allow zeroalloc first-use plan build, amortized across every later correlation at this size
 	v, _ := planCache.LoadOrStore(n, newPlan(n))
 	return v.(*Plan), nil
 }
 
 // planFor is PlanFor for callers that have already validated n.
+//
+//hyperearvet:zeroalloc
 func planFor(n int) *Plan {
 	p, err := PlanFor(n)
 	if err != nil {
@@ -72,14 +80,20 @@ func newPlan(n int) *Plan {
 }
 
 // Size returns the transform length the plan was built for.
+//
+//hyperearvet:zeroalloc
 func (p *Plan) Size() int { return p.n }
 
 // Forward computes the in-place forward DFT of x. len(x) must equal
 // p.Size().
+//
+//hyperearvet:zeroalloc
 func (p *Plan) Forward(x []complex128) { p.transform(x, p.wFwd) }
 
 // Inverse computes the in-place inverse DFT of x, including the 1/N
 // scaling. len(x) must equal p.Size().
+//
+//hyperearvet:zeroalloc
 func (p *Plan) Inverse(x []complex128) {
 	p.transform(x, p.wInv)
 	scale := complex(1/float64(p.n), 0)
@@ -90,6 +104,8 @@ func (p *Plan) Inverse(x []complex128) {
 
 // transform is the iterative radix-2 kernel over precomputed tables. The
 // twiddle for butterfly k at stage size is w[k·(n/size)].
+//
+//hyperearvet:zeroalloc
 func (p *Plan) transform(x []complex128, w []complex128) {
 	n := p.n
 	if len(x) != n {
@@ -130,6 +146,7 @@ var complexPool = sync.Pool{New: func() any { s := make([]complex128, 0, 4096); 
 // must putComplex it back.
 //
 //hyperearvet:pooled
+//hyperearvet:zeroalloc
 func getComplex(n int) *[]complex128 { return getComplexPrefix(n, 0) }
 
 // getComplexPrefix returns a pooled buffer of length n whose elements from
@@ -138,6 +155,7 @@ func getComplex(n int) *[]complex128 { return getComplexPrefix(n, 0) }
 // clearing entirely (the real-FFT pack loops write every element).
 //
 //hyperearvet:pooled
+//hyperearvet:zeroalloc
 func getComplexPrefix(n, written int) *[]complex128 {
 	p := complexPool.Get().(*[]complex128)
 	if cap(*p) < n {
@@ -151,10 +169,13 @@ func getComplexPrefix(n, written int) *[]complex128 {
 	return p
 }
 
+//hyperearvet:zeroalloc
 func putComplex(p *[]complex128) { complexPool.Put(p) }
 
 // resizeF64 returns dst with length n, reusing its backing array when
 // possible.
+//
+//hyperearvet:zeroalloc
 func resizeF64(dst []float64, n int) []float64 {
 	if cap(dst) < n {
 		return make([]float64, n)
@@ -167,6 +188,8 @@ func resizeF64(dst []float64, n int) []float64 {
 // samples, so that is what must fit without circular wraparound. Rounding
 // up from lx+lr instead would double the transform whenever the sum lands
 // on an exact power of two.
+//
+//hyperearvet:zeroalloc
 func corrFFTSize(lx, lr int) int {
 	n := NextPow2(lx + lr - 1)
 	if n < 2 {
@@ -181,6 +204,8 @@ func corrFFTSize(lx, lr int) int {
 // real, so the whole round trip runs on the packed half-spectrum path
 // (RealPlan): one N/2 complex transform per FFT and half the scratch bytes
 // of the complex path.
+//
+//hyperearvet:zeroalloc
 func CrossCorrelateInto(dst, x, ref []float64) []float64 {
 	if len(x) == 0 || len(ref) == 0 {
 		return dst[:0]
@@ -213,6 +238,8 @@ const phatFloorRel = 1e-9
 
 // GCCPhatInto is GCCPhat writing its result into dst (grown/reused as
 // needed) and returning it.
+//
+//hyperearvet:zeroalloc
 func GCCPhatInto(dst, x, ref []float64) []float64 {
 	if len(x) == 0 || len(ref) == 0 {
 		return dst[:0]
@@ -259,6 +286,8 @@ func GCCPhatInto(dst, x, ref []float64) []float64 {
 
 // EnvelopeInto is Envelope writing its result into dst (grown/reused as
 // needed) and returning it.
+//
+//hyperearvet:zeroalloc
 func EnvelopeInto(dst, x []float64) []float64 {
 	if len(x) == 0 {
 		return dst[:0]
@@ -316,10 +345,14 @@ func NewCorrelator(ref []float64) *Correlator {
 }
 
 // RefLen returns the template length.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) RefLen() int { return len(c.ref) }
 
 // spectrum returns the cached conjugated reference half spectrum at real
 // transform size n, computing it on first use.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) spectrum(n int) []complex128 {
 	c.mu.RLock()
 	s, ok := c.spec[n]
@@ -333,6 +366,7 @@ func (c *Correlator) spectrum(n int) []complex128 {
 		return s
 	}
 	p := realPlanFor(n)
+	//hyperearvet:allow zeroalloc cache-miss spectrum build; every later call at this size returns the cached slice
 	s = make([]complex128, p.SpectrumLen())
 	p.ForwardReal(s, c.ref)
 	for i, v := range s {
@@ -344,6 +378,8 @@ func (c *Correlator) spectrum(n int) []complex128 {
 
 // CrossCorrelateInto computes CrossCorrelate(x, ref) into dst using the
 // cached reference spectrum.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) CrossCorrelateInto(dst, x []float64) []float64 {
 	if len(x) == 0 || len(c.ref) == 0 {
 		return dst[:0]
@@ -359,6 +395,8 @@ func (c *Correlator) CrossCorrelateInto(dst, x []float64) []float64 {
 // When n ≥ len(x)+RefLen()-1 the circularity never wraps and the output is
 // the linear correlation (CrossCorrelateInto); overlap-save callers pick a
 // smaller fixed n and read only the alias-free prefix.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) correlateAt(dst, x []float64, n int) {
 	p := realPlanFor(n)
 	spec := c.spectrum(n)
@@ -374,6 +412,8 @@ func (c *Correlator) correlateAt(dst, x []float64, n int) {
 // each worker its own pinned buffer. The arithmetic is identical to
 // correlateAt — the segmented path stays bit-identical to the monolithic
 // one at equal transform sizes.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) correlateAtWith(dst, x []float64, p *RealPlan, spec, fx []complex128) {
 	p.ForwardReal(fx, x)
 	for i, s := range spec {
@@ -389,6 +429,8 @@ func (c *Correlator) correlateAtWith(dst, x []float64, p *RealPlan, spec, fx []c
 // streaming matched filter slides x forward by that step between calls and
 // reuses one fixed transform size, so the template spectrum is computed
 // exactly once for the whole stream.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) CorrelateCircularInto(dst, x []float64, n int) {
 	if len(dst) == 0 {
 		return

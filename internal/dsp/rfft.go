@@ -34,19 +34,25 @@ type RealPlan struct {
 var realPlanCache sync.Map
 
 // RealPlanFor returns the shared real-FFT plan for size n (a power of two,
-// at least 2).
+// at least 2). Like PlanFor, the steady state is one cache hit.
+//
+//hyperearvet:zeroalloc
 func RealPlanFor(n int) (*RealPlan, error) {
 	if !IsPow2(n) || n < 2 {
 		return nil, fmt.Errorf("dsp: real FFT plan size %d is not a power of two ≥ 2", n)
 	}
+	//hyperearvet:allow zeroalloc sync.Map.Load boxes the int key; sizes repeat so the box is the only steady-state byte
 	if v, ok := realPlanCache.Load(n); ok {
 		return v.(*RealPlan), nil
 	}
+	//hyperearvet:allow zeroalloc first-use plan build, amortized across every later correlation at this size
 	v, _ := realPlanCache.LoadOrStore(n, newRealPlan(n))
 	return v.(*RealPlan), nil
 }
 
 // realPlanFor is RealPlanFor for callers that have already validated n.
+//
+//hyperearvet:zeroalloc
 func realPlanFor(n int) *RealPlan {
 	p, err := RealPlanFor(n)
 	if err != nil {
@@ -67,15 +73,21 @@ func newRealPlan(n int) *RealPlan {
 }
 
 // Size returns the real transform length the plan was built for.
+//
+//hyperearvet:zeroalloc
 func (p *RealPlan) Size() int { return p.n }
 
 // SpectrumLen returns the half-spectrum length n/2+1 (bins 0..Nyquist).
+//
+//hyperearvet:zeroalloc
 func (p *RealPlan) SpectrumLen() int { return p.n/2 + 1 }
 
 // ForwardReal computes the half spectrum of the real signal x into spec.
 // len(spec) must be SpectrumLen(); len(x) may be at most Size() — shorter
 // inputs are implicitly zero-padded, so callers never materialize a padded
 // copy. spec[0] and spec[n/2] come out with zero imaginary parts.
+//
+//hyperearvet:zeroalloc
 func (p *RealPlan) ForwardReal(spec []complex128, x []float64) {
 	m := p.n / 2
 	if len(spec) != m+1 {
@@ -129,6 +141,8 @@ func (p *RealPlan) ForwardReal(spec []complex128, x []float64) {
 // scaling. len(dst) may be at most Size(); correlation callers only ever
 // need the first len(x) lags, so the trailing zero-padding region is never
 // written. spec is used as scratch and destroyed.
+//
+//hyperearvet:zeroalloc
 func (p *RealPlan) InverseReal(dst []float64, spec []complex128) {
 	m := p.n / 2
 	if len(spec) != m+1 {

@@ -40,6 +40,8 @@ const segFFTMul = 4
 // segmented paths use for this template: NextPow2(segFFTMul·RefLen()).
 // StreamDetector uses the same size, so both paths hit the same cached
 // template spectrum.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) SegmentSize() int {
 	n := NextPow2(segFFTMul * len(c.ref))
 	if n < 2 {
@@ -50,6 +52,8 @@ func (c *Correlator) SegmentSize() int {
 
 // SegmentStep returns the alias-free lags each segmented block yields:
 // SegmentSize() - RefLen() + 1.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) SegmentStep() int { return c.SegmentSize() - len(c.ref) + 1 }
 
 // SegScratch holds the per-worker spectrum buffers of segmented
@@ -72,6 +76,8 @@ type SegScratch struct {
 // inside concurrent buf/fbuf/lanes calls would race on the slice
 // headers, whereas after grow each worker only ever touches its own
 // index.
+//
+//hyperearvet:zeroalloc
 func (s *SegScratch) grow(workers int) {
 	for len(s.spec) < workers {
 		s.spec = append(s.spec, nil)
@@ -86,6 +92,8 @@ func (s *SegScratch) grow(workers int) {
 }
 
 // buf returns worker w's complex buffer grown to length n.
+//
+//hyperearvet:zeroalloc
 func (s *SegScratch) buf(w, n int) []complex128 {
 	for len(s.spec) <= w {
 		s.spec = append(s.spec, nil)
@@ -98,6 +106,8 @@ func (s *SegScratch) buf(w, n int) []complex128 {
 
 // fbuf returns worker w's real buffer grown to length n (the envelope
 // blocks' Hilbert-transform staging).
+//
+//hyperearvet:zeroalloc
 func (s *SegScratch) fbuf(w, n int) []float64 {
 	for len(s.f) <= w {
 		s.f = append(s.f, nil)
@@ -109,6 +119,8 @@ func (s *SegScratch) fbuf(w, n int) []float64 {
 }
 
 // lanes returns worker w's lane-header slices grown to length k.
+//
+//hyperearvet:zeroalloc
 func (s *SegScratch) lanes(w, k int) (xs, ds [][]float64) {
 	for len(s.xs) <= w {
 		s.xs = append(s.xs, nil)
@@ -125,6 +137,8 @@ func (s *SegScratch) lanes(w, k int) (xs, ds [][]float64) {
 // (same semantics as the core package's effectiveWorkers, which dsp
 // cannot import): ≤ 0 selects GOMAXPROCS, and the pool never exceeds the
 // number of blocks.
+//
+//hyperearvet:zeroalloc
 func segWorkers(blocks, workers int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -201,6 +215,8 @@ func segParallel(ctx context.Context, blocks, workers int, fn func(worker, b int
 // blocks at SegmentSize() fanned across workers (≤ 0 selects GOMAXPROCS;
 // 1 runs serial and allocation-free once scratch is warm). A nil scratch
 // is allowed and degrades to per-call buffers.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) CrossCorrelateSegmentedInto(dst, x []float64, s *SegScratch, workers int) []float64 {
 	dst, _ = c.CrossCorrelateSegmentedCtx(context.Background(), dst, x, s, workers)
 	return dst
@@ -209,6 +225,8 @@ func (c *Correlator) CrossCorrelateSegmentedInto(dst, x []float64, s *SegScratch
 // CrossCorrelateSegmentedCtx is CrossCorrelateSegmentedInto with
 // cancellation: ctx is checked before every block, and on cancellation
 // the partial dst plus ctx's error are returned.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) CrossCorrelateSegmentedCtx(ctx context.Context, dst, x []float64, s *SegScratch, workers int) ([]float64, error) {
 	if len(x) == 0 || len(c.ref) == 0 {
 		return dst[:0], ctx.Err()
@@ -224,6 +242,8 @@ func (c *Correlator) CrossCorrelateSegmentedCtx(ctx context.Context, dst, x []fl
 // loop — it passes its cached-correlation high-water mark as from and the
 // shared kernel fills only the missing lags. len(dst) must not exceed
 // len(x).
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) CorrelateSegmentedRange(dst, x []float64, from int, s *SegScratch, workers int) {
 	if len(dst) > len(x) {
 		panic(fmt.Sprintf("dsp: segmented range output %d exceeds input %d", len(dst), len(x)))
@@ -238,6 +258,8 @@ func (c *Correlator) CorrelateSegmentedRange(dst, x []float64, from int, s *SegS
 
 // segmentedRange is the shared block loop: lags [from, len(dst)) of x,
 // one CorrelateCircularInto per block on per-worker scratch.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) segmentedRange(ctx context.Context, dst, x []float64, from int, s *SegScratch, workers int) error {
 	if from >= len(dst) {
 		return ctx.Err()
@@ -251,6 +273,7 @@ func (c *Correlator) segmentedRange(ctx context.Context, dst, x []float64, from 
 	spec := c.spectrum(n)
 	h := p.SpectrumLen()
 	if s == nil {
+		//hyperearvet:allow zeroalloc nil scratch is the caller opting out of reuse; the detector passes a warm SegScratch
 		s = &SegScratch{}
 	}
 	blocks := (len(dst) - from + step - 1) / step
@@ -278,6 +301,7 @@ func (c *Correlator) segmentedRange(ctx context.Context, dst, x []float64, from 
 		return nil
 	}
 	s.grow(segWorkers(blocks, workers))
+	//hyperearvet:allow zeroalloc parallel fan-out heap-allocates its block closure once per call; the serial path above stays allocation-free
 	return segParallel(ctx, blocks, workers, func(worker, b int) {
 		at := from + b*step
 		end := at + step
@@ -298,6 +322,8 @@ func (c *Correlator) segmentedRange(ctx context.Context, dst, x []float64, from 
 // the circular constraints independently: len(xs[j]) ≤ n and len(dsts[j])
 // ≤ n-RefLen()+1. The segmented lane-fusion path groups consecutive
 // overlap-save blocks of one recording into such batches.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) CorrelateCircularBatchInto(dsts, xs [][]float64, n int) {
 	k := len(xs)
 	if len(dsts) != k {
@@ -345,6 +371,8 @@ func (c *Correlator) CorrelateCircularBatchInto(dsts, xs [][]float64, n int) {
 // maxLanes lanes (CorrelateCircularBatchInto), groups fanned across
 // workers. It reports how many strided passes ran and how many block
 // lanes they carried — the BatchCorrelator's coalescing counters.
+//
+//hyperearvet:zeroalloc
 func (c *Correlator) segmentedGroups(ctx context.Context, dst, x []float64, s *SegScratch, workers, maxLanes int) (groups, lanesRun uint64, err error) {
 	if len(dst) == 0 || len(c.ref) == 0 {
 		return 0, 0, ctx.Err()
@@ -352,12 +380,14 @@ func (c *Correlator) segmentedGroups(ctx context.Context, dst, x []float64, s *S
 	n := c.SegmentSize()
 	step := n - len(c.ref) + 1
 	if s == nil {
+		//hyperearvet:allow zeroalloc nil scratch is the caller opting out of reuse; the batcher passes a warm SegScratch
 		s = &SegScratch{}
 	}
 	sc := s
 	blocks := (len(dst) + step - 1) / step
 	ngroups := (blocks + maxLanes - 1) / maxLanes
 	sc.grow(segWorkers(ngroups, workers))
+	//hyperearvet:allow zeroalloc parallel fan-out heap-allocates its group closure once per call, amortized across the whole recording
 	err = segParallel(ctx, ngroups, workers, func(worker, g int) {
 		first := g * maxLanes
 		k := maxLanes
@@ -405,6 +435,8 @@ const (
 // EnvelopeInto, but blockwise on fixed envSegSize transforms fanned
 // across workers. Inputs short enough for a single monolithic transform
 // (≤ envSegSize) take the exact monolithic path.
+//
+//hyperearvet:zeroalloc
 func EnvelopeSegmentedInto(dst, x []float64, s *SegScratch, workers int) []float64 {
 	dst, _ = EnvelopeSegmentedCtx(context.Background(), dst, x, s, workers)
 	return dst
@@ -412,6 +444,8 @@ func EnvelopeSegmentedInto(dst, x []float64, s *SegScratch, workers int) []float
 
 // EnvelopeSegmentedCtx is EnvelopeSegmentedInto with per-block ctx
 // checks, returning the partial dst plus ctx's error on cancellation.
+//
+//hyperearvet:zeroalloc
 func EnvelopeSegmentedCtx(ctx context.Context, dst, x []float64, s *SegScratch, workers int) ([]float64, error) {
 	if len(x) <= envSegSize {
 		if err := ctx.Err(); err != nil {
@@ -424,6 +458,7 @@ func EnvelopeSegmentedCtx(ctx context.Context, dst, x []float64, s *SegScratch, 
 	rp := realPlanFor(ne)
 	h := rp.SpectrumLen()
 	if s == nil {
+		//hyperearvet:allow zeroalloc nil scratch is the caller opting out of reuse; steady-state callers pass a warm SegScratch
 		s = &SegScratch{}
 	}
 	dst = resizeF64(dst, len(x))
@@ -442,6 +477,7 @@ func EnvelopeSegmentedCtx(ctx context.Context, dst, x []float64, s *SegScratch, 
 		return dst, nil
 	}
 	s.grow(segWorkers(blocks, workers))
+	//hyperearvet:allow zeroalloc parallel fan-out heap-allocates its block closure once per call; the serial path above stays allocation-free
 	err := segParallel(ctx, blocks, workers, func(worker, b int) {
 		envSegBlock(dst, x, b*outB, outB, rp, s.buf(worker, h), s.fbuf(worker, ne))
 	})
@@ -455,6 +491,8 @@ func EnvelopeSegmentedCtx(ctx context.Context, dst, x []float64, s *SegScratch, 
 // spectrum -i·sign(f)·X(f), which is Hermitian (H(x) is real), so
 // InverseReal reconstructs it with half the butterflies — and the
 // in-phase component is just x itself. env = sqrt(x² + H(x)²).
+//
+//hyperearvet:zeroalloc
 func envSegBlock(dst, x []float64, start, outB int, rp *RealPlan, spec []complex128, hil []float64) {
 	m := rp.Size() / 2
 	stop := start + outB

@@ -55,6 +55,8 @@ func promFloat(v float64) string {
 
 // appendPromName appends PromName(name) to dst without the
 // strings.Builder round trip.
+//
+//hyperearvet:zeroalloc
 func appendPromName(dst []byte, name string) []byte {
 	for i, r := range name {
 		ok := r == '_' || r == ':' ||
@@ -73,6 +75,8 @@ func appendPromName(dst []byte, name string) []byte {
 
 // appendSortedKeys appends the map's keys to dst and sorts them, for
 // deterministic output on reused scratch.
+//
+//hyperearvet:zeroalloc
 func appendSortedKeys[V any](dst []string, m map[string]V) []string {
 	for k := range m {
 		dst = append(dst, k)
@@ -98,13 +102,17 @@ var promPool = sync.Pool{New: func() any { return new(promScratch) }}
 // format under the given namespace prefix (e.g. "hyperear"). Output is
 // sorted by metric name within each kind, so identical snapshots encode
 // identically.
+//
+//hyperearvet:zeroalloc
 func WritePrometheus(w io.Writer, s Snapshot, namespace string) {
 	sc := promPool.Get().(*promScratch)
 	b, keys, name := sc.buf[:0], sc.keys[:0], sc.name
 
 	keys = appendSortedKeys(keys, s.Counters)
 	for _, k := range keys {
-		name = appendPromName(append(append(name[:0], namespace...), '_'), k)
+		name = append(name[:0], namespace...)
+		name = append(name, '_')
+		name = appendPromName(name, k)
 		name = append(name, "_total"...)
 		b = append(b, "# TYPE "...)
 		b = append(b, name...)
@@ -117,7 +125,9 @@ func WritePrometheus(w io.Writer, s Snapshot, namespace string) {
 	keys = appendSortedKeys(keys[:0], s.Gauges)
 	for _, k := range keys {
 		g := s.Gauges[k]
-		name = appendPromName(append(append(name[:0], namespace...), '_'), k)
+		name = append(name[:0], namespace...)
+		name = append(name, '_')
+		name = appendPromName(name, k)
 		b = append(b, "# TYPE "...)
 		b = append(b, name...)
 		b = append(b, " gauge\n"...)
@@ -135,7 +145,9 @@ func WritePrometheus(w io.Writer, s Snapshot, namespace string) {
 	}
 	keys = appendSortedKeys(keys[:0], s.Histograms)
 	for _, k := range keys {
-		name = appendPromName(append(append(name[:0], namespace...), '_'), k)
+		name = append(name[:0], namespace...)
+		name = append(name, '_')
+		name = appendPromName(name, k)
 		b = appendHistogram(b, name, s.Histograms[k])
 	}
 	w.Write(b)
@@ -146,6 +158,8 @@ func WritePrometheus(w io.Writer, s Snapshot, namespace string) {
 
 // appendHistogram renders one fixed-bucket histogram as the cumulative
 // _bucket/_sum/_count triplet.
+//
+//hyperearvet:zeroalloc
 func appendHistogram(b, name []byte, h HistSnapshot) []byte {
 	b = append(b, "# TYPE "...)
 	b = append(b, name...)
@@ -181,6 +195,8 @@ func appendHistogram(b, name []byte, h HistSnapshot) []byte {
 // within-bucket interpolation caveats as HistSnapshot.Quantile. It
 // shares the pooled render scratch with WritePrometheus, so the /metrics
 // summary section is allocation-free too.
+//
+//hyperearvet:zeroalloc
 func WriteQuantileSummary(w io.Writer, m string, h HistSnapshot) {
 	sc := promPool.Get().(*promScratch)
 	b := sc.buf[:0]

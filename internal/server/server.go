@@ -170,7 +170,10 @@ type Server struct {
 	// beacon template and FFT plans, so sessions sharing parameters share
 	// the instance (Localizer is safe for concurrent use).
 	locMu sync.Mutex
-	locs  map[locKey]*core.Localizer
+	// locs is the localizer cache.
+	//
+	// guarded by locMu
+	locs map[locKey]*core.Localizer
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}

@@ -27,13 +27,34 @@ type session struct {
 	meta sessionio.Meta
 	fs   float64
 
-	mu         sync.Mutex
+	// mu serializes every mutable field below: the stream detectors'
+	// push state, the sample accumulators, and the lifecycle marks.
+	mu sync.Mutex
+	// det1 and det2 are the per-channel stream detectors.
+	//
+	// guarded by mu
 	det1, det2 *chirp.StreamDetector
+	// mic1 and mic2 accumulate the raw per-channel samples.
+	//
+	// guarded by mu
 	mic1, mic2 []float64
-	trace      *imu.Trace
+	// trace is the attached inertial trace.
+	//
+	// guarded by mu
+	trace *imu.Trace
+	// detections counts confirmed channel-1 detections.
+	//
+	// guarded by mu
 	detections int
-	lastTouch  time.Time
-	evicted    bool
+	// lastTouch is the idle-eviction clock.
+	//
+	// guarded by mu
+	lastTouch time.Time
+	// evicted marks a session removed from the table; every method
+	// fails fast once set.
+	//
+	// guarded by mu
+	evicted bool
 }
 
 // touch marks activity; callers hold s.mu.
@@ -129,8 +150,12 @@ var (
 // sessionTable owns every live session: bounded capacity, idle eviction,
 // and gauge accounting. All methods are safe for concurrent use.
 type sessionTable struct {
-	mu     sync.Mutex
-	m      map[string]*session
+	mu sync.Mutex
+	// m maps session id -> live session.
+	//
+	// guarded by mu
+	m map[string]*session
+	// max, idle, active, and o are immutable after construction.
 	max    int
 	idle   time.Duration
 	active *obs.Gauge
