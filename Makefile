@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all check vet lint lint-sarif lint-fix fmt-check build test race bench-smoke bench bench-json bench-compare bench-profile obs-check serve server-soak
+.PHONY: all check vet lint lint-sarif lint-fix fmt-check build test race bench-smoke bench bench-json bench-compare bench-profile obs-check serve server-soak crash-soak
 
 all: check
 
@@ -91,17 +91,30 @@ serve:
 server-soak:
 	$(GO) test -race -timeout 15m -run 'Soak|Drain|Pool|Session|SIGTERM' ./internal/server/ ./cmd/hyperearservd/
 
+# Durability gate: the WAL/snapshot property suite (recovered state must
+# match the in-memory oracle for random event sequences, torn tails,
+# corrupt CRCs, duplicated replay) plus the SIGKILL crash soak — the
+# daemon killed between acknowledged session writes, restarted on the
+# same -data-dir, and required to localize bit-identically to an
+# uninterrupted run. Set HYPEREAR_CRASH_DIR to keep the WAL + snapshot
+# around after a failure (CI uploads it as an artifact).
+crash-soak:
+	$(GO) test -race -timeout 15m -count=1 ./internal/sessionstore/
+	$(GO) test -race -timeout 15m -count=1 -run 'CrashRecovery|Recover' -v ./internal/server/ ./cmd/hyperearservd/
+
 # Real measurement run of the performance-critical benchmarks (see
 # DESIGN.md "Performance architecture"). FFTForward pairs the complex
 # and packed-real transforms; Detect/Stream cover the batch and
 # overlap-save detection hot paths; PipelineLocate2D{,Serial,Parallel}
 # track end-to-end latency and the serial/parallel split; ServerThroughput
 # measures locates/sec through the full HTTP service with batching on;
-# DisabledSpan/EnabledSpan pin the per-hook observability overhead (the
-# disabled path must stay 0 B/op) and PromExposition the /metrics
-# scrape-render cost.
-BENCH_RE := CrossCorrelate|Correlator|Envelope|FFTForward|Detect|DetectSegmented|Stream|PipelineLocate2D|ServerThroughput|DisabledSpan|EnabledSpan|PromExposition
-BENCH_PKGS := ./ ./internal/dsp/ ./internal/chirp/ ./internal/obs/ ./internal/server/
+# SessionIngest compares the streaming-append path with and without the
+# session WAL underneath and WALAppend pins the raw durable append under
+# both fsync policies; DisabledSpan/EnabledSpan pin the per-hook
+# observability overhead (the disabled path must stay 0 B/op) and
+# PromExposition the /metrics scrape-render cost.
+BENCH_RE := CrossCorrelate|Correlator|Envelope|FFTForward|Detect|DetectSegmented|Stream|PipelineLocate2D|ServerThroughput|SessionIngest|WALAppend|DisabledSpan|EnabledSpan|PromExposition
+BENCH_PKGS := ./ ./internal/dsp/ ./internal/chirp/ ./internal/obs/ ./internal/server/ ./internal/sessionstore/
 
 bench:
 	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS)
@@ -139,8 +152,8 @@ bench-profile:
 # shows up as an exact, machine-independent count. CI's bench-regression
 # job runs exactly this.
 bench-compare:
-	@baseline="$$(ls BENCH_*.json | sort | tail -1)"; \
-	if [ -z "$$baseline" ]; then echo "no committed BENCH_*.json baseline"; exit 1; fi; \
+	@baseline="$$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"; \
+	if [ -z "$$baseline" ]; then echo "no committed BENCH_*.json baseline; run make bench-json first"; exit 1; fi; \
 	echo "baseline: $$baseline"; \
 	$(GO) test -run NONE -bench '$(BENCH_RE)' -benchmem $(BENCH_PKGS) \
 		| $(GO) run ./cmd/benchjson -out /tmp/bench-fresh.json; \

@@ -9,6 +9,8 @@
 //	hyperearservd [-addr :8787] [-phone s4|note3] [-workers N] [-queue N]
 //	              [-timeout 30s] [-max-body 64MiB-as-bytes]
 //	              [-session-idle 2m] [-max-sessions 64]
+//	              [-data-dir /data] [-fsync always|none|100ms]
+//	              [-wal-snapshot bytes]
 //	              [-trace out.jsonl] [-debug-addr :6060]
 //	              [-access-log path|-] [-slo-target 1s] [-slo-objective 0.99]
 //	              [-metrics-window 5m]
@@ -18,6 +20,14 @@
 // Retry-After. SIGINT/SIGTERM triggers a graceful drain: readiness
 // flips to 503, in-flight work finishes (bounded by -drain-timeout),
 // then sessions are evicted and the trace sink is flushed.
+//
+// With -data-dir set, streaming sessions are durable: every mutation is
+// appended to a CRC-framed write-ahead log under the directory
+// (compacted into snapshots as it grows), and a restart on the same
+// directory resumes every in-flight session — same ids, same
+// accumulated audio, bit-identical localization. -fsync selects the
+// append durability policy; the drain sequence flushes the WAL before
+// exit.
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"hyperear/internal/core"
 	"hyperear/internal/obs"
 	"hyperear/internal/server"
+	"hyperear/internal/sessionstore"
 )
 
 func main() {
@@ -62,6 +73,9 @@ func run(args []string) error {
 	maxBody := fs.Int64("max-body", 64<<20, "max request body bytes")
 	sessionIdle := fs.Duration("session-idle", 2*time.Minute, "evict streaming sessions idle this long")
 	maxSessions := fs.Int("max-sessions", 64, "max live streaming sessions")
+	dataDir := fs.String("data-dir", "", "persist streaming sessions to this directory (WAL + snapshots); empty = in-memory only")
+	fsyncPolicy := fs.String("fsync", "always", "session WAL fsync policy: always, none, or a flush interval like 100ms")
+	walSnapshot := fs.Int64("wal-snapshot", 8<<20, "compact the session WAL into a snapshot past this many bytes (negative disables)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 	trace := fs.String("trace", "", "write a JSONL stage-span trace to this file")
 	debugAddr := fs.String("debug-addr", "", "serve pprof + expvar on this address (e.g. :6060)")
@@ -116,9 +130,30 @@ func run(args []string) error {
 		accessWriter = f
 	}
 
+	// The store opens (and recovers) before the server constructs, so
+	// New's boot-time replay sees every persisted session; a store that
+	// cannot open is fatal rather than silently non-durable.
+	var store *sessionstore.FileStore
+	if *dataDir != "" {
+		policy, interval, err := sessionstore.ParseFsyncPolicy(*fsyncPolicy)
+		if err != nil {
+			return err
+		}
+		store, err = sessionstore.Open(*dataDir, sessionstore.Options{
+			Fsync:         policy,
+			FsyncInterval: interval,
+			SnapshotBytes: *walSnapshot,
+			Obs:           o,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hyperearservd: session store in %s (fsync %s)\n", *dataDir, policy)
+	}
+
 	pipeCfg := core.DefaultConfig(hyperear.DefaultBeacon(), phone.SampleRate, phone.MicSeparation)
 	pipeCfg.Obs = o
-	srv := server.New(server.Config{
+	srvCfg := server.Config{
 		Workers:            *workers,
 		Queue:              *queue,
 		RequestTimeout:     *timeout,
@@ -131,7 +166,13 @@ func run(args []string) error {
 		AccessLog:          accessWriter,
 		Pipeline:           pipeCfg,
 		Obs:                o,
-	})
+	}
+	if store != nil {
+		// Assigned only when non-nil so a disabled store stays a nil
+		// interface, not a typed-nil *FileStore.
+		srvCfg.Store = store
+	}
+	srv := server.New(srvCfg)
 
 	if *debugAddr != "" {
 		reg.PublishExpvar("hyperear")
@@ -178,13 +219,24 @@ func run(args []string) error {
 
 	// Drain sequence: stop admitting (readyz 503, queued waiters shed),
 	// let in-flight handlers finish within the drain budget, then evict
-	// the remaining sessions and flush the trace sink.
+	// the remaining sessions and flush the session WAL and trace sink.
+	// Shutdown evictions are deliberately not persisted — the sessions
+	// stay in the store so the next boot on the same -data-dir resumes
+	// them.
 	fmt.Fprintln(os.Stderr, "hyperearservd: draining")
 	srv.BeginDrain()
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	err = hs.Shutdown(dctx)
 	srv.FinishShutdown()
+	if store != nil {
+		if werr := store.Flush(); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if jsonl != nil {
 		// The sink swallows write errors per event to keep span emission
 		// non-blocking; surface the sticky first error at shutdown so a

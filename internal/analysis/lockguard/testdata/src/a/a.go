@@ -19,7 +19,7 @@ type table struct {
 	snapshot []int
 	// guarded by missing
 	ready bool // want `guarded-by annotation names missing, which is not a mutex field of table`
-	_        struct{}
+	_     struct{}
 }
 
 func (t *table) good() int {

@@ -38,17 +38,32 @@ const (
 	// GSessionsActive is the live streaming-session count.
 	GSessionsActive = "server.sessions.active"
 
-	// MSessCreated / MSessEvicted account for every streaming session:
-	// created == evicted.idle + evicted.capacity + evicted.explicit +
-	// evicted.shutdown + active.
+	// MSessCreated / MSessRecovered / MSessEvicted account for every
+	// streaming session: created + recovered == evicted.* + active.
+	// MSessRecovered counts every session the store handed back at
+	// boot; the ones that failed to rebuild land under
+	// evicted.recovered.*, so successful resumes are
+	// recovered − evicted.recovered.*.
 	MSessCreated       = "server.sessions.created"
+	MSessRecovered     = "server.sessions.recovered"
 	MSessEvictedPrefix = "server.sessions.evicted."
+
+	// MStoreErrors counts session-store write failures (WAL append or
+	// fsync errors). Durable-write failures surface as 500s on the
+	// mutating request; best-effort events (locate audit, evictions)
+	// only tally here.
+	MStoreErrors = "server.store.errors"
 )
 
-// Eviction reason codes appended to MSessEvictedPrefix.
+// Eviction reason codes appended to MSessEvictedPrefix. The
+// recovered.* reasons are boot-time: a session came back from the
+// store but could not be rebuilt (bad parameters, torn payload) or
+// found no table capacity.
 const (
-	EvictIdle     = "idle"
-	EvictCapacity = "capacity"
-	EvictExplicit = "explicit"
-	EvictShutdown = "shutdown"
+	EvictIdle              = "idle"
+	EvictCapacity          = "capacity"
+	EvictExplicit          = "explicit"
+	EvictShutdown          = "shutdown"
+	EvictRecoveredInvalid  = "recovered.invalid"
+	EvictRecoveredCapacity = "recovered.capacity"
 )

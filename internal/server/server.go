@@ -30,6 +30,7 @@ import (
 	"hyperear/internal/geom"
 	"hyperear/internal/obs"
 	"hyperear/internal/sessionio"
+	"hyperear/internal/sessionstore"
 )
 
 // Config sizes the service. Zero values select the documented defaults;
@@ -81,6 +82,15 @@ type Config struct {
 	// Writes are serialized by the server; the writer itself need not
 	// be concurrency-safe.
 	AccessLog io.Writer
+	// Store persists streaming-session mutations for crash recovery:
+	// every create/audio/IMU/locate/evict becomes a store event
+	// (appended before the in-memory state mutates), and New replays
+	// the store's sessions back into the table so in-flight users
+	// survive a restart. nil (the default) keeps sessions only in
+	// process memory — the pre-durability behavior. See
+	// internal/sessionstore for the WAL-backed implementation and
+	// DESIGN.md §11 "Durability" for the recovery sequence.
+	Store sessionstore.SessionStore
 	// Pipeline is the default localization config (beacon parameters,
 	// geometry, stage tuning). Per-request meta may override Source,
 	// SampleRate and MicSeparation.
@@ -195,11 +205,14 @@ func New(cfg Config) *Server {
 		cfg:         cfg,
 		o:           cfg.Obs,
 		pool:        newPool(cfg.Workers, cfg.Queue, cfg.Obs.Gauge(GQueueDepth)),
-		sessions:    newSessionTable(cfg.MaxSessions, cfg.SessionIdleTimeout, cfg.Obs),
+		sessions:    newSessionTable(cfg.MaxSessions, cfg.SessionIdleTimeout, cfg.Store, cfg.Obs),
 		clock:       time.Now,
 		locs:        make(map[locKey]*core.Localizer),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+	}
+	if cfg.Store != nil {
+		s.recoverSessions()
 	}
 	s.mux = s.buildMux()
 	s.handler = s.withTrace(s.mux)
@@ -214,6 +227,36 @@ func New(cfg Config) *Server {
 	}
 	go s.janitor()
 	return s
+}
+
+// recoverSessions replays the store's persisted sessions into the live
+// table at boot, before the server handles a request. Every session the
+// store hands back counts toward MSessRecovered; the ones that cannot
+// be rebuilt (bad parameters, torn payload) or that find no table
+// capacity are evicted — durably, so they do not fail every boot —
+// under the recovered.* reason codes, which keeps the session
+// accounting identity (created + recovered == evicted.* + active)
+// closed.
+func (s *Server) recoverSessions() {
+	recovered, err := s.cfg.Store.Recover()
+	if err != nil {
+		s.o.Inc(MStoreErrors)
+		return
+	}
+	now := s.clock()
+	for _, rs := range recovered {
+		s.o.Inc(MSessRecovered)
+		if err := s.sessions.insertRecovered(rs, now); err != nil {
+			reason := EvictRecoveredInvalid
+			if errors.Is(err, errTableFull) {
+				reason = EvictRecoveredCapacity
+			}
+			s.o.Inc(MSessEvictedPrefix + reason)
+			if serr := s.cfg.Store.Evict(rs.ID, reason); serr != nil {
+				s.o.Inc(MStoreErrors)
+			}
+		}
+	}
 }
 
 // Handler returns the root handler (mount at /).
@@ -316,6 +359,16 @@ func (s *Server) reject(w http.ResponseWriter, r *http.Request, code int, msg st
 	s.o.Inc(MReqRejected)
 	setOutcome(r.Context(), outcomeRejected)
 	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// storeFailed writes a durable-write failure: the session's state did
+// not change, the fault is server-side (disk, not input), so 500 with
+// Retry-After — the client's bytes are fine to resend once the operator
+// fixes the volume.
+func (s *Server) storeFailed(w http.ResponseWriter, r *http.Request, err error) {
+	setOutcome(r.Context(), outcomeFailed)
+	w.Header().Set("Retry-After", "5")
+	writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 }
 
 // shed writes an admission refusal with Retry-After.
@@ -651,6 +704,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			s.shed(w, r, errQueueFull)
 			return
 		}
+		if errors.Is(err, errStoreFailed) {
+			s.storeFailed(w, r, err)
+			return
+		}
 		s.reject(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -704,6 +761,10 @@ func (s *Server) handleSessionAudio(w http.ResponseWriter, r *http.Request) {
 	defer putBody(body)
 	dets, err := sess.appendAudio(r.Context(), body.Bytes(), s.cfg.MaxSessionSamples, s.clock())
 	if err != nil {
+		if errors.Is(err, errStoreFailed) {
+			s.storeFailed(w, r, err)
+			return
+		}
 		code := http.StatusBadRequest
 		if errors.Is(err, errSessionGone) {
 			code = http.StatusNotFound
@@ -744,7 +805,11 @@ func (s *Server) handleSessionIMU(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, r, http.StatusBadRequest, "imu: "+err.Error())
 		return
 	}
-	if err := sess.setIMU(tr, s.clock()); err != nil {
+	if err := sess.setIMU(tr, body.Bytes(), s.clock()); err != nil {
+		if errors.Is(err, errStoreFailed) {
+			s.storeFailed(w, r, err)
+			return
+		}
 		s.reject(w, r, http.StatusNotFound, err.Error())
 		return
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/binary"
@@ -15,6 +16,7 @@ import (
 	"hyperear/internal/mic"
 	"hyperear/internal/obs"
 	"hyperear/internal/sessionio"
+	"hyperear/internal/sessionstore"
 )
 
 // session is one live streaming-ingest session: two per-channel
@@ -26,6 +28,10 @@ type session struct {
 	id   string
 	meta sessionio.Meta
 	fs   float64
+	// st persists mutations for crash recovery (nil disables); o tallies
+	// store write failures. Both immutable after construction.
+	st sessionstore.SessionStore
+	o  *obs.Obs
 
 	// mu serializes every mutable field below: the stream detectors'
 	// push state, the sample accumulators, and the lifecycle marks.
@@ -60,11 +66,28 @@ type session struct {
 // touch marks activity; callers hold s.mu.
 func (s *session) touchLocked(now time.Time) { s.lastTouch = now }
 
+// decodePCM decodes interleaved stereo int16 little-endian PCM into the
+// per-channel float slices (each len(raw)/4 long). Recovery replays the
+// persisted bytes through exactly this decode, which is what makes a
+// resumed session's samples — and with them its locate — bit-identical
+// to the uninterrupted run's.
+func decodePCM(raw []byte, c1, c2 []float64) {
+	for i := range c1 {
+		c1[i] = float64(int16(binary.LittleEndian.Uint16(raw[i*4:]))) / 32767
+		c2[i] = float64(int16(binary.LittleEndian.Uint16(raw[i*4+2:]))) / 32767
+	}
+}
+
 // appendAudio decodes interleaved stereo int16 little-endian PCM, pushes
 // both channels through the stream detectors, and accumulates the
 // samples. Returns the newly confirmed detections of channel 1 (the
 // client-feedback channel). ctx carries the request's trace IDs into
 // the detectors' push spans.
+//
+// When a store is attached the chunk is WAL-appended before the
+// in-memory state mutates: a crash between the two replays the chunk on
+// boot instead of losing it, and a failed durable write leaves the
+// session exactly as it was.
 func (s *session) appendAudio(ctx context.Context, raw []byte, maxSamples int, now time.Time) ([]chirp.Detection, error) {
 	if len(raw) == 0 || len(raw)%4 != 0 {
 		return nil, fmt.Errorf("audio chunk must be interleaved stereo int16 (got %d bytes)", len(raw))
@@ -76,10 +99,7 @@ func (s *session) appendAudio(ctx context.Context, raw []byte, maxSamples int, n
 	c1 := sessionio.BorrowSamples(n)
 	c2 := sessionio.BorrowSamples(n)
 	defer sessionio.RecycleSamples(c1, c2)
-	for i := 0; i < n; i++ {
-		c1[i] = float64(int16(binary.LittleEndian.Uint16(raw[i*4:]))) / 32767
-		c2[i] = float64(int16(binary.LittleEndian.Uint16(raw[i*4+2:]))) / 32767
-	}
+	decodePCM(raw, c1, c2)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.evicted {
@@ -87,6 +107,12 @@ func (s *session) appendAudio(ctx context.Context, raw []byte, maxSamples int, n
 	}
 	if len(s.mic1)+n > maxSamples {
 		return nil, fmt.Errorf("%w: session exceeds %d samples", errSessionTooLarge, maxSamples)
+	}
+	if s.st != nil {
+		if err := s.st.AppendAudio(s.id, raw); err != nil {
+			s.o.Inc(MStoreErrors)
+			return nil, fmt.Errorf("%w: %v", errStoreFailed, err)
+		}
 	}
 	s.mic1 = append(s.mic1, c1...)
 	s.mic2 = append(s.mic2, c2...)
@@ -104,12 +130,20 @@ func (s *session) appendAudio(ctx context.Context, raw []byte, maxSamples int, n
 	return out, nil
 }
 
-// setIMU attaches the session's inertial trace.
-func (s *session) setIMU(tr *imu.Trace, now time.Time) error {
+// setIMU attaches the session's inertial trace. raw is the CSV the
+// trace was parsed from; with a store attached it is persisted (WAL
+// first) so recovery can re-parse the identical bytes.
+func (s *session) setIMU(tr *imu.Trace, raw []byte, now time.Time) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.evicted {
 		return errSessionGone
+	}
+	if s.st != nil {
+		if err := s.st.SetIMU(s.id, raw); err != nil {
+			s.o.Inc(MStoreErrors)
+			return fmt.Errorf("%w: %v", errStoreFailed, err)
+		}
 	}
 	s.trace = tr
 	s.touchLocked(now)
@@ -137,6 +171,13 @@ func (s *session) snapshotRecording(now time.Time) (*mic.Recording, *imu.Trace, 
 		Mic2:      append([]float64(nil), s.mic2...),
 		TrueSNRdB: math.Inf(1),
 	}
+	if s.st != nil {
+		// The locate event is audit trail, not state the pipeline needs;
+		// a write failure must not block the localization.
+		if err := s.st.NoteLocate(s.id); err != nil {
+			s.o.Inc(MStoreErrors)
+		}
+	}
 	s.touchLocked(now)
 	return rec, s.trace, nil
 }
@@ -145,6 +186,7 @@ var (
 	errSessionGone     = fmt.Errorf("session not found or evicted")
 	errSessionTooLarge = fmt.Errorf("session audio limit exceeded")
 	errTableFull       = fmt.Errorf("session table full")
+	errStoreFailed     = fmt.Errorf("session store write failed")
 )
 
 // sessionTable owns every live session: bounded capacity, idle eviction,
@@ -155,19 +197,21 @@ type sessionTable struct {
 	//
 	// guarded by mu
 	m map[string]*session
-	// max, idle, active, and o are immutable after construction.
+	// max, idle, active, st, and o are immutable after construction.
 	max    int
 	idle   time.Duration
 	active *obs.Gauge
+	st     sessionstore.SessionStore
 	o      *obs.Obs
 }
 
-func newSessionTable(maxSessions int, idle time.Duration, o *obs.Obs) *sessionTable {
+func newSessionTable(maxSessions int, idle time.Duration, st sessionstore.SessionStore, o *obs.Obs) *sessionTable {
 	return &sessionTable{
 		m:      make(map[string]*session),
 		max:    maxSessions,
 		idle:   idle,
 		active: o.Gauge(GSessionsActive),
+		st:     st,
 		o:      o,
 	}
 }
@@ -201,7 +245,16 @@ func (t *sessionTable) create(meta sessionio.Meta, src chirp.Params, fs float64,
 	if err != nil {
 		return nil, err
 	}
-	s := &session{id: id, meta: meta, fs: fs, det1: det1, det2: det2, lastTouch: now}
+	if t.st != nil {
+		// WAL-first: the create must be durable before the session can
+		// accept audio, or a crash after the first chunk would replay
+		// audio for an id the log never created.
+		if err := t.st.Create(id, meta, src, fs); err != nil {
+			t.o.Inc(MStoreErrors)
+			return nil, fmt.Errorf("%w: %v", errStoreFailed, err)
+		}
+	}
+	s := &session{id: id, meta: meta, fs: fs, st: t.st, o: t.o, det1: det1, det2: det2, lastTouch: now}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.m) >= t.max {
@@ -256,9 +309,77 @@ func (t *sessionTable) evictLocked(id, reason string) bool {
 	s.mu.Lock()
 	s.evicted = true
 	s.mu.Unlock()
+	if t.st != nil && reason != EvictShutdown {
+		// Shutdown evictions stay in the store on purpose: surviving the
+		// restart that follows a drain is the whole point of durability.
+		// Everything else (idle, capacity, explicit) is gone for good,
+		// best-effort — a store error must not resurrect the session.
+		if err := t.st.Evict(id, reason); err != nil {
+			t.o.Inc(MStoreErrors)
+		}
+	}
 	t.active.Add(-1)
 	t.o.Inc(MSessEvictedPrefix + reason)
 	return true
+}
+
+// insertRecovered rebuilds one persisted session into the live table:
+// fresh per-channel StreamDetectors replay the accumulated PCM (the
+// detectors' chunked==batch equivalence makes the resumed state agree
+// with the uninterrupted run's), the IMU CSV is re-parsed, and the
+// detector's Consumed accounting is checked against the persisted
+// sample count before the session goes live.
+func (t *sessionTable) insertRecovered(rs sessionstore.Session, now time.Time) error {
+	if len(rs.Audio)%4 != 0 {
+		return fmt.Errorf("persisted audio is %d bytes, not whole stereo frames", len(rs.Audio))
+	}
+	det1, err := chirp.NewStreamDetector(rs.Src, rs.FS)
+	if err != nil {
+		return fmt.Errorf("rebuilding detector: %w", err)
+	}
+	det2, err := chirp.NewStreamDetector(rs.Src, rs.FS)
+	if err != nil {
+		return fmt.Errorf("rebuilding detector: %w", err)
+	}
+	det1.SetObs(t.o)
+	det2.SetObs(t.o)
+	var tr *imu.Trace
+	if rs.IMU != nil {
+		tr, err = sessionio.ReadIMU(bytes.NewReader(rs.IMU))
+		if err != nil {
+			return fmt.Errorf("re-parsing imu: %w", err)
+		}
+	}
+	n := len(rs.Audio) / 4
+	var mic1, mic2 []float64
+	detections := 0
+	if n > 0 {
+		mic1 = make([]float64, n)
+		mic2 = make([]float64, n)
+		decodePCM(rs.Audio, mic1, mic2)
+		dets := det1.Push(mic1)
+		det2.Push(mic2)
+		detections = len(dets)
+		if det1.Consumed() != n {
+			return fmt.Errorf("detector resumed %d of %d samples", det1.Consumed(), n)
+		}
+	}
+	s := &session{
+		id: rs.ID, meta: rs.Meta, fs: rs.FS, st: t.st, o: t.o,
+		det1: det1, det2: det2, mic1: mic1, mic2: mic2,
+		trace: tr, detections: detections, lastTouch: now,
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.m[rs.ID]; exists {
+		return fmt.Errorf("duplicate recovered session id %q", rs.ID)
+	}
+	if len(t.m) >= t.max {
+		return errTableFull
+	}
+	t.m[rs.ID] = s
+	t.active.Add(1)
+	return nil
 }
 
 // sweepIdle evicts every session idle longer than the table's idle bound;
